@@ -1,0 +1,201 @@
+package bridge
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches DESIGN.md calls out. Each iteration runs the full
+// experiment in simulated time and reports simulated metrics (sim_ms,
+// rec_per_sec) alongside the usual host-side ns/op.
+//
+// By default the benches run at a reduced scale that preserves every
+// experiment's shape (see experiments.QuickScale). Set
+// BRIDGE_BENCH_SCALE=paper to run the paper's full 10 MB / 10240-record
+// configuration, as used to produce EXPERIMENTS.md.
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"bridge/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	if os.Getenv("BRIDGE_BENCH_SCALE") == "paper" {
+		return experiments.PaperScale()
+	}
+	return experiments.QuickScale()
+}
+
+func reportSim(b *testing.B, name string, d time.Duration) {
+	b.ReportMetric(float64(d)/float64(time.Millisecond), name+"_sim_ms")
+}
+
+// BenchmarkTable2BasicOps regenerates Table 2: Create, Open, Read, Write,
+// Delete costs across the processor sweep.
+func BenchmarkTable2BasicOps(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		reportSim(b, "create_pmax", last.CreateTime)
+		reportSim(b, "open_pmax", last.OpenTime)
+		reportSim(b, "read_blk_pmax", last.ReadPerBlock)
+		reportSim(b, "write_blk_pmax", last.WritePerBlock)
+	}
+}
+
+// BenchmarkTable3Copy regenerates Table 3 and the copy records/second
+// figure.
+func BenchmarkTable3Copy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3Copy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		reportSim(b, "copy_pmin", first.Time)
+		reportSim(b, "copy_pmax", last.Time)
+		b.ReportMetric(last.RecPerSec, "rec_per_sec_pmax")
+		b.ReportMetric(last.Speedup, "speedup_pmax")
+	}
+}
+
+// BenchmarkTable4Sort regenerates Table 4 and the sort figures.
+func BenchmarkTable4Sort(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4Sort(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		reportSim(b, "sort_total_pmin", first.Total)
+		reportSim(b, "sort_total_pmax", last.Total)
+		reportSim(b, "sort_local_pmax", last.Local)
+		reportSim(b, "sort_merge_pmax", last.Merge)
+		b.ReportMetric(last.RecPerSec, "rec_per_sec_pmax")
+	}
+}
+
+// BenchmarkPlacement regenerates the Section 3 placement ablation (A1).
+func BenchmarkPlacement(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, reorg, err := experiments.Placement(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hashedLoad float64
+		for _, r := range rows {
+			if r.Strategy == "hashed" {
+				hashedLoad = r.MeanMaxLoad
+			}
+		}
+		b.ReportMetric(hashedLoad, "hashed_max_load_pmax")
+		b.ReportMetric(float64(reorg[len(reorg)-1].MovedChunk), "chunk_moves_pmax")
+	}
+}
+
+// BenchmarkCreateTree regenerates the A2 ablation: sequential vs
+// binary-tree Create initiation.
+func BenchmarkCreateTree(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CreateTree(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		reportSim(b, "create_seq_pmax", last.Sequential)
+		reportSim(b, "create_tree_pmax", last.Tree)
+	}
+}
+
+// BenchmarkParallelOpen regenerates the A3 ablation: job width vs
+// throughput, showing the lock-step plateau past p.
+func BenchmarkParallelOpen(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ParallelOpen(cfg, 8, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[3].RecPerSec, "rec_per_sec_t8")
+		b.ReportMetric(rows[4].RecPerSec, "rec_per_sec_t16")
+	}
+}
+
+// BenchmarkToolVsNaive regenerates the A4 access-method comparison.
+func BenchmarkToolVsNaive(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ToolVsNaive(cfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSim(b, "seqfs", rows[0].Time)
+		reportSim(b, "naive", rows[1].Time)
+		reportSim(b, "job", rows[2].Time)
+		reportSim(b, "tool", rows[3].Time)
+	}
+}
+
+// BenchmarkDisordered regenerates the A5 ablation: linked-list files vs
+// strict interleaving (Section 3's trade-off).
+func BenchmarkDisordered(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Disordered(cfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSim(b, "rand_rr", res.RandRR)
+		reportSim(b, "rand_chain", res.RandChain)
+	}
+}
+
+// BenchmarkServerScaling regenerates the A6 ablation: a distributed
+// collection of Bridge Server processes relieving the central bottleneck.
+func BenchmarkServerScaling(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ServerScaling(cfg, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].RecPerSec, "rec_per_sec_1srv")
+		b.ReportMetric(rows[len(rows)-1].RecPerSec, "rec_per_sec_4srv")
+	}
+}
+
+// BenchmarkReplica regenerates the A4 fault experiment: failure ruin,
+// mirroring and parity overheads.
+func BenchmarkReplica(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Faults(cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.MirrorWriteFactor, "mirror_write_x")
+		b.ReportMetric(rep.ParityWriteFactor, "parity_write_x")
+		b.ReportMetric(rep.ParityDegradedReadFactor, "degraded_read_x")
+	}
+}
+
+// BenchmarkNaiveSequentialRead is a microbenchmark of the naive read path
+// (Table 2's Read row in isolation) at p=8.
+func BenchmarkNaiveSequentialRead(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Ps = []int{8}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSim(b, "read_blk", res.Points[0].ReadPerBlock)
+	}
+}

@@ -1,0 +1,511 @@
+// Package bridge is a reproduction of the Bridge parallel file system
+// (Dibble, Ellis, Scott — "Bridge: A High-Performance File System for
+// Parallel Processors", ICDCS 1988).
+//
+// Bridge interleaves the blocks of every file round-robin across p local
+// file systems, each with its own processor and disk, and offers three
+// views: a naive sequential interface, a parallel-open job interface, and a
+// tool interface in which applications export code onto the storage nodes
+// and access the local file systems directly.
+//
+// This package is the public facade. A System boots a simulated Bridge
+// cluster (storage nodes, disks with Wren-class 15 ms access times, the
+// Bridge Server, and a message network with Butterfly-class costs) under a
+// deterministic virtual clock; Run executes your code as a process of that
+// system, and the Session handle exposes the file operations and the
+// standard tools:
+//
+//	sys, err := bridge.New(bridge.Config{Nodes: 8})
+//	if err != nil { ... }
+//	err = sys.Run(func(s *bridge.Session) error {
+//		if err := s.Create("data"); err != nil {
+//			return err
+//		}
+//		if err := s.Append("data", []byte("hello bridge")); err != nil {
+//			return err
+//		}
+//		_, err := s.Copy("data", "data.bak") // parallel copy tool
+//		return err
+//	})
+//
+// Time inside Run is simulated: s.Now() reports it, and the performance
+// of every operation reflects the configured disk and network model, not
+// the host machine.
+package bridge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"bridge/internal/core"
+	"bridge/internal/disk"
+	"bridge/internal/distrib"
+	"bridge/internal/lfs"
+	"bridge/internal/msg"
+	"bridge/internal/replica"
+	"bridge/internal/sim"
+	"bridge/internal/tools"
+	"bridge/internal/trace"
+)
+
+// Re-exported types from the implementation packages, so the whole public
+// surface is reachable from this package alone.
+type (
+	// FileInfo describes an interleaved file: its id, placement spec,
+	// constituent nodes, and size in blocks.
+	FileInfo = core.Meta
+	// ClusterInfo is the Get Info result: the structure a tool needs.
+	ClusterInfo = core.Info
+	// PlacementSpec selects a block-placement strategy (round-robin by
+	// default; chunked and hashed for the Section 3 ablations).
+	PlacementSpec = distrib.Spec
+	// CopyStats reports a copy tool run.
+	CopyStats = tools.CopyStats
+	// SortStats reports a sort tool run, split into the paper's two
+	// phases.
+	SortStats = tools.SortStats
+	// SortOptions tunes the sort tool.
+	SortOptions = tools.SortOptions
+	// GrepResult lists the matches a grep tool found.
+	GrepResult = tools.GrepResult
+	// WCResult is the summary tool's output.
+	WCResult = tools.WCResult
+	// Transform is a one-to-one block filter for Filter.
+	Transform = tools.Transform
+	// Mirror is a 2-way replicated file.
+	Mirror = replica.Mirror
+	// Parity is a parity-protected file.
+	Parity = replica.Parity
+)
+
+// PayloadBytes is the usable payload per block: 960 bytes, as in the paper
+// (1024-byte blocks minus the 24-byte EFS header and 40-byte Bridge
+// header).
+const PayloadBytes = core.PayloadBytes
+
+// Standard one-to-one filters from the tools package.
+var (
+	// ToUpper translates lowercase ASCII to uppercase.
+	ToUpper Transform = tools.ToUpper
+	// Rot13 rotates ASCII letters by 13.
+	Rot13 Transform = tools.Rot13
+)
+
+// XORCipher returns a reversible encryption filter.
+func XORCipher(key []byte) Transform { return tools.XORCipher(key) }
+
+// Sentinel errors, re-exported.
+var (
+	ErrNotFound = core.ErrNotFound
+	ErrExists   = core.ErrExists
+	ErrEOF      = core.ErrEOF
+)
+
+// Config describes the simulated system.
+type Config struct {
+	// Nodes is the number of storage nodes (processor + disk + LFS).
+	// Default 4.
+	Nodes int
+	// Servers is the number of Bridge Server processes (default 1). With
+	// more than one, the namespace partitions among them by name hash —
+	// the distributed-server variant the paper sketches for heavy server
+	// loads.
+	Servers int
+	// DiskBlocks is each node's capacity in 1 KB blocks. Default 8192.
+	DiskBlocks int
+	// DiskLatency is the per-access device time. Default 15ms (CDC
+	// Wren class, as in the paper). Set Seek to use a seek+rotation
+	// model instead.
+	DiskLatency time.Duration
+	// Seek switches to the richer seek/rotation disk model.
+	Seek bool
+	// Trace records every message send and disk access with simulated
+	// timestamps; dump with Session.WriteTrace.
+	Trace bool
+	// RealTime runs against the wall clock (scaled by TimeScale) instead
+	// of the deterministic virtual clock.
+	RealTime bool
+	// TimeScale compresses real time: 0.001 makes a 15ms disk access
+	// cost 15µs of host time. Only used with RealTime. Default 0.001.
+	TimeScale float64
+}
+
+// System is a configured Bridge cluster, ready to Run.
+type System struct {
+	cfg Config
+}
+
+// New validates the configuration.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes < 0 || cfg.DiskBlocks < 0 {
+		return nil, fmt.Errorf("bridge: negative configuration values")
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 8192
+	}
+	if cfg.DiskLatency == 0 {
+		cfg.DiskLatency = 15 * time.Millisecond
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 0.001
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// Run boots the cluster, executes fn as a client process of the system,
+// shuts the cluster down, and drains the simulation. It returns fn's error,
+// or the simulation's (for example a detected deadlock).
+func (s *System) Run(fn func(*Session) error) error {
+	var rt sim.Runtime
+	if s.cfg.RealTime {
+		rt = sim.NewReal(s.cfg.TimeScale)
+	} else {
+		rt = sim.NewVirtual()
+	}
+	var timing disk.TimingModel = disk.FixedTiming{Latency: s.cfg.DiskLatency}
+	if s.cfg.Seek {
+		timing = disk.WrenSeekRotate()
+	}
+	cl, err := core.StartCluster(rt, core.ClusterConfig{
+		P:       s.cfg.Nodes,
+		Node:    lfs.Config{DiskBlocks: s.cfg.DiskBlocks, Timing: timing},
+		Servers: s.cfg.Servers,
+	})
+	if err != nil {
+		return err
+	}
+	var tr *trace.Tracer
+	if s.cfg.Trace {
+		tr = trace.New(1 << 18)
+		cl.Net.SetTracer(tr)
+		for i, n := range cl.Nodes {
+			n.Disk.SetTracer(tr, fmt.Sprintf("disk%d", i))
+		}
+	}
+	var fnErr error
+	rt.Go("bridge-session", func(proc sim.Proc) {
+		defer cl.Stop()
+		sess := &Session{
+			proc:   proc,
+			cl:     cl,
+			c:      cl.NewClient(proc, 0, "session"),
+			tracer: tr,
+		}
+		defer sess.c.Close()
+		fnErr = fn(sess)
+	})
+	simErr := rt.Wait()
+	if fnErr != nil {
+		return fnErr
+	}
+	return simErr
+}
+
+// Session is the handle user code gets inside Run. It wraps the naive
+// Bridge client plus the standard tools; it is bound to the session process
+// and must not be used concurrently.
+type Session struct {
+	proc   sim.Proc
+	cl     *core.Cluster
+	c      *core.Client
+	tracer *trace.Tracer
+}
+
+// Now returns the current simulated time.
+func (s *Session) Now() time.Duration { return s.proc.Now() }
+
+// Nodes returns the number of storage nodes.
+func (s *Session) Nodes() int { return len(s.cl.Nodes) }
+
+// Create creates an interleaved file across all nodes.
+func (s *Session) Create(name string) error {
+	_, err := s.c.Create(name)
+	return err
+}
+
+// CreatePlaced creates a file with an explicit placement spec.
+func (s *Session) CreatePlaced(name string, spec PlacementSpec) (FileInfo, error) {
+	return s.c.CreateSpec(name, spec, false)
+}
+
+// CreateDisordered creates a linked-list file with arbitrarily scattered
+// blocks (Section 3's "disordered files"): sequential access follows the
+// chain; random access walks it and is very slow.
+func (s *Session) CreateDisordered(name string) (FileInfo, error) {
+	return s.c.CreateDisordered(name)
+}
+
+// Delete removes a file, returning the number of blocks freed.
+func (s *Session) Delete(name string) (int, error) { return s.c.Delete(name) }
+
+// Open opens a file and returns its structure; like the paper's open, it is
+// a hint — there is no close.
+func (s *Session) Open(name string) (FileInfo, error) { return s.c.Open(name) }
+
+// Stat returns a file's metadata with a freshly computed size.
+func (s *Session) Stat(name string) (FileInfo, error) { return s.c.Stat(name) }
+
+// Append appends one block (payload up to PayloadBytes).
+func (s *Session) Append(name string, payload []byte) error {
+	return s.c.SeqWrite(name, payload)
+}
+
+// Read returns the next block at this session's cursor; io-style, it
+// returns ErrEOF at end of file.
+func (s *Session) Read(name string) ([]byte, error) {
+	data, eof, err := s.c.SeqRead(name)
+	if err != nil {
+		return nil, err
+	}
+	if eof {
+		return nil, ErrEOF
+	}
+	return data, nil
+}
+
+// ReadAt reads block n.
+func (s *Session) ReadAt(name string, n int64) ([]byte, error) { return s.c.ReadAt(name, n) }
+
+// WriteAt writes block n (n == size appends).
+func (s *Session) WriteAt(name string, n int64, payload []byte) error {
+	return s.c.WriteAt(name, n, payload)
+}
+
+// ReadAll reads the whole file from the beginning.
+func (s *Session) ReadAll(name string) ([][]byte, error) {
+	if _, err := s.c.Open(name); err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for {
+		data, err := s.Read(name)
+		if errors.Is(err, ErrEOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, data)
+	}
+}
+
+// Info returns the cluster structure (the Get Info command).
+func (s *Session) Info() (ClusterInfo, error) { return s.c.GetInfo() }
+
+// Copy runs the parallel copy tool: O(n/p + log p).
+func (s *Session) Copy(src, dst string) (CopyStats, error) {
+	return tools.Copy(s.proc, s.c, src, dst)
+}
+
+// Filter runs the copy tool with a one-to-one transformation.
+func (s *Session) Filter(src, dst string, f Transform) (CopyStats, error) {
+	return tools.Filter(s.proc, s.c, src, dst, f)
+}
+
+// Grep searches every block for the pattern, in parallel on the nodes.
+func (s *Session) Grep(name string, pattern []byte) (GrepResult, error) {
+	return tools.Grep(s.proc, s.c, name, pattern)
+}
+
+// WC counts bytes, words, and lines in parallel on the nodes.
+func (s *Session) WC(name string) (WCResult, error) {
+	return tools.WC(s.proc, s.c, name)
+}
+
+// Sort runs the parallel external merge sort tool (Figure 4's token-ring
+// merge); records are whole blocks compared by their leading key bytes.
+func (s *Session) Sort(src, dst string, opts SortOptions) (SortStats, error) {
+	return tools.Sort(s.proc, s.c, src, dst, opts)
+}
+
+// NewMirror creates a 2-way replicated file.
+func (s *Session) NewMirror(name string) (*Mirror, error) {
+	return replica.CreateMirror(s.proc, s.c, name, s.Nodes())
+}
+
+// NewParity creates a parity-protected file (data on p-1 nodes, parity on
+// the last).
+func (s *Session) NewParity(name string) (*Parity, error) {
+	return replica.CreateParity(s.proc, s.c, name, s.Nodes())
+}
+
+// FailNode simulates the crash of storage node i (0-based): its disk fails
+// and its services stop answering. Operations touching it will time out
+// with an error — the paper's "a failure anywhere in the system is fatal;
+// it ruins every file", unless the file is mirrored or parity-protected.
+func (s *Session) FailNode(i int) error {
+	if i < 0 || i >= len(s.cl.Nodes) {
+		return fmt.Errorf("bridge: no node %d", i)
+	}
+	s.cl.FailNode(i)
+	return nil
+}
+
+// SetTimeout bounds each Bridge Server call from this session; failures
+// then surface as errors after the timeout instead of at the server's
+// default.
+func (s *Session) SetTimeout(d time.Duration) { s.c.SetTimeout(d) }
+
+// Client exposes the underlying Bridge client for advanced use (parallel
+// open jobs, direct LFS access for custom tools). The returned client is
+// bound to this session's process.
+func (s *Session) Client() *core.Client { return s.c }
+
+// Cluster exposes the running cluster (nodes, network, server address) for
+// custom tools and experiments.
+func (s *Session) Cluster() *core.Cluster { return s.cl }
+
+// Proc exposes the session's process handle for spawning workers.
+func (s *Session) Proc() sim.Proc { return s.proc }
+
+// Network returns the message network, for custom tool wiring.
+func (s *Session) Network() *msg.Network { return s.cl.Net }
+
+// ParallelReadAll reads the whole file through a parallel-open job of
+// width t: the second Bridge view, in which each read round moves t blocks
+// to t worker processes at once. Blocks return in file order.
+func (s *Session) ParallelReadAll(name string, t int) ([][]byte, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("bridge: job width %d", t)
+	}
+	results := s.cl.Runtime().NewQueue(fmt.Sprintf("session.pra.%s.%d", name, t))
+	workers := make([]msg.Addr, t)
+	jws := make([]*core.JobWorker, t)
+	for w := 0; w < t; w++ {
+		jw := core.NewJobWorker(s.cl.Net, 0, fmt.Sprintf("session.praw.%s.%d.%d", name, t, w))
+		jws[w] = jw
+		workers[w] = jw.Addr()
+		s.proc.Go(fmt.Sprintf("session-worker-%d", w), func(wp sim.Proc) {
+			for {
+				d, ok := jw.Next(wp)
+				if !ok {
+					return
+				}
+				if !d.EOF {
+					results.Send(d)
+				}
+			}
+		})
+	}
+	cleanup := func() {
+		for _, jw := range jws {
+			jw.Close()
+		}
+		results.Close()
+	}
+	job, err := s.c.ParallelOpen(name, workers)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	blocks := make([][]byte, job.Meta.Blocks)
+	for {
+		delivered, eof, err := job.Read()
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		for i := 0; i < delivered; i++ {
+			v, ok := results.Recv(s.proc)
+			if !ok {
+				cleanup()
+				return nil, errors.New("bridge: worker queue closed")
+			}
+			d := v.(core.WorkerData)
+			if d.Seq >= 0 && d.Seq < int64(len(blocks)) {
+				blocks[d.Seq] = d.Data
+			}
+		}
+		if eof {
+			break
+		}
+	}
+	err = job.Close()
+	cleanup()
+	return blocks, err
+}
+
+// ParallelAppend appends blocks through a parallel-open job of width t:
+// worker w supplies blocks w, w+t, w+2t, ... round by round.
+func (s *Session) ParallelAppend(name string, t int, blocks [][]byte) error {
+	if t < 1 {
+		return fmt.Errorf("bridge: job width %d", t)
+	}
+	workers := make([]msg.Addr, t)
+	jws := make([]*core.JobWorker, t)
+	for w := 0; w < t; w++ {
+		w := w
+		jw := core.NewJobWorker(s.cl.Net, 0, fmt.Sprintf("session.paw.%s.%d.%d", name, t, w))
+		jws[w] = jw
+		workers[w] = jw.Addr()
+		s.proc.Go(fmt.Sprintf("session-supplier-%d", w), func(wp sim.Proc) {
+			for r := 0; ; r++ {
+				idx := r*t + w
+				if idx >= len(blocks) {
+					jw.Supply(wp, nil, true)
+					return
+				}
+				if err := jw.Supply(wp, blocks[idx], false); err != nil {
+					return
+				}
+			}
+		})
+	}
+	cleanup := func() {
+		for _, jw := range jws {
+			jw.Close()
+		}
+	}
+	job, err := s.c.ParallelOpen(name, workers)
+	if err != nil {
+		cleanup()
+		return err
+	}
+	written := 0
+	for written < len(blocks) {
+		n, err := job.Write()
+		if err != nil {
+			cleanup()
+			return err
+		}
+		written += n
+		if n == 0 {
+			break
+		}
+	}
+	err = job.Close()
+	cleanup()
+	if err != nil {
+		return err
+	}
+	if written != len(blocks) {
+		return fmt.Errorf("bridge: parallel append wrote %d of %d blocks", written, len(blocks))
+	}
+	return nil
+}
+
+// ToolCtx is the per-node context a custom tool worker receives: the node,
+// its index in the interleaving order, and a node-local LFS client.
+type ToolCtx = tools.WorkerCtx
+
+// RunTool exports fn to every storage node and gathers the per-node
+// results in node order — the raw mechanism behind the standard tools,
+// for building your own ("any process with knowledge of the middle-layer
+// structure is a tool").
+func (s *Session) RunTool(name string, fn func(ctx *ToolCtx) (any, error)) ([]any, error) {
+	return tools.RunOnNodes(s.proc, s.cl.Net, s.cl.NodeIDs(), name, fn)
+}
+
+// WriteTrace dumps the recorded event timeline (requires Config.Trace).
+func (s *Session) WriteTrace(w io.Writer) error {
+	if s.tracer == nil {
+		return errors.New("bridge: tracing not enabled (set Config.Trace)")
+	}
+	_, err := s.tracer.WriteTo(w)
+	return err
+}

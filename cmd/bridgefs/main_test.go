@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runQuiet executes a bridgefs invocation, capturing stdout.
+func runQuiet(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatalf("reading captured stdout: %v", err)
+	}
+	return buf.String(), runErr
+}
+
+func TestCLILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "cluster")
+
+	if _, err := runQuiet(t, "-dir", state, "init", "-nodes", "4", "-blocks", "1024"); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	// Re-init refused.
+	if _, err := runQuiet(t, "-dir", state, "init"); err == nil {
+		t.Fatal("second init succeeded")
+	}
+
+	// Put a host file.
+	content := []byte(strings.Repeat("bridge carries interleaved blocks\n", 80))
+	local := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(local, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runQuiet(t, "-dir", state, "put", local, "doc")
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if !strings.Contains(out, "stored") {
+		t.Errorf("put output: %q", out)
+	}
+
+	// List shows it (persistence across invocations).
+	out, err = runQuiet(t, "-dir", state, "ls")
+	if err != nil || !strings.Contains(out, "doc") {
+		t.Fatalf("ls: %q, %v", out, err)
+	}
+
+	// Copy with the tool; grep the copy.
+	if _, err := runQuiet(t, "-dir", state, "cp", "doc", "doc2"); err != nil {
+		t.Fatalf("cp: %v", err)
+	}
+	out, err = runQuiet(t, "-dir", state, "grep", "doc2", "interleaved")
+	if err != nil {
+		t.Fatalf("grep: %v", err)
+	}
+	if !strings.Contains(out, "matches") {
+		t.Errorf("grep output: %q", out)
+	}
+
+	// wc totals.
+	out, err = runQuiet(t, "-dir", state, "wc", "doc")
+	if err != nil || !strings.Contains(out, "80 lines") {
+		t.Fatalf("wc: %q, %v", out, err)
+	}
+
+	// Round trip.
+	back := filepath.Join(dir, "out.txt")
+	if _, err := runQuiet(t, "-dir", state, "get", "doc2", back); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("round trip differs (%d vs %d bytes), %v", len(got), len(content), err)
+	}
+
+	// fsck clean.
+	out, err = runQuiet(t, "-dir", state, "fsck")
+	if err != nil {
+		t.Fatalf("fsck: %v (%q)", err, out)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Errorf("fsck output: %q", out)
+	}
+
+	// Sort.
+	if _, err := runQuiet(t, "-dir", state, "sort", "doc", "doc.sorted"); err != nil {
+		t.Fatalf("sort: %v", err)
+	}
+
+	// Delete and confirm.
+	if _, err := runQuiet(t, "-dir", state, "rm", "doc"); err != nil {
+		t.Fatalf("rm: %v", err)
+	}
+	out, _ = runQuiet(t, "-dir", state, "ls")
+	if strings.Contains(out, "doc\n") {
+		t.Errorf("doc still listed after rm: %q", out)
+	}
+
+	// info works.
+	out, err = runQuiet(t, "-dir", state, "info")
+	if err != nil || !strings.Contains(out, "4 storage nodes") {
+		t.Fatalf("info: %q, %v", out, err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "cluster")
+	if _, err := runQuiet(t, "-dir", state, "ls"); err == nil {
+		t.Error("ls without init succeeded")
+	}
+	if _, err := runQuiet(t, "ls"); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if _, err := runQuiet(t, "-dir", state); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	runQuiet(t, "-dir", state, "init", "-nodes", "2", "-blocks", "512")
+	if _, err := runQuiet(t, "-dir", state, "bogus"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, err := runQuiet(t, "-dir", state, "get", "ghost", "/tmp/x"); err == nil {
+		t.Error("get of missing file succeeded")
+	}
+	if _, err := runQuiet(t, "-dir", state, "put"); err == nil {
+		t.Error("put without args accepted")
+	}
+}
+
+func TestCLIEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "cluster")
+	runQuiet(t, "-dir", state, "init", "-nodes", "2", "-blocks", "512")
+	local := filepath.Join(dir, "empty")
+	os.WriteFile(local, nil, 0o644)
+	if _, err := runQuiet(t, "-dir", state, "put", local, "empty"); err != nil {
+		t.Fatalf("put empty: %v", err)
+	}
+	back := filepath.Join(dir, "empty.out")
+	if _, err := runQuiet(t, "-dir", state, "get", "empty", back); err != nil {
+		t.Fatalf("get empty: %v", err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip = %d bytes, %v", len(got), err)
+	}
+}

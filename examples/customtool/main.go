@@ -1,0 +1,86 @@
+// Customtool: build your own Bridge tool on the public API. The paper:
+// "an application need not be a standard utility program to become a tool.
+// Any process with knowledge of the middle-layer structure is a tool."
+//
+// This one computes a whole-file checksum and a per-node block histogram,
+// with all data access node-local; only the tiny per-node summaries cross
+// the network ("the exportation of user-level code allows data to be
+// filtered ... before it must be moved").
+//
+//	go run ./examples/customtool
+package main
+
+import (
+	"fmt"
+	"hash/crc32"
+	"log"
+
+	"bridge"
+	"bridge/internal/core"
+)
+
+func main() {
+	sys, err := bridge.New(bridge.Config{Nodes: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.Run(func(s *bridge.Session) error {
+		if err := s.Create("dataset"); err != nil {
+			return err
+		}
+		const blocks = 96
+		for i := 0; i < blocks; i++ {
+			if err := s.Append("dataset", []byte(fmt.Sprintf("record %03d salt %x", i, i*i*2654435761))); err != nil {
+				return err
+			}
+		}
+		meta, err := s.Open("dataset")
+		if err != nil {
+			return err
+		}
+
+		type summary struct {
+			Blocks int64
+			CRC    uint64
+		}
+		start := s.Now()
+		results, err := s.RunTool("crcsum", func(ctx *bridge.ToolCtx) (any, error) {
+			var sum summary
+			local := meta.LocalBlocks(ctx.Index)
+			hint := int32(-1)
+			for j := int64(0); j < local; j++ {
+				raw, addr, err := ctx.LFS.Read(ctx.Node, meta.LFSFileID, uint32(j), hint)
+				if err != nil {
+					return nil, err
+				}
+				hint = addr
+				_, payload, err := core.DecodeBlock(raw)
+				if err != nil {
+					return nil, err
+				}
+				sum.CRC += uint64(crc32.ChecksumIEEE(payload))
+				sum.Blocks++
+			}
+			return sum, nil
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := s.Now() - start
+
+		var total summary
+		for i, r := range results {
+			ns := r.(summary)
+			fmt.Printf("node %d: %2d blocks, partial crc sum %012x\n", i, ns.Blocks, ns.CRC)
+			total.Blocks += ns.Blocks
+			total.CRC += ns.CRC
+		}
+		fmt.Printf("whole file: %d blocks, crc sum %012x, computed in %v on %d nodes\n",
+			total.Blocks, total.CRC, elapsed, s.Nodes())
+		fmt.Println("only the per-node summaries crossed the network.")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

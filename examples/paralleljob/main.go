@@ -1,0 +1,118 @@
+// Paralleljob: use the second Bridge view — the parallel open — in which a
+// job controller groups worker processes and every read moves t blocks at
+// once, one to each worker (Section 4.1). Also demonstrates virtual
+// parallelism: a job wider than the interleaving proceeds in lock-step
+// groups of p, so it cannot beat the disks.
+//
+//	go run ./examples/paralleljob
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bridge"
+	"bridge/internal/core"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+func main() {
+	const nodes = 4
+	sys, err := bridge.New(bridge.Config{Nodes: nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sys.Run(func(s *bridge.Session) error {
+		if err := s.Create("data"); err != nil {
+			return err
+		}
+		const blocks = 64
+		for i := 0; i < blocks; i++ {
+			if err := s.Append("data", []byte(fmt.Sprintf("payload %02d", i))); err != nil {
+				return err
+			}
+		}
+
+		for _, t := range []int{1, nodes, 2 * nodes} {
+			elapsed, err := jobRead(s, "data", t)
+			if err != nil {
+				return err
+			}
+			note := ""
+			switch {
+			case t < nodes:
+				note = "(no parallelism)"
+			case t == nodes:
+				note = "(true parallelism: one block per disk per round)"
+			default:
+				note = "(virtual parallelism: lock-step groups of p)"
+			}
+			fmt.Printf("job width t=%2d: whole file read in %8v %s\n", t, elapsed.Round(time.Millisecond), note)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// jobRead reads the whole file through a parallel-open job of width t and
+// returns the elapsed simulated time.
+func jobRead(s *bridge.Session, name string, t int) (time.Duration, error) {
+	cl := s.Cluster()
+	proc := s.Proc()
+	received := cl.Runtime().NewQueue(fmt.Sprintf("received.t%d", t))
+	workers := make([]msg.Addr, t)
+	jws := make([]*core.JobWorker, t)
+	for w := 0; w < t; w++ {
+		jw := core.NewJobWorker(cl.Net, 0, fmt.Sprintf("t%d.worker%d", t, w))
+		jws[w] = jw
+		workers[w] = jw.Addr()
+		proc.Go(fmt.Sprintf("worker%d", w), func(wp sim.Proc) {
+			for {
+				d, ok := jw.Next(wp)
+				if !ok {
+					return
+				}
+				if !d.EOF {
+					received.Send(d.Seq)
+				}
+			}
+		})
+	}
+	job, err := s.Client().ParallelOpen(name, workers)
+	if err != nil {
+		return 0, err
+	}
+	start := proc.Now()
+	total := 0
+	for {
+		delivered, eof, err := job.Read()
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < delivered; i++ {
+			if _, ok := received.Recv(proc); !ok {
+				return 0, fmt.Errorf("receive queue closed")
+			}
+			total++
+		}
+		if eof {
+			break
+		}
+	}
+	elapsed := proc.Now() - start
+	if err := job.Close(); err != nil {
+		return 0, err
+	}
+	for _, jw := range jws {
+		jw.Close()
+	}
+	received.Close()
+	if int64(total) != job.Meta.Blocks {
+		return 0, fmt.Errorf("read %d of %d blocks", total, job.Meta.Blocks)
+	}
+	return elapsed, nil
+}

@@ -1,0 +1,3 @@
+module bridge
+
+go 1.22

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"bridge/internal/distrib"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// Client is the naive-view Bridge client: ordinary sequential file access
+// with the server transparently forwarding to the right LFS. A Client is
+// owned by a single process.
+//
+// A Client may talk to one Bridge Server or to a distributed collection of
+// them (the paper: "the same functionality could be provided by a
+// distributed collection of processes"); with several servers, files
+// partition among them by a hash of the name.
+type Client struct {
+	mc      *msg.Client
+	servers []msg.Addr
+	timeout time.Duration
+}
+
+// NewClient creates a Bridge client for proc, homed on node, talking to the
+// server at serverAddr. name must be unique on the node.
+func NewClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, serverAddr msg.Addr) *Client {
+	return NewMultiClient(proc, net, node, name, []msg.Addr{serverAddr})
+}
+
+// NewMultiClient creates a client over a distributed collection of Bridge
+// Servers.
+func NewMultiClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, servers []msg.Addr) *Client {
+	if len(servers) == 0 {
+		panic("core: client needs at least one server")
+	}
+	return &Client{
+		mc:      msg.NewClient(proc, net, node, name),
+		servers: append([]msg.Addr(nil), servers...),
+		timeout: 10 * time.Minute, // covers the longest legitimate operation
+	}
+}
+
+// serverFor routes a file name to its home server.
+func (c *Client) serverFor(name string) msg.Addr {
+	if len(c.servers) == 1 {
+		return c.servers[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return c.servers[h%uint32(len(c.servers))]
+}
+
+// nameOf extracts the routing name from a request body; bodies without a
+// name (GetInfo) go to the first server.
+func nameOf(body any) (string, bool) {
+	switch b := body.(type) {
+	case CreateReq:
+		return b.Name, true
+	case DeleteReq:
+		return b.Name, true
+	case OpenReq:
+		return b.Name, true
+	case StatReq:
+		return b.Name, true
+	case SeqReadReq:
+		return b.Name, true
+	case SeqWriteReq:
+		return b.Name, true
+	case RandReadReq:
+		return b.Name, true
+	case RandWriteReq:
+		return b.Name, true
+	case ParallelOpenReq:
+		return b.Name, true
+	default:
+		return "", false
+	}
+}
+
+// SetTimeout changes the per-call timeout (0 disables).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Msg exposes the underlying message client, for tools that mix Bridge
+// calls with direct LFS traffic.
+func (c *Client) Msg() *msg.Client { return c.mc }
+
+// Close releases the client's reply port.
+func (c *Client) Close() { c.mc.Close() }
+
+func (c *Client) call(body any) (*msg.Message, error) {
+	to := c.servers[0]
+	if name, ok := nameOf(body); ok {
+		to = c.serverFor(name)
+	}
+	return c.callAt(to, body)
+}
+
+// callAt targets a specific server (used for job requests, which must go
+// to the server that owns the job).
+func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
+	if c.timeout > 0 {
+		return c.mc.CallTimeout(to, body, WireSize(body), c.timeout)
+	}
+	return c.mc.Call(to, body, WireSize(body))
+}
+
+// sentinels used to reconstruct typed errors from transported strings.
+var sentinels = []error{
+	ErrNotFound, ErrExists, ErrEOF, ErrBadBlock, ErrNoJob, ErrBadArg,
+	ErrLFSFailed, distrib.ErrNeedSize,
+}
+
+// decodeErr rebuilds a sentinel-wrapped error from its transported string
+// so callers can use errors.Is across the message boundary.
+func decodeErr(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, base := range sentinels {
+		if strings.Contains(s, base.Error()) {
+			return fmt.Errorf("%w (%s)", base, s)
+		}
+	}
+	return errors.New(s)
+}
+
+// Create creates an interleaved file across all nodes with round-robin
+// placement — the common case.
+func (c *Client) Create(name string) (Meta, error) {
+	return c.CreateSpec(name, distrib.Spec{}, false)
+}
+
+// CreateSpec creates a file with explicit placement; tree selects
+// binary-tree initiation of the per-LFS creates.
+func (c *Client) CreateSpec(name string, spec distrib.Spec, tree bool) (Meta, error) {
+	m, err := c.call(CreateReq{Name: name, Spec: spec, Tree: tree})
+	if err != nil {
+		return Meta{}, err
+	}
+	r := m.Body.(CreateResp)
+	return r.Meta, decodeErr(r.Err)
+}
+
+// CreateDisordered creates a linked-list file whose blocks scatter
+// arbitrarily across the nodes; sequential access follows the chain,
+// random access is very slow (Section 3's "disordered files").
+func (c *Client) CreateDisordered(name string) (Meta, error) {
+	return c.CreateSpec(name, distrib.Spec{Kind: distrib.Disordered}, false)
+}
+
+// CreateSubset creates a file spanning an explicit subset of the cluster's
+// storage nodes (indices into the node list); len(subset) must equal
+// spec.P.
+func (c *Client) CreateSubset(name string, spec distrib.Spec, subset []int) (Meta, error) {
+	m, err := c.call(CreateReq{Name: name, Spec: spec, Subset: subset})
+	if err != nil {
+		return Meta{}, err
+	}
+	r := m.Body.(CreateResp)
+	return r.Meta, decodeErr(r.Err)
+}
+
+// Delete removes a file, returning the total number of blocks freed.
+func (c *Client) Delete(name string) (int, error) {
+	m, err := c.call(DeleteReq{Name: name})
+	if err != nil {
+		return 0, err
+	}
+	r := m.Body.(DeleteResp)
+	return r.Freed, decodeErr(r.Err)
+}
+
+// Open opens a file: the server refreshes its size and resets this client's
+// sequential-read cursor. There is no close.
+func (c *Client) Open(name string) (Meta, error) {
+	m, err := c.call(OpenReq{Name: name})
+	if err != nil {
+		return Meta{}, err
+	}
+	r := m.Body.(OpenResp)
+	return r.Meta, decodeErr(r.Err)
+}
+
+// Stat returns a file's metadata (with a fresh size) without touching
+// cursors.
+func (c *Client) Stat(name string) (Meta, error) {
+	m, err := c.call(StatReq{Name: name})
+	if err != nil {
+		return Meta{}, err
+	}
+	r := m.Body.(StatResp)
+	return r.Meta, decodeErr(r.Err)
+}
+
+// SeqRead returns the next block's payload at this client's cursor; eof is
+// true at end of file.
+func (c *Client) SeqRead(name string) (data []byte, eof bool, err error) {
+	m, err := c.call(SeqReadReq{Name: name})
+	if err != nil {
+		return nil, false, err
+	}
+	r := m.Body.(SeqReadResp)
+	return r.Data, r.EOF, decodeErr(r.Err)
+}
+
+// SeqWrite appends one block (payload up to PayloadBytes).
+func (c *Client) SeqWrite(name string, payload []byte) error {
+	m, err := c.call(SeqWriteReq{Name: name, Data: payload})
+	if err != nil {
+		return err
+	}
+	return decodeErr(m.Body.(SeqWriteResp).Err)
+}
+
+// ReadAt reads block blockNum (the random-read command).
+func (c *Client) ReadAt(name string, blockNum int64) ([]byte, error) {
+	m, err := c.call(RandReadReq{Name: name, BlockNum: blockNum})
+	if err != nil {
+		return nil, err
+	}
+	r := m.Body.(RandReadResp)
+	return r.Data, decodeErr(r.Err)
+}
+
+// WriteAt writes block blockNum; blockNum equal to the file size appends.
+func (c *Client) WriteAt(name string, blockNum int64, payload []byte) error {
+	m, err := c.call(RandWriteReq{Name: name, BlockNum: blockNum, Data: payload})
+	if err != nil {
+		return err
+	}
+	return decodeErr(m.Body.(RandWriteResp).Err)
+}
+
+// List returns every file name in the Bridge directory, sorted; with a
+// distributed server collection it aggregates all partitions.
+func (c *Client) List() ([]string, error) {
+	var all []string
+	for _, srv := range c.servers {
+		m, err := c.callAt(srv, ListReq{})
+		if err != nil {
+			return nil, err
+		}
+		r := m.Body.(ListResp)
+		if err := decodeErr(r.Err); err != nil {
+			return nil, err
+		}
+		all = append(all, r.Names...)
+	}
+	sort.Strings(all)
+	return all, nil
+}
+
+// GetInfo returns the cluster structure: the entry point for tools.
+func (c *Client) GetInfo() (Info, error) {
+	m, err := c.call(GetInfoReq{})
+	if err != nil {
+		return Info{}, err
+	}
+	r := m.Body.(GetInfoResp)
+	return r.Info, decodeErr(r.Err)
+}

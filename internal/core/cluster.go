@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"bridge/internal/disk"
+	"bridge/internal/lfs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// ClusterConfig assembles a whole Bridge system: p storage nodes (each a
+// processor + disk + LFS + agent, Figure 2 of the paper) and the Bridge
+// Server on its own node.
+type ClusterConfig struct {
+	// P is the number of storage nodes. Default 4.
+	P int
+	// Node configures each storage node.
+	Node lfs.Config
+	// Net is the communication cost model; nil means msg.DefaultConfig.
+	Net *msg.Config
+	// Server configures the Bridge Server(s).
+	Server Config
+	// Servers is how many Bridge Server processes to run (default 1).
+	// With several, the file namespace partitions among them by name
+	// hash — the distributed-server variant the paper sketches for when
+	// "requests to the server are frequent enough to cause a
+	// bottleneck".
+	Servers int
+	// Disks, if non-nil, supplies pre-loaded disks (for image
+	// persistence); len must equal P and each is mounted, not formatted.
+	Disks []*disk.Disk
+}
+
+// Cluster is a running Bridge system.
+type Cluster struct {
+	Net *msg.Network
+	// Server is the first (or only) Bridge Server; Servers lists all of
+	// them.
+	Server  *Server
+	Servers []*Server
+	Nodes   []*lfs.Node
+	rt      sim.Runtime
+}
+
+// StartCluster boots the node and server processes on rt. The server runs
+// on node 0; storage nodes are 1..P.
+func StartCluster(rt sim.Runtime, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.P == 0 {
+		cfg.P = 4
+	}
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("%w: P = %d", ErrBadArg, cfg.P)
+	}
+	if cfg.Disks != nil && len(cfg.Disks) != cfg.P {
+		return nil, fmt.Errorf("%w: %d disks for %d nodes", ErrBadArg, len(cfg.Disks), cfg.P)
+	}
+	netCfg := msg.DefaultConfig()
+	if cfg.Net != nil {
+		netCfg = *cfg.Net
+	}
+	network := msg.NewNetwork(rt, netCfg)
+	cl := &Cluster{Net: network, rt: rt}
+	ids := make([]msg.NodeID, cfg.P)
+	for i := 0; i < cfg.P; i++ {
+		id := msg.NodeID(i + 1)
+		ids[i] = id
+		var existing *disk.Disk
+		if cfg.Disks != nil {
+			existing = cfg.Disks[i]
+		}
+		cl.Nodes = append(cl.Nodes, lfs.StartNode(rt, network, id, cfg.Node, existing))
+	}
+	if cfg.Servers == 0 {
+		cfg.Servers = 1
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		scfg := cfg.Server
+		scfg.Node = 0
+		if i > 0 {
+			scfg.PortName = fmt.Sprintf("%s.%d", PortName, i)
+		}
+		scfg.IDBase = uint32(i)
+		scfg.IDStride = uint32(cfg.Servers)
+		cl.Servers = append(cl.Servers, StartServer(rt, network, scfg, ids))
+	}
+	cl.Server = cl.Servers[0]
+	return cl, nil
+}
+
+// ServerAddrs returns every Bridge Server's request address.
+func (cl *Cluster) ServerAddrs() []msg.Addr {
+	addrs := make([]msg.Addr, len(cl.Servers))
+	for i, s := range cl.Servers {
+		addrs[i] = s.Addr()
+	}
+	return addrs
+}
+
+// NodeIDs returns the storage node ids in interleaving order.
+func (cl *Cluster) NodeIDs() []msg.NodeID {
+	ids := make([]msg.NodeID, len(cl.Nodes))
+	for i, n := range cl.Nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// Runtime returns the runtime the cluster runs on.
+func (cl *Cluster) Runtime() sim.Runtime { return cl.rt }
+
+// NewClient creates a Bridge client for proc homed on the given node,
+// wired to every server in the cluster.
+func (cl *Cluster) NewClient(proc sim.Proc, node msg.NodeID, name string) *Client {
+	return NewMultiClient(proc, cl.Net, node, name, cl.ServerAddrs())
+}
+
+// Stop shuts down the servers and every node so all processes exit.
+func (cl *Cluster) Stop() {
+	for _, s := range cl.Servers {
+		s.Stop()
+	}
+	for _, n := range cl.Nodes {
+		n.Stop()
+	}
+}
+
+// FailNode simulates the crash of storage node index i (0-based).
+func (cl *Cluster) FailNode(i int) {
+	cl.Nodes[i].Fail()
+}

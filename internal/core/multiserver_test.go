@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+func multiCfg(p, servers int) ClusterConfig {
+	cfg := fastCfg(p)
+	cfg.Servers = servers
+	return cfg
+}
+
+func TestMultiServerRoundTrip(t *testing.T) {
+	withCluster(t, multiCfg(4, 3), func(p sim.Proc, cl *Cluster, c *Client) {
+		if len(cl.Servers) != 3 {
+			t.Fatalf("Servers = %d, want 3", len(cl.Servers))
+		}
+		// Many files spread across server partitions.
+		const nf = 12
+		for f := 0; f < nf; f++ {
+			name := fmt.Sprintf("file%d", f)
+			if _, err := c.Create(name); err != nil {
+				t.Errorf("Create %s: %v", name, err)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				if err := c.SeqWrite(name, payload(f*10+i)); err != nil {
+					t.Errorf("write %s/%d: %v", name, i, err)
+					return
+				}
+			}
+		}
+		// Everything readable through the same client.
+		for f := 0; f < nf; f++ {
+			name := fmt.Sprintf("file%d", f)
+			c.Open(name)
+			for i := 0; i < 5; i++ {
+				data, eof, err := c.SeqRead(name)
+				if err != nil || eof || !bytes.Equal(data, payload(f*10+i)) {
+					t.Errorf("read %s/%d: eof=%v err=%v", name, i, eof, err)
+					return
+				}
+			}
+		}
+		// List aggregates all partitions, sorted.
+		names, err := c.List()
+		if err != nil || len(names) != nf {
+			t.Errorf("List = %d names, %v; want %d", len(names), err, nf)
+		}
+		for i := 1; i < len(names); i++ {
+			if names[i-1] >= names[i] {
+				t.Errorf("List not sorted: %v", names)
+				break
+			}
+		}
+	})
+}
+
+func TestMultiServerPartitionsNamespace(t *testing.T) {
+	withCluster(t, multiCfg(2, 2), func(p sim.Proc, cl *Cluster, c *Client) {
+		// Create enough files that both partitions get some.
+		perServer := make(map[int]int)
+		for f := 0; f < 16; f++ {
+			name := fmt.Sprintf("n%d", f)
+			if _, err := c.Create(name); err != nil {
+				t.Errorf("Create: %v", err)
+				return
+			}
+			addr := c.serverFor(name)
+			for i, s := range cl.Servers {
+				if s.Addr() == addr {
+					perServer[i]++
+				}
+			}
+		}
+		if perServer[0] == 0 || perServer[1] == 0 {
+			t.Errorf("partitioning degenerate: %v", perServer)
+		}
+	})
+}
+
+func TestMultiServerFileIDsDisjoint(t *testing.T) {
+	// Two servers must never hand out colliding LFS file ids.
+	withCluster(t, multiCfg(2, 2), func(p sim.Proc, cl *Cluster, c *Client) {
+		seen := make(map[uint32]string)
+		for f := 0; f < 20; f++ {
+			name := fmt.Sprintf("m%d", f)
+			meta, err := c.Create(name)
+			if err != nil {
+				t.Errorf("Create: %v", err)
+				return
+			}
+			if prev, dup := seen[meta.LFSFileID]; dup {
+				t.Fatalf("LFS file id %d assigned to both %s and %s", meta.LFSFileID, prev, name)
+			}
+			seen[meta.LFSFileID] = name
+		}
+	})
+}
+
+func TestMultiServerJobs(t *testing.T) {
+	withCluster(t, multiCfg(3, 2), func(p sim.Proc, cl *Cluster, c *Client) {
+		c.Create("jobfile")
+		for i := 0; i < 9; i++ {
+			c.SeqWrite("jobfile", payload(i))
+		}
+		rt := cl.Runtime()
+		results := rt.NewQueue("ms-results")
+		workers := make([]msg.Addr, 3)
+		jws := make([]*JobWorker, 3)
+		for w := 0; w < 3; w++ {
+			jw := NewJobWorker(cl.Net, 0, fmt.Sprintf("msw%d", w))
+			jws[w] = jw
+			workers[w] = jw.Addr()
+			p.Go(fmt.Sprintf("ms-worker%d", w), func(wp sim.Proc) {
+				for {
+					d, ok := jw.Next(wp)
+					if !ok {
+						return
+					}
+					if !d.EOF {
+						results.Send(d.Seq)
+					}
+				}
+			})
+		}
+		job, err := c.ParallelOpen("jobfile", workers)
+		if err != nil {
+			t.Errorf("ParallelOpen: %v", err)
+			return
+		}
+		got := 0
+		for {
+			delivered, eof, err := job.Read()
+			if err != nil {
+				t.Errorf("job.Read: %v", err)
+				return
+			}
+			for i := 0; i < delivered; i++ {
+				if _, ok := results.Recv(p); ok {
+					got++
+				}
+			}
+			if eof {
+				break
+			}
+		}
+		if err := job.Close(); err != nil {
+			t.Errorf("job.Close: %v", err)
+		}
+		for _, jw := range jws {
+			jw.Close()
+		}
+		if got != 9 {
+			t.Errorf("job delivered %d blocks, want 9", got)
+		}
+	})
+}

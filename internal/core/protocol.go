@@ -1,0 +1,385 @@
+// Package core implements the top layer of the Bridge file system: the
+// Bridge Server and its client library. The server glues the per-node local
+// file systems into a single logical structure; its directory maps each
+// interleaved file to the constituent LFS files, and it implements the
+// command set of Table 1 of the paper (Create, Delete, Open, sequential and
+// random reads and writes, Parallel Open, Get Info).
+//
+// Three system views are offered, exactly as in the paper:
+//
+//   - the naive view: ordinary open/read/write, with the server
+//     transparently forwarding each request to the right LFS;
+//   - the parallel-open view: a job groups t worker processes, and each
+//     read or write moves t blocks with as much parallelism as the
+//     interleaving allows (virtual parallelism beyond p is simulated in
+//     lock-step groups);
+//   - the tool view: Get Info and Open expose the interleaved structure so
+//     a tool can spawn workers on the LFS nodes and access local files
+//     directly, bypassing the server on the data path.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bridge/internal/distrib"
+	"bridge/internal/efs"
+	"bridge/internal/msg"
+)
+
+// Bridge block geometry: each 1000-byte LFS data area carries a 40-byte
+// Bridge header and 960 bytes of payload, matching the paper.
+const (
+	HeaderBytes  = 40
+	PayloadBytes = efs.DataBytes - HeaderBytes // 960
+)
+
+var blockMagic = [4]byte{'B', 'R', 'B', 'K'}
+
+// Errors returned by the Bridge client library.
+var (
+	ErrNotFound  = errors.New("bridge: file not found")
+	ErrExists    = errors.New("bridge: file exists")
+	ErrEOF       = errors.New("bridge: end of file")
+	ErrBadBlock  = errors.New("bridge: corrupt bridge block")
+	ErrNoJob     = errors.New("bridge: no such job")
+	ErrBadArg    = errors.New("bridge: invalid argument")
+	ErrLFSFailed = errors.New("bridge: constituent LFS operation failed")
+)
+
+// BlockHeader is the 40-byte Bridge header at the front of every block's
+// data area. Because the stored pointers are (block-number, LFS-instance)
+// pairs rather than raw disk addresses, a tool that copies blocks verbatim
+// produces a new file whose headers remain valid — the property the copy
+// tool relies on.
+type BlockHeader struct {
+	FileID      uint32 // Bridge file id
+	GlobalBlock int64  // global block number within the interleaved file
+	P           uint16 // interleaving breadth
+	Start       uint16 // node index holding global block zero
+	PayloadLen  uint16
+	// Chain link for disordered files: the location of the next block.
+	// Interleaved files leave HasNext false (their placement is a
+	// formula, not a chain).
+	HasNext   bool
+	NextNode  uint16 // node index of the next block
+	NextLocal uint32 // local block number of the next block
+}
+
+// EncodeBlock builds a full LFS data area (efs.DataBytes) from a header and
+// payload. It panics if the payload exceeds PayloadBytes, which is always a
+// caller bug.
+func EncodeBlock(h BlockHeader, payload []byte) []byte {
+	if len(payload) > PayloadBytes {
+		panic(fmt.Sprintf("core: payload %d exceeds %d", len(payload), PayloadBytes))
+	}
+	buf := make([]byte, efs.DataBytes)
+	copy(buf, blockMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], h.FileID)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(h.GlobalBlock))
+	binary.LittleEndian.PutUint16(buf[16:], h.P)
+	binary.LittleEndian.PutUint16(buf[18:], h.Start)
+	binary.LittleEndian.PutUint16(buf[20:], uint16(len(payload)))
+	if h.HasNext {
+		buf[22] = 1
+		binary.LittleEndian.PutUint16(buf[23:], h.NextNode)
+		binary.LittleEndian.PutUint32(buf[25:], h.NextLocal)
+	}
+	// bytes 29..39 reserved.
+	copy(buf[HeaderBytes:], payload)
+	return buf[:HeaderBytes+len(payload)]
+}
+
+// DecodeBlock splits an LFS data area into header and payload.
+func DecodeBlock(data []byte) (BlockHeader, []byte, error) {
+	if len(data) < HeaderBytes {
+		return BlockHeader{}, nil, fmt.Errorf("%w: %d bytes", ErrBadBlock, len(data))
+	}
+	var magic [4]byte
+	copy(magic[:], data)
+	if magic != blockMagic {
+		return BlockHeader{}, nil, fmt.Errorf("%w: bad magic", ErrBadBlock)
+	}
+	h := BlockHeader{
+		FileID:      binary.LittleEndian.Uint32(data[4:]),
+		GlobalBlock: int64(binary.LittleEndian.Uint64(data[8:])),
+		P:           binary.LittleEndian.Uint16(data[16:]),
+		Start:       binary.LittleEndian.Uint16(data[18:]),
+		PayloadLen:  binary.LittleEndian.Uint16(data[20:]),
+		HasNext:     data[22] == 1,
+	}
+	if h.HasNext {
+		h.NextNode = binary.LittleEndian.Uint16(data[23:])
+		h.NextLocal = binary.LittleEndian.Uint32(data[25:])
+	}
+	if int(h.PayloadLen) > len(data)-HeaderBytes {
+		return BlockHeader{}, nil, fmt.Errorf("%w: payload length %d beyond block", ErrBadBlock, h.PayloadLen)
+	}
+	return h, data[HeaderBytes : HeaderBytes+int(h.PayloadLen)], nil
+}
+
+// PortName is the Bridge Server's request port.
+const PortName = "bridge"
+
+// Meta is the structural information the server returns from Open: enough
+// for a tool to translate between global and local block names and to reach
+// every constituent LFS directly.
+type Meta struct {
+	Name      string
+	FileID    uint32
+	LFSFileID uint32
+	Spec      distrib.Spec
+	// Nodes lists the storage nodes in placement order: distrib node
+	// index i is Nodes[i].
+	Nodes  []msg.NodeID
+	Blocks int64
+	// Chain is the linked-list state of a disordered file; nil for
+	// formulaic placements.
+	Chain *ChainInfo
+}
+
+// ChainInfo tracks a disordered file: the chain endpoints and the next
+// free local block on every node.
+type ChainInfo struct {
+	HeadNode    uint16
+	HeadLocal   uint32
+	TailNode    uint16
+	TailLocal   uint32
+	LocalCounts []int64
+}
+
+// Layout builds the placement layout for the file. Disordered files have
+// no layout: their placement is the chain itself.
+func (m *Meta) Layout() (distrib.Layout, error) { return distrib.New(m.Spec) }
+
+// LocalBlocks returns how many blocks of the file node index i holds.
+func (m *Meta) LocalBlocks(i int) int64 {
+	if m.Spec.Kind == distrib.Disordered {
+		if m.Chain == nil || i < 0 || i >= len(m.Chain.LocalCounts) {
+			return 0
+		}
+		return m.Chain.LocalCounts[i]
+	}
+	l, err := distrib.New(m.Spec)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	// Count exactly for any layout; cheap closed forms exist only for
+	// round-robin.
+	if m.Spec.Kind == distrib.RoundRobin {
+		p := int64(m.Spec.P)
+		n = m.Blocks / p
+		if int64((i-m.Spec.Start+m.Spec.P)%m.Spec.P) < m.Blocks%p {
+			n++
+		}
+		return n
+	}
+	for b := int64(0); b < m.Blocks; b++ {
+		if l.NodeFor(b) == i {
+			n++
+		}
+	}
+	return n
+}
+
+// Info describes the cluster, as returned by Get Info: "sufficient
+// information ... to allow the new program to find the processors attached
+// to the disks".
+type Info struct {
+	P      int
+	Nodes  []msg.NodeID
+	Server msg.Addr
+}
+
+// Request and reply bodies for the Bridge Server protocol (Table 1).
+type (
+	// CreateReq creates an interleaved file. Spec.P == 0 means "all
+	// nodes"; Kind zero value means round-robin. Tree selects the
+	// binary-tree initiation ablation instead of the paper's sequential
+	// loop.
+	CreateReq struct {
+		Name string
+		Spec distrib.Spec
+		Tree bool
+		// Subset optionally names the storage nodes (as indices into the
+		// cluster's node list) the file spans; len must equal Spec.P.
+		// Empty means the first Spec.P nodes.
+		Subset []int
+	}
+	// CreateResp acknowledges a CreateReq.
+	CreateResp struct {
+		Meta Meta
+		Err  string
+	}
+
+	// DeleteReq deletes a file on every constituent LFS in parallel.
+	DeleteReq struct{ Name string }
+	// DeleteResp reports total blocks freed across all LFS instances.
+	DeleteResp struct {
+		Freed int
+		Err   string
+	}
+
+	// OpenReq opens a file. Open is a hint: the server refreshes its
+	// size cache and sets up a cursor; there is no close.
+	OpenReq struct{ Name string }
+	// OpenResp returns the file's structural information.
+	OpenResp struct {
+		Meta Meta
+		Err  string
+	}
+
+	// SeqReadReq reads the next block at the caller's cursor.
+	SeqReadReq struct{ Name string }
+	// SeqReadResp returns the payload; EOF is set past the end.
+	SeqReadResp struct {
+		Data []byte
+		EOF  bool
+		Err  string
+	}
+
+	// SeqWriteReq appends one block.
+	SeqWriteReq struct {
+		Name string
+		Data []byte
+	}
+	// SeqWriteResp acknowledges an append.
+	SeqWriteResp struct{ Err string }
+
+	// RandReadReq reads block BlockNum.
+	RandReadReq struct {
+		Name     string
+		BlockNum int64
+	}
+	// RandReadResp returns the payload.
+	RandReadResp struct {
+		Data []byte
+		Err  string
+	}
+
+	// RandWriteReq writes block BlockNum (append when BlockNum == size).
+	RandWriteReq struct {
+		Name     string
+		BlockNum int64
+		Data     []byte
+	}
+	// RandWriteResp acknowledges a random write.
+	RandWriteResp struct{ Err string }
+
+	// StatReq returns a file's metadata without opening it.
+	StatReq struct{ Name string }
+	// StatResp carries the metadata.
+	StatResp struct {
+		Meta Meta
+		Err  string
+	}
+
+	// ParallelOpenReq groups the calling process (the job controller)
+	// and its workers into a job.
+	ParallelOpenReq struct {
+		Name    string
+		Workers []msg.Addr
+	}
+	// ParallelOpenResp returns the job id.
+	ParallelOpenResp struct {
+		JobID uint64
+		Meta  Meta
+		Err   string
+	}
+
+	// ParallelReadReq transfers the next t blocks, one to each worker.
+	ParallelReadReq struct{ JobID uint64 }
+	// ParallelReadResp tells the controller how many blocks went out.
+	ParallelReadResp struct {
+		Delivered int
+		EOF       bool
+		Err       string
+	}
+
+	// ParallelWriteReq appends t blocks, one received from each worker.
+	ParallelWriteReq struct{ JobID uint64 }
+	// ParallelWriteResp acknowledges the round.
+	ParallelWriteResp struct {
+		Written int
+		Err     string
+	}
+
+	// CloseJobReq discards job state (the only stateful part of the
+	// interface, so jobs do get an explicit end).
+	CloseJobReq struct{ JobID uint64 }
+	// CloseJobResp acknowledges a CloseJobReq.
+	CloseJobResp struct{ Err string }
+
+	// ListReq asks for all file names in the Bridge directory (an
+	// extension beyond Table 1; every usable file system needs it).
+	ListReq struct{}
+	// ListResp returns the names, sorted.
+	ListResp struct {
+		Names []string
+		Err   string
+	}
+
+	// GetInfoReq asks for the cluster structure.
+	GetInfoReq struct{}
+	// GetInfoResp returns it.
+	GetInfoResp struct {
+		Info Info
+		Err  string
+	}
+
+	// WorkerData is the one-way message a job read sends to a worker.
+	WorkerData struct {
+		JobID uint64
+		Seq   int64 // global block number
+		Data  []byte
+		EOF   bool
+	}
+	// WorkerPoke asks a job worker for its next block during a parallel
+	// write.
+	WorkerPoke struct {
+		JobID uint64
+		Seq   int64 // global block number the worker's data will get
+	}
+	// WorkerBlock is the worker's response to a poke, sent to the job
+	// port.
+	WorkerBlock struct {
+		JobID uint64
+		Seq   int64
+		Data  []byte
+		EOF   bool // worker has no more data
+	}
+)
+
+// WireSize estimates on-wire payload sizes for the bandwidth model.
+func WireSize(body any) int {
+	switch b := body.(type) {
+	case SeqReadResp:
+		return 16 + len(b.Data)
+	case RandReadResp:
+		return 16 + len(b.Data)
+	case SeqWriteReq:
+		return 16 + len(b.Name) + len(b.Data)
+	case RandWriteReq:
+		return 24 + len(b.Name) + len(b.Data)
+	case WorkerData:
+		return 24 + len(b.Data)
+	case WorkerBlock:
+		return 24 + len(b.Data)
+	case CreateReq:
+		return 40 + len(b.Name)
+	case CreateResp:
+		return 64
+	case OpenReq:
+		return 8 + len(b.Name)
+	case OpenResp, StatResp:
+		return 64
+	case ParallelOpenReq:
+		return 16 + len(b.Name) + 8*len(b.Workers)
+	case GetInfoResp:
+		return 64
+	default:
+		return 24
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bridge/internal/sim"
+)
+
+// TestQuickBridgeModelEquivalence drives a whole Bridge cluster (server,
+// LFS instances, disks) and a trivial in-memory model with the same random
+// operation sequence, requiring identical observable behavior. This is the
+// top-level integrity test: it exercises the directory, placement,
+// cursors, the disordered chains, and error classes end to end.
+func TestQuickBridgeModelEquivalence(t *testing.T) {
+	type op struct {
+		Kind uint8
+		File uint8
+		Val  uint8
+	}
+	f := func(ops []op, seed int64, disordered bool) bool {
+		if len(ops) > 80 {
+			ops = ops[:80]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[string][][]byte)
+		ok := true
+		fail := func(format string, args ...any) {
+			t.Logf(format, args...)
+			ok = false
+		}
+		rt := sim.NewVirtual()
+		cl, err := StartCluster(rt, fastCfg(4))
+		if err != nil {
+			t.Fatalf("StartCluster: %v", err)
+		}
+		rt.Go("model-driver", func(p sim.Proc) {
+			defer cl.Stop()
+			c := cl.NewClient(p, 0, "model-cli")
+			defer c.Close()
+			for i, o := range ops {
+				name := fmt.Sprintf("f%d", o.File%5)
+				blocks, exists := model[name]
+				switch o.Kind % 5 {
+				case 0: // create
+					var err error
+					if disordered && o.Val%2 == 0 {
+						_, err = c.CreateDisordered(name)
+					} else {
+						_, err = c.Create(name)
+					}
+					if exists != errors.Is(err, ErrExists) || (!exists && err != nil) {
+						fail("op %d: create %s: %v (exists %v)", i, name, err, exists)
+						return
+					}
+					if !exists {
+						model[name] = [][]byte{}
+					}
+				case 1: // append
+					payload := bytes.Repeat([]byte{o.Val}, 1+int(o.Val)%24)
+					err := c.SeqWrite(name, payload)
+					if !exists {
+						if !errors.Is(err, ErrNotFound) {
+							fail("op %d: append to missing %s: %v", i, name, err)
+							return
+						}
+					} else if err != nil {
+						fail("op %d: append %s: %v", i, name, err)
+						return
+					} else {
+						model[name] = append(blocks, payload)
+					}
+				case 2: // random read
+					if !exists || len(blocks) == 0 {
+						if _, err := c.ReadAt(name, 0); err == nil {
+							fail("op %d: read of empty/missing %s succeeded", i, name)
+							return
+						}
+						continue
+					}
+					n := int64(rng.Intn(len(blocks)))
+					got, err := c.ReadAt(name, n)
+					if err != nil || !bytes.Equal(got, blocks[n]) {
+						fail("op %d: ReadAt(%s, %d) = %q, %v; want %q", i, name, n, got, err, blocks[n])
+						return
+					}
+				case 3: // overwrite
+					if !exists || len(blocks) == 0 {
+						continue
+					}
+					n := int64(rng.Intn(len(blocks)))
+					payload := bytes.Repeat([]byte{o.Val ^ 0xFF}, 1+int(o.Val)%16)
+					if err := c.WriteAt(name, n, payload); err != nil {
+						fail("op %d: WriteAt(%s, %d): %v", i, name, n, err)
+						return
+					}
+					blocks[n] = payload
+				case 4: // delete
+					freed, err := c.Delete(name)
+					if !exists {
+						if !errors.Is(err, ErrNotFound) {
+							fail("op %d: delete missing %s: %v", i, name, err)
+							return
+						}
+					} else if err != nil || freed != len(blocks) {
+						fail("op %d: delete %s = %d, %v; want %d", i, name, freed, err, len(blocks))
+						return
+					}
+					delete(model, name)
+				}
+			}
+			// Final sweep: every file reads back fully, and List agrees.
+			names, err := c.List()
+			if err != nil || len(names) != len(model) {
+				fail("final List = %v, %v; model has %d", names, err, len(model))
+				return
+			}
+			for name, blocks := range model {
+				if _, err := c.Open(name); err != nil {
+					fail("final open %s: %v", name, err)
+					return
+				}
+				for j := 0; ; j++ {
+					data, eof, err := c.SeqRead(name)
+					if err != nil {
+						fail("final read %s/%d: %v", name, j, err)
+						return
+					}
+					if eof {
+						if j != len(blocks) {
+							fail("final %s: %d blocks, want %d", name, j, len(blocks))
+						}
+						break
+					}
+					if j >= len(blocks) || !bytes.Equal(data, blocks[j]) {
+						fail("final %s block %d differs", name, j)
+						return
+					}
+				}
+			}
+		})
+		if err := rt.Wait(); err != nil {
+			t.Logf("sim: %v", err)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,768 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bridge/internal/distrib"
+	"bridge/internal/lfs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// Config parameterizes the Bridge Server.
+type Config struct {
+	// Node is the processor the server runs on (conventionally 0, a node
+	// without a disk).
+	Node msg.NodeID
+	// OpCPU is processor time charged per request at the server.
+	// Default 500µs.
+	OpCPU time.Duration
+	// LFSTimeout bounds every call the server makes to an LFS instance,
+	// so a failed node surfaces as an error instead of a hang. The
+	// default (60s simulated) comfortably exceeds the longest legitimate
+	// operation.
+	LFSTimeout time.Duration
+	// PortName overrides the server's port (default PortName). Used
+	// when several Bridge Server processes share the cluster: "in our
+	// implementation the Bridge Server is a single centralized process,
+	// though this need not be the case".
+	PortName string
+	// IDBase and IDStride partition the file-id space between servers
+	// so their LFS file ids never collide. Defaults: 0 and 1.
+	IDBase   uint32
+	IDStride uint32
+}
+
+func (c *Config) applyDefaults() {
+	if c.OpCPU == 0 {
+		c.OpCPU = 500 * time.Microsecond
+	}
+	if c.LFSTimeout == 0 {
+		c.LFSTimeout = 60 * time.Second
+	}
+	if c.PortName == "" {
+		c.PortName = PortName
+	}
+	if c.IDStride == 0 {
+		c.IDStride = 1
+	}
+}
+
+// Server is the Bridge Server: a single centralized process, as in the
+// prototype ("though this need not be the case").
+type Server struct {
+	net   *msg.Network
+	cfg   Config
+	nodes []msg.NodeID
+	port  *msg.Port
+
+	lc      *msg.Client // for talking to LFS instances; owned by the server process
+	dir     map[string]*dirent
+	cursors map[cursorKey]*cursor
+	jobs    map[uint64]*job
+	nextID  uint32
+	nextJob uint64
+}
+
+type dirent struct {
+	meta  Meta
+	hints map[msg.NodeID]int32
+}
+
+type cursorKey struct {
+	client msg.Addr
+	name   string
+}
+
+type cursor struct {
+	readPos int64
+	// chain is the location of the next block to read in a disordered
+	// file (valid when chainValid is set); it lets sequential reads
+	// follow the chain at one LFS read per block.
+	chain      chainLoc
+	chainValid bool
+}
+
+type job struct {
+	id      uint64
+	name    string
+	workers []msg.Addr
+	readPos int64
+	port    *msg.Port
+}
+
+// DirSnapshot is a serializable image of the Bridge directory, used by the
+// bridgefs command to persist a cluster across invocations.
+type DirSnapshot struct {
+	NextID  uint32
+	NextJob uint64
+	Files   []Meta
+}
+
+// Snapshot exports the directory. Only call after the simulation has
+// drained (the server process has exited); the server is single-threaded
+// and its state must not be read while it runs.
+func (s *Server) Snapshot() DirSnapshot {
+	snap := DirSnapshot{NextID: s.nextID, NextJob: s.nextJob}
+	for _, ent := range s.dir {
+		snap.Files = append(snap.Files, ent.meta)
+	}
+	return snap
+}
+
+// Restore seeds the directory from a snapshot. Only call before Wait
+// starts the simulation.
+func (s *Server) Restore(snap DirSnapshot) {
+	s.nextID = snap.NextID
+	s.nextJob = snap.NextJob
+	for _, meta := range snap.Files {
+		s.dir[meta.Name] = &dirent{meta: meta, hints: make(map[msg.NodeID]int32)}
+	}
+}
+
+// StartServer creates the Bridge Server process. nodes lists the storage
+// nodes in interleaving order.
+func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeID) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		net:     net,
+		cfg:     cfg,
+		nodes:   append([]msg.NodeID(nil), nodes...),
+		port:    net.NewPort(msg.Addr{Node: cfg.Node, Port: cfg.PortName}),
+		dir:     make(map[string]*dirent),
+		cursors: make(map[cursorKey]*cursor),
+		jobs:    make(map[uint64]*job),
+	}
+	rt.Go(s.port.Addr().String(), func(p sim.Proc) { s.run(p) })
+	return s
+}
+
+// Addr returns the server's request address.
+func (s *Server) Addr() msg.Addr { return s.port.Addr() }
+
+// Stop closes the server port; the server process exits after draining.
+func (s *Server) Stop() { s.port.Close() }
+
+func (s *Server) run(p sim.Proc) {
+	s.lc = msg.NewClient(p, s.net, s.cfg.Node, s.cfg.PortName+".lfscli")
+	for {
+		req, ok := s.port.Recv(p)
+		if !ok {
+			for _, j := range s.jobs {
+				j.port.Close()
+			}
+			s.lc.Close()
+			return
+		}
+		if s.cfg.OpCPU > 0 {
+			p.Sleep(s.cfg.OpCPU)
+		}
+		body := s.handle(p, req)
+		_ = s.net.Send(p, s.cfg.Node, req.From, &msg.Message{
+			From:  s.port.Addr(),
+			ReqID: req.ReqID,
+			Body:  body,
+			Size:  WireSize(body),
+		})
+	}
+}
+
+func (s *Server) handle(p sim.Proc, req *msg.Message) any {
+	switch r := req.Body.(type) {
+	case CreateReq:
+		meta, err := s.create(p, r)
+		return CreateResp{Meta: meta, Err: errString(err)}
+	case DeleteReq:
+		freed, err := s.delete(p, r.Name)
+		return DeleteResp{Freed: freed, Err: errString(err)}
+	case OpenReq:
+		meta, err := s.open(p, req.From, r.Name)
+		return OpenResp{Meta: meta, Err: errString(err)}
+	case StatReq:
+		meta, err := s.stat(p, r.Name)
+		return StatResp{Meta: meta, Err: errString(err)}
+	case SeqReadReq:
+		data, eof, err := s.seqRead(p, req.From, r.Name)
+		return SeqReadResp{Data: data, EOF: eof, Err: errString(err)}
+	case SeqWriteReq:
+		err := s.writeAt(p, r.Name, -1, r.Data)
+		return SeqWriteResp{Err: errString(err)}
+	case RandReadReq:
+		data, err := s.readAt(p, r.Name, r.BlockNum)
+		return RandReadResp{Data: data, Err: errString(err)}
+	case RandWriteReq:
+		err := s.writeAt(p, r.Name, r.BlockNum, r.Data)
+		return RandWriteResp{Err: errString(err)}
+	case ParallelOpenReq:
+		return s.parallelOpen(p, r)
+	case ParallelReadReq:
+		delivered, eof, err := s.parallelRead(p, r.JobID)
+		return ParallelReadResp{Delivered: delivered, EOF: eof, Err: errString(err)}
+	case ParallelWriteReq:
+		written, err := s.parallelWrite(p, r.JobID)
+		return ParallelWriteResp{Written: written, Err: errString(err)}
+	case CloseJobReq:
+		if j, ok := s.jobs[r.JobID]; ok {
+			j.port.Close()
+			delete(s.jobs, r.JobID)
+			return CloseJobResp{}
+		}
+		return CloseJobResp{Err: ErrNoJob.Error()}
+	case ListReq:
+		names := make([]string, 0, len(s.dir))
+		for name := range s.dir {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return ListResp{Names: names}
+	case GetInfoReq:
+		return GetInfoResp{Info: Info{
+			P:      len(s.nodes),
+			Nodes:  append([]msg.NodeID(nil), s.nodes...),
+			Server: s.port.Addr(),
+		}}
+	default:
+		return CloseJobResp{Err: fmt.Sprintf("bridge: unknown request %T", req.Body)}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// create allocates a file id, builds the placement, and creates the
+// constituent LFS file on every node — starting all the LFS operations
+// before waiting for them, with sequential initiation (the paper's measured
+// behavior), or through the embedded binary tree when r.Tree is set.
+func (s *Server) create(p sim.Proc, r CreateReq) (Meta, error) {
+	if r.Name == "" {
+		return Meta{}, fmt.Errorf("%w: empty name", ErrBadArg)
+	}
+	if _, dup := s.dir[r.Name]; dup {
+		return Meta{}, fmt.Errorf("%w: %s", ErrExists, r.Name)
+	}
+	spec := r.Spec
+	if spec.Kind == 0 {
+		spec.Kind = distrib.RoundRobin
+	}
+	if spec.P == 0 {
+		spec.P = len(s.nodes)
+	}
+	if spec.P > len(s.nodes) {
+		return Meta{}, fmt.Errorf("%w: P %d exceeds cluster size %d", ErrBadArg, spec.P, len(s.nodes))
+	}
+	if spec.Kind == distrib.Chunked && spec.TotalBlocks == 0 {
+		return Meta{}, distrib.ErrNeedSize
+	}
+	if spec.Kind != distrib.Disordered {
+		if _, err := distrib.New(spec); err != nil {
+			return Meta{}, err
+		}
+	}
+	s.nextID++
+	fileID := s.cfg.IDBase + s.nextID*s.cfg.IDStride
+	nodes := append([]msg.NodeID(nil), s.nodes[:spec.P]...)
+	if len(r.Subset) > 0 {
+		if len(r.Subset) != spec.P {
+			return Meta{}, fmt.Errorf("%w: subset of %d nodes for P=%d", ErrBadArg, len(r.Subset), spec.P)
+		}
+		nodes = nodes[:0]
+		for _, idx := range r.Subset {
+			if idx < 0 || idx >= len(s.nodes) {
+				return Meta{}, fmt.Errorf("%w: subset index %d out of range", ErrBadArg, idx)
+			}
+			nodes = append(nodes, s.nodes[idx])
+		}
+	}
+	op := lfs.CreateReq{FileID: fileID}
+	if r.Tree {
+		if err := lfs.TreeBroadcast(s.lc, nodes, op, lfs.WireSize(op)); err != nil {
+			return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+	} else {
+		ids := make([]uint64, 0, len(nodes))
+		for _, n := range nodes {
+			id, err := s.lc.Start(msg.Addr{Node: n, Port: lfs.PortName}, op, lfs.WireSize(op))
+			if err != nil {
+				return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			ids = append(ids, id)
+		}
+		ms, err := s.lc.GatherTimeout(ids, s.cfg.LFSTimeout)
+		if err != nil {
+			return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		for _, m := range ms {
+			if err := m.Body.(lfs.CreateResp).Status.Err(); err != nil {
+				return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+		}
+	}
+	meta := Meta{
+		Name:      r.Name,
+		FileID:    fileID,
+		LFSFileID: fileID,
+		Spec:      spec,
+		Nodes:     nodes,
+	}
+	if spec.Kind == distrib.Disordered {
+		meta.Chain = &ChainInfo{LocalCounts: make([]int64, spec.P)}
+	}
+	s.dir[r.Name] = &dirent{meta: meta, hints: make(map[msg.NodeID]int32)}
+	return meta, nil
+}
+
+// delete removes the constituent LFS files in parallel; each LFS traverses
+// its local chain freeing blocks, so the operation takes O(n/p).
+func (s *Server) delete(p sim.Proc, name string) (int, error) {
+	ent, ok := s.dir[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	op := lfs.DeleteReq{FileID: ent.meta.LFSFileID}
+	ids := make([]uint64, 0, len(ent.meta.Nodes))
+	for _, n := range ent.meta.Nodes {
+		id, err := s.lc.Start(msg.Addr{Node: n, Port: lfs.PortName}, op, lfs.WireSize(op))
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		ids = append(ids, id)
+	}
+	ms, gerr := s.lc.GatherTimeout(ids, s.cfg.LFSTimeout)
+	freed := 0
+	var firstErr error
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		resp := m.Body.(lfs.DeleteResp)
+		freed += resp.Freed
+		if err := resp.Status.Err(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if gerr != nil && firstErr == nil {
+		firstErr = gerr
+	}
+	delete(s.dir, name)
+	for k := range s.cursors {
+		if k.name == name {
+			delete(s.cursors, k)
+		}
+	}
+	if firstErr != nil {
+		return freed, fmt.Errorf("%w: %v", ErrLFSFailed, firstErr)
+	}
+	return freed, nil
+}
+
+// refreshSize recomputes the file's block count by statting every
+// constituent LFS file in parallel — the startup work that Open pays for.
+// Disordered files keep their count in the chain state (tools cannot write
+// them behind the server's back, since only the server knows the chain).
+func (s *Server) refreshSize(p sim.Proc, ent *dirent) error {
+	if ent.meta.Spec.Kind == distrib.Disordered {
+		var total int64
+		for _, c := range ent.meta.Chain.LocalCounts {
+			total += c
+		}
+		ent.meta.Blocks = total
+		return nil
+	}
+	op := lfs.StatReq{FileID: ent.meta.LFSFileID}
+	ids := make([]uint64, 0, len(ent.meta.Nodes))
+	for _, n := range ent.meta.Nodes {
+		id, err := s.lc.Start(msg.Addr{Node: n, Port: lfs.PortName}, op, lfs.WireSize(op))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		ids = append(ids, id)
+	}
+	ms, err := s.lc.GatherTimeout(ids, s.cfg.LFSTimeout)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	var total int64
+	for _, m := range ms {
+		resp := m.Body.(lfs.StatResp)
+		if err := resp.Status.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		total += int64(resp.Info.Blocks)
+	}
+	ent.meta.Blocks = total
+	return nil
+}
+
+func (s *Server) open(p sim.Proc, client msg.Addr, name string) (Meta, error) {
+	ent, ok := s.dir[name]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err := s.refreshSize(p, ent); err != nil {
+		return Meta{}, err
+	}
+	s.cursors[cursorKey{client: client, name: name}] = &cursor{}
+	return ent.meta, nil
+}
+
+func (s *Server) stat(p sim.Proc, name string) (Meta, error) {
+	ent, ok := s.dir[name]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err := s.refreshSize(p, ent); err != nil {
+		return Meta{}, err
+	}
+	return ent.meta, nil
+}
+
+// lfsRead fetches one global block through the right LFS and returns its
+// payload.
+func (s *Server) lfsRead(p sim.Proc, ent *dirent, blockNum int64) ([]byte, error) {
+	l, err := ent.meta.Layout()
+	if err != nil {
+		return nil, err
+	}
+	node := ent.meta.Nodes[l.NodeFor(blockNum)]
+	local := l.LocalFor(blockNum)
+	req := lfs.ReadReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(local), Hint: ent.hintFor(node)}
+	m, err := s.lc.CallTimeout(msg.Addr{Node: node, Port: lfs.PortName}, req, lfs.WireSize(req), s.cfg.LFSTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	resp := m.Body.(lfs.ReadResp)
+	if err := resp.Status.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	ent.hints[node] = resp.Addr
+	_, payload, err := DecodeBlock(resp.Data)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func (ent *dirent) hintFor(node msg.NodeID) int32 {
+	if h, ok := ent.hints[node]; ok {
+		return h
+	}
+	return -1
+}
+
+// lfsWrite stores one global block through the right LFS.
+func (s *Server) lfsWrite(p sim.Proc, ent *dirent, blockNum int64, payload []byte) error {
+	if len(payload) > PayloadBytes {
+		return fmt.Errorf("%w: payload %d exceeds %d", ErrBadArg, len(payload), PayloadBytes)
+	}
+	l, err := ent.meta.Layout()
+	if err != nil {
+		return err
+	}
+	node := ent.meta.Nodes[l.NodeFor(blockNum)]
+	local := l.LocalFor(blockNum)
+	data := EncodeBlock(BlockHeader{
+		FileID:      ent.meta.FileID,
+		GlobalBlock: blockNum,
+		P:           uint16(ent.meta.Spec.P),
+		Start:       uint16(ent.meta.Spec.Start),
+	}, payload)
+	req := lfs.WriteReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(local), Data: data, Hint: ent.hintFor(node)}
+	m, err := s.lc.CallTimeout(msg.Addr{Node: node, Port: lfs.PortName}, req, lfs.WireSize(req), s.cfg.LFSTimeout)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	resp := m.Body.(lfs.WriteResp)
+	if err := resp.Status.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	ent.hints[node] = resp.Addr
+	return nil
+}
+
+func (s *Server) seqRead(p sim.Proc, client msg.Addr, name string) ([]byte, bool, error) {
+	ent, ok := s.dir[name]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	key := cursorKey{client: client, name: name}
+	cur, ok := s.cursors[key]
+	if !ok {
+		// Implicit open: the open operation is only a hint, so a read
+		// without one still works; it just pays the size refresh here.
+		if err := s.refreshSize(p, ent); err != nil {
+			return nil, false, err
+		}
+		cur = &cursor{}
+		s.cursors[key] = cur
+	}
+	if cur.readPos >= ent.meta.Blocks {
+		return nil, true, nil
+	}
+	if ent.meta.Spec.Kind == distrib.Disordered {
+		var (
+			payload []byte
+			next    chainLoc
+			hasNext bool
+			err     error
+		)
+		if cur.chainValid {
+			payload, next, hasNext, err = s.readChainBlock(p, ent, cur.chain)
+		} else {
+			payload, next, hasNext, err = s.readChainAt(p, ent, cur.readPos)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		cur.chain, cur.chainValid = next, hasNext
+		cur.readPos++
+		return payload, false, nil
+	}
+	data, err := s.lfsRead(p, ent, cur.readPos)
+	if err != nil {
+		return nil, false, err
+	}
+	cur.readPos++
+	return data, false, nil
+}
+
+// writeAt writes block blockNum, or appends when blockNum is -1 or equals
+// the current size.
+func (s *Server) writeAt(p sim.Proc, name string, blockNum int64, payload []byte) error {
+	ent, ok := s.dir[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if blockNum < 0 || blockNum == ent.meta.Blocks {
+		if ent.meta.Spec.Kind == distrib.Disordered {
+			return s.appendDisordered(p, ent, payload)
+		}
+		if err := s.lfsWrite(p, ent, ent.meta.Blocks, payload); err != nil {
+			return err
+		}
+		ent.meta.Blocks++
+		return nil
+	}
+	if blockNum > ent.meta.Blocks {
+		return fmt.Errorf("%w: block %d beyond size %d", ErrBadArg, blockNum, ent.meta.Blocks)
+	}
+	if ent.meta.Spec.Kind == distrib.Disordered {
+		return s.overwriteDisordered(p, ent, blockNum, payload)
+	}
+	return s.lfsWrite(p, ent, blockNum, payload)
+}
+
+func (s *Server) readAt(p sim.Proc, name string, blockNum int64) ([]byte, error) {
+	ent, ok := s.dir[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if blockNum < 0 || blockNum >= ent.meta.Blocks {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrEOF, blockNum, ent.meta.Blocks)
+	}
+	if ent.meta.Spec.Kind == distrib.Disordered {
+		payload, _, _, err := s.readChainAt(p, ent, blockNum)
+		return payload, err
+	}
+	return s.lfsRead(p, ent, blockNum)
+}
+
+func (s *Server) parallelOpen(p sim.Proc, r ParallelOpenReq) ParallelOpenResp {
+	ent, ok := s.dir[r.Name]
+	if !ok {
+		return ParallelOpenResp{Err: fmt.Sprintf("%v: %s", ErrNotFound, r.Name)}
+	}
+	if len(r.Workers) == 0 {
+		return ParallelOpenResp{Err: fmt.Sprintf("%v: no workers", ErrBadArg)}
+	}
+	if err := s.refreshSize(p, ent); err != nil {
+		return ParallelOpenResp{Err: err.Error()}
+	}
+	s.nextJob++
+	j := &job{
+		id:      s.nextJob,
+		name:    r.Name,
+		workers: append([]msg.Addr(nil), r.Workers...),
+		port:    s.net.NewPort(msg.Addr{Node: s.cfg.Node, Port: fmt.Sprintf("%s.job%d", s.cfg.PortName, s.nextJob)}),
+	}
+	s.jobs[j.id] = j
+	return ParallelOpenResp{JobID: j.id, Meta: ent.meta}
+}
+
+// parallelRead transfers the next t blocks, one to each worker. When t
+// exceeds the interleaving breadth p, the server performs groups of p disk
+// accesses in parallel until the request is satisfied ("virtual
+// parallelism"), which forces the workers to proceed in lock step.
+func (s *Server) parallelRead(p sim.Proc, jobID uint64) (int, bool, error) {
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return 0, false, ErrNoJob
+	}
+	ent, ok := s.dir[j.name]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %s", ErrNotFound, j.name)
+	}
+	l, err := ent.meta.Layout()
+	if err != nil {
+		return 0, false, err
+	}
+	t := len(j.workers)
+	pWidth := ent.meta.Spec.P
+	delivered := 0
+	for gStart := 0; gStart < t; gStart += pWidth {
+		gEnd := gStart + pWidth
+		if gEnd > t {
+			gEnd = t
+		}
+		type pending struct {
+			worker int
+			seq    int64
+			reqID  uint64
+		}
+		var batch []pending
+		for i := gStart; i < gEnd; i++ {
+			seq := j.readPos + int64(i)
+			if seq >= ent.meta.Blocks {
+				break
+			}
+			node := ent.meta.Nodes[l.NodeFor(seq)]
+			req := lfs.ReadReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(l.LocalFor(seq)), Hint: ent.hintFor(node)}
+			id, err := s.lc.Start(msg.Addr{Node: node, Port: lfs.PortName}, req, lfs.WireSize(req))
+			if err != nil {
+				return delivered, false, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			batch = append(batch, pending{worker: i, seq: seq, reqID: id})
+		}
+		for _, b := range batch {
+			m, err := s.lc.AwaitTimeout(b.reqID, s.cfg.LFSTimeout)
+			if err != nil {
+				return delivered, false, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			resp := m.Body.(lfs.ReadResp)
+			if err := resp.Status.Err(); err != nil {
+				return delivered, false, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			_, payload, err := DecodeBlock(resp.Data)
+			if err != nil {
+				return delivered, false, err
+			}
+			wd := WorkerData{JobID: j.id, Seq: b.seq, Data: payload}
+			_ = s.net.Send(p, s.cfg.Node, j.workers[b.worker], &msg.Message{
+				From: s.port.Addr(), Body: wd, Size: WireSize(wd),
+			})
+			delivered++
+		}
+		if len(batch) < gEnd-gStart {
+			break // hit EOF inside this group
+		}
+	}
+	// Tell workers past the end of file that this round has nothing.
+	for i := delivered; i < t; i++ {
+		wd := WorkerData{JobID: j.id, Seq: j.readPos + int64(i), EOF: true}
+		_ = s.net.Send(p, s.cfg.Node, j.workers[i], &msg.Message{
+			From: s.port.Addr(), Body: wd, Size: WireSize(wd),
+		})
+	}
+	j.readPos += int64(delivered)
+	return delivered, j.readPos >= ent.meta.Blocks, nil
+}
+
+// parallelWrite appends t blocks, one from each worker, in lock-step groups
+// of p.
+func (s *Server) parallelWrite(p sim.Proc, jobID uint64) (int, error) {
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return 0, ErrNoJob
+	}
+	ent, ok := s.dir[j.name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, j.name)
+	}
+	t := len(j.workers)
+	pWidth := ent.meta.Spec.P
+	written := 0
+	done := false
+	for gStart := 0; gStart < t && !done; gStart += pWidth {
+		gEnd := gStart + pWidth
+		if gEnd > t {
+			gEnd = t
+		}
+		// Poke the group's workers, then collect their blocks.
+		for i := gStart; i < gEnd; i++ {
+			wp := WorkerPoke{JobID: j.id, Seq: ent.meta.Blocks + int64(i-gStart)}
+			_ = s.net.Send(p, s.cfg.Node, j.workers[i], &msg.Message{
+				From: j.port.Addr(), Body: wp, Size: WireSize(wp),
+			})
+		}
+		blocks := make([]WorkerBlock, 0, gEnd-gStart)
+		for i := gStart; i < gEnd; i++ {
+			m, ok, timedOut := j.port.RecvTimeout(p, s.cfg.LFSTimeout)
+			if timedOut || !ok {
+				return written, fmt.Errorf("%w: worker block missing", ErrLFSFailed)
+			}
+			wb, isWB := m.Body.(WorkerBlock)
+			if !isWB {
+				return written, fmt.Errorf("%w: unexpected %T on job port", ErrBadArg, m.Body)
+			}
+			blocks = append(blocks, wb)
+		}
+		sort.Slice(blocks, func(a, b int) bool { return blocks[a].Seq < blocks[b].Seq })
+		// Overlap the group's LFS writes: start them all (the blocks of
+		// a group land on distinct nodes under round-robin), then wait.
+		l, err := ent.meta.Layout()
+		if err != nil {
+			return written, err
+		}
+		base := ent.meta.Blocks
+		type pendingWrite struct {
+			reqID uint64
+			node  msg.NodeID
+		}
+		var pends []pendingWrite
+		for _, wb := range blocks {
+			if wb.EOF {
+				done = true
+				continue
+			}
+			if done {
+				return written, fmt.Errorf("%w: worker data after another worker's EOF", ErrBadArg)
+			}
+			if len(wb.Data) > PayloadBytes {
+				return written, fmt.Errorf("%w: payload %d exceeds %d", ErrBadArg, len(wb.Data), PayloadBytes)
+			}
+			blockNum := base + int64(len(pends))
+			node := ent.meta.Nodes[l.NodeFor(blockNum)]
+			data := EncodeBlock(BlockHeader{
+				FileID:      ent.meta.FileID,
+				GlobalBlock: blockNum,
+				P:           uint16(ent.meta.Spec.P),
+				Start:       uint16(ent.meta.Spec.Start),
+			}, wb.Data)
+			req := lfs.WriteReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(l.LocalFor(blockNum)), Data: data, Hint: ent.hintFor(node)}
+			id, err := s.lc.Start(msg.Addr{Node: node, Port: lfs.PortName}, req, lfs.WireSize(req))
+			if err != nil {
+				return written, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			pends = append(pends, pendingWrite{reqID: id, node: node})
+		}
+		for _, pw := range pends {
+			m, err := s.lc.AwaitTimeout(pw.reqID, s.cfg.LFSTimeout)
+			if err != nil {
+				return written, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			resp := m.Body.(lfs.WriteResp)
+			if err := resp.Status.Err(); err != nil {
+				return written, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			ent.hints[pw.node] = resp.Addr
+			ent.meta.Blocks++
+			written++
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,250 @@
+// Package disk simulates block storage devices. Like the original Bridge
+// prototype — which kept 64 MB of "disk" in Butterfly RAM and slept 15 ms
+// per access to approximate a CDC Wren-class drive — a Disk stores blocks in
+// memory and charges simulated time to the accessing process through a
+// pluggable timing model.
+//
+// A Disk additionally models track locality: ReadTrack transfers every
+// block of a track for a single access charge, which is what makes the
+// EFS full-track read-ahead buffer (and the paper's 9 ms average
+// sequential-read time, well under the 15 ms device latency) possible.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bridge/internal/sim"
+	"bridge/internal/stats"
+	"bridge/internal/trace"
+)
+
+// Errors returned by disk operations.
+var (
+	ErrOutOfRange = errors.New("disk: block number out of range")
+	ErrBadSize    = errors.New("disk: data size does not match block size")
+	ErrFailed     = errors.New("disk: device failed")
+)
+
+// Op distinguishes access types for the timing model.
+type Op uint8
+
+const (
+	OpRead Op = iota + 1
+	OpWrite
+)
+
+// Config describes a device.
+type Config struct {
+	// BlockSize in bytes. Default 1024, matching the paper.
+	BlockSize int
+	// NumBlocks is the device capacity in blocks.
+	NumBlocks int
+	// BlocksPerTrack controls track granularity for ReadTrack and for
+	// seek-distance computation. Default 8.
+	BlocksPerTrack int
+	// Timing is the access-time model. Default: FixedTiming{15ms}, the
+	// paper's Wren-class approximation.
+	Timing TimingModel
+}
+
+func (c *Config) applyDefaults() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 1024
+	}
+	if c.BlocksPerTrack == 0 {
+		c.BlocksPerTrack = 8
+	}
+	if c.Timing == nil {
+		c.Timing = FixedTiming{Latency: 15 * time.Millisecond}
+	}
+}
+
+// Disk is one simulated device. Methods charge simulated time to the
+// calling process; a Disk is safe for concurrent use but is normally owned
+// by a single LFS process, as in the paper.
+type Disk struct {
+	cfg    Config
+	stats  *stats.Counters
+	tracer *trace.Tracer // nil = tracing off
+	name   string
+	mu     sync.Mutex
+	blocks [][]byte // nil entry = never-written (zero) block
+	head   int      // last accessed block, for seek modeling
+	failed bool
+}
+
+// New creates a device. It panics if NumBlocks is not positive, since that
+// is a configuration bug.
+func New(cfg Config) *Disk {
+	cfg.applyDefaults()
+	if cfg.NumBlocks <= 0 {
+		panic("disk: NumBlocks must be positive")
+	}
+	return &Disk{
+		cfg:    cfg,
+		stats:  stats.New(),
+		blocks: make([][]byte, cfg.NumBlocks),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Disk) Config() Config { return d.cfg }
+
+// Stats returns the device counters: ops, blocks transferred, busy time.
+func (d *Disk) Stats() *stats.Counters { return d.stats }
+
+// SetTracer enables per-access tracing under the given name (nil disables).
+func (d *Disk) SetTracer(t *trace.Tracer, name string) {
+	d.mu.Lock()
+	d.tracer, d.name = t, name
+	d.mu.Unlock()
+}
+
+// Fail marks the device failed; all subsequent operations return ErrFailed.
+// Used by the fault-injection experiments.
+func (d *Disk) Fail() {
+	d.mu.Lock()
+	d.failed = true
+	d.mu.Unlock()
+}
+
+// Failed reports whether the device has failed.
+func (d *Disk) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// track returns the track number of a block.
+func (d *Disk) track(bn int) int { return bn / d.cfg.BlocksPerTrack }
+
+// access accounts one device access and returns its duration. The caller
+// holds d.mu and must charge the returned duration to the process with
+// Sleep only after releasing the mutex — sleeping inside the lock would
+// stall any other process contending for this device at the host level,
+// invisible to the virtual scheduler.
+func (d *Disk) access(p sim.Proc, op Op, bn int, blocks int) time.Duration {
+	t := d.cfg.Timing.Access(op, d.head, bn, d.cfg)
+	d.head = bn + blocks - 1
+	if d.head >= d.cfg.NumBlocks {
+		d.head = d.cfg.NumBlocks - 1
+	}
+	d.stats.Add("disk.ops", 1)
+	d.stats.Add("disk.blocks", int64(blocks))
+	if op == OpRead {
+		d.stats.Add("disk.reads", 1)
+	} else {
+		d.stats.Add("disk.writes", 1)
+	}
+	d.stats.AddTime("disk.busy", t)
+	if d.tracer != nil {
+		kind := "disk.read"
+		if op == OpWrite {
+			kind = "disk.write"
+		}
+		d.tracer.Emitf(p.Now(), kind, "%s block %d (+%d) %v", d.name, bn, blocks, t)
+	}
+	return t
+}
+
+// charge sleeps for a device delay; call without holding d.mu.
+func charge(p sim.Proc, t time.Duration) {
+	if t > 0 {
+		p.Sleep(t)
+	}
+}
+
+func (d *Disk) check(bn int) error {
+	if d.failed {
+		return ErrFailed
+	}
+	if bn < 0 || bn >= d.cfg.NumBlocks {
+		return fmt.Errorf("%w: %d (capacity %d)", ErrOutOfRange, bn, d.cfg.NumBlocks)
+	}
+	return nil
+}
+
+// ReadBlock returns a copy of block bn, charging one access.
+func (d *Disk) ReadBlock(p sim.Proc, bn int) ([]byte, error) {
+	d.mu.Lock()
+	if err := d.check(bn); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	t := d.access(p, OpRead, bn, 1)
+	out := d.copyOut(bn)
+	d.mu.Unlock()
+	charge(p, t)
+	return out, nil
+}
+
+// ReadTrack returns copies of every block in the track containing bn for a
+// single access charge. first is the block number of the first returned
+// block. This models a full-track read under one rotation and is the basis
+// of the EFS read-ahead buffer.
+func (d *Disk) ReadTrack(p sim.Proc, bn int) (first int, blocks [][]byte, err error) {
+	d.mu.Lock()
+	if err := d.check(bn); err != nil {
+		d.mu.Unlock()
+		return 0, nil, err
+	}
+	first = d.track(bn) * d.cfg.BlocksPerTrack
+	last := first + d.cfg.BlocksPerTrack
+	if last > d.cfg.NumBlocks {
+		last = d.cfg.NumBlocks
+	}
+	t := d.access(p, OpRead, first, last-first)
+	blocks = make([][]byte, last-first)
+	for i := range blocks {
+		blocks[i] = d.copyOut(first + i)
+	}
+	d.mu.Unlock()
+	charge(p, t)
+	return first, blocks, nil
+}
+
+// WriteBlock stores data into block bn, charging one access. len(data) must
+// equal the block size.
+func (d *Disk) WriteBlock(p sim.Proc, bn int, data []byte) error {
+	d.mu.Lock()
+	if err := d.check(bn); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if len(data) != d.cfg.BlockSize {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: got %d, want %d", ErrBadSize, len(data), d.cfg.BlockSize)
+	}
+	t := d.access(p, OpWrite, bn, 1)
+	b := make([]byte, d.cfg.BlockSize)
+	copy(b, data)
+	d.blocks[bn] = b
+	d.mu.Unlock()
+	charge(p, t)
+	return nil
+}
+
+// copyOut returns a copy of block bn; never-written blocks read as zeroes.
+// Callers hold d.mu.
+func (d *Disk) copyOut(bn int) []byte {
+	b := make([]byte, d.cfg.BlockSize)
+	if d.blocks[bn] != nil {
+		copy(b, d.blocks[bn])
+	}
+	return b
+}
+
+// Peek returns the raw stored block without charging time or copying; for
+// tests and image persistence only. A nil result means a never-written
+// block.
+func (d *Disk) Peek(bn int) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if bn < 0 || bn >= d.cfg.NumBlocks {
+		return nil
+	}
+	return d.blocks[bn]
+}

@@ -1,0 +1,94 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Disk images let the bridgefs command persist a simulated cluster across
+// invocations. The format is a small header followed by (index, block)
+// pairs for every written block; never-written blocks are omitted.
+
+var imageMagic = [8]byte{'B', 'R', 'D', 'G', 'I', 'M', 'G', '1'}
+
+// ErrBadImage is returned by LoadImage for corrupt or mismatched images.
+var ErrBadImage = errors.New("disk: bad image")
+
+// SaveImage writes the device contents to w.
+func (d *Disk) SaveImage(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(imageMagic[:]); err != nil {
+		return fmt.Errorf("disk: writing image header: %w", err)
+	}
+	var written uint32
+	for _, b := range d.blocks {
+		if b != nil {
+			written++
+		}
+	}
+	hdr := []uint32{uint32(d.cfg.BlockSize), uint32(d.cfg.NumBlocks), written}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("disk: writing image header: %w", err)
+		}
+	}
+	for i, b := range d.blocks {
+		if b == nil {
+			continue
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(i)); err != nil {
+			return fmt.Errorf("disk: writing image block %d: %w", i, err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return fmt.Errorf("disk: writing image block %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadImage replaces the device contents from an image produced by
+// SaveImage. The image's geometry must match the device configuration.
+func (d *Disk) LoadImage(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("disk: reading image header: %w", err)
+	}
+	if magic != imageMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	var blockSize, numBlocks, written uint32
+	for _, p := range []*uint32{&blockSize, &numBlocks, &written} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("disk: reading image header: %w", err)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(blockSize) != d.cfg.BlockSize || int(numBlocks) != d.cfg.NumBlocks {
+		return fmt.Errorf("%w: image geometry %dx%d, device %dx%d",
+			ErrBadImage, numBlocks, blockSize, d.cfg.NumBlocks, d.cfg.BlockSize)
+	}
+	blocks := make([][]byte, d.cfg.NumBlocks)
+	for i := uint32(0); i < written; i++ {
+		var idx uint32
+		if err := binary.Read(br, binary.LittleEndian, &idx); err != nil {
+			return fmt.Errorf("disk: reading image block: %w", err)
+		}
+		if int(idx) >= d.cfg.NumBlocks {
+			return fmt.Errorf("%w: block index %d out of range", ErrBadImage, idx)
+		}
+		b := make([]byte, d.cfg.BlockSize)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return fmt.Errorf("disk: reading image block %d: %w", idx, err)
+		}
+		blocks[idx] = b
+	}
+	d.blocks = blocks
+	return nil
+}

@@ -1,0 +1,73 @@
+package distrib
+
+// Analysis helpers for the Section 3 placement ablation. They quantify the
+// paper's qualitative arguments without running the full file system.
+
+// WindowMaxLoad returns the maximum number of blocks from the window
+// [start, start+width) that land on a single node. A perfectly parallel
+// window has load 1; a p-block window with load m reads in m device times.
+func WindowMaxLoad(l Layout, start int64, width int) int {
+	counts := make(map[int]int)
+	maxLoad := 0
+	for n := start; n < start+int64(width); n++ {
+		c := counts[l.NodeFor(n)] + 1
+		counts[l.NodeFor(n)] = c
+		if c > maxLoad {
+			maxLoad = c
+		}
+	}
+	return maxLoad
+}
+
+// DistinctWindowFraction returns the fraction of the windows
+// [0,p), [1,p+1), ..., [windows-1, windows-1+p) whose p blocks land on p
+// distinct nodes. Round-robin yields 1.0 by construction; the paper argues
+// this probability is "extremely low" under hashing.
+func DistinctWindowFraction(l Layout, windows int, p int) float64 {
+	if windows <= 0 {
+		return 0
+	}
+	distinct := 0
+	for w := 0; w < windows; w++ {
+		if WindowMaxLoad(l, int64(w), p) == 1 {
+			distinct++
+		}
+	}
+	return float64(distinct) / float64(windows)
+}
+
+// MeanWindowMaxLoad returns the average WindowMaxLoad over the given number
+// of consecutive windows of the given width: the expected serialization
+// factor for parallel batch reads.
+func MeanWindowMaxLoad(l Layout, windows int, width int) float64 {
+	if windows <= 0 {
+		return 0
+	}
+	sum := 0
+	for w := 0; w < windows; w++ {
+		sum += WindowMaxLoad(l, int64(w), width)
+	}
+	return float64(sum) / float64(windows)
+}
+
+// ChunkedAppendMoves returns how many existing blocks change nodes when a
+// chunked file planned for oldBlocks is re-chunked for newBlocks — the
+// "global reorganization involving every LFS" the paper warns about.
+// Round-robin appends never move existing blocks.
+func ChunkedAppendMoves(p int, oldBlocks, newBlocks int64) int64 {
+	oldL, err := New(Spec{Kind: Chunked, P: p, TotalBlocks: oldBlocks})
+	if err != nil {
+		return 0
+	}
+	newL, err := New(Spec{Kind: Chunked, P: p, TotalBlocks: newBlocks})
+	if err != nil {
+		return 0
+	}
+	var moves int64
+	for n := int64(0); n < oldBlocks; n++ {
+		if oldL.NodeFor(n) != newL.NodeFor(n) {
+			moves++
+		}
+	}
+	return moves
+}

@@ -1,0 +1,226 @@
+// Package distrib implements the block-placement strategies discussed in
+// Section 3 of the Bridge paper. Bridge's own choice is round-robin
+// interleaving: block n of a file lives on LFS ((n + k) mod p) as local
+// block (n div p). The alternatives the paper argues against — Gamma-style
+// chunking and hashed placement — are implemented for the placement
+// ablation, which quantifies the paper's two claims:
+//
+//   - round-robin guarantees that any p consecutive blocks land on p
+//     distinct nodes (optimal for parallel sequential access), while the
+//     probability of that under hashing is "extremely low";
+//   - chunking requires the file size a priori and significant changes in
+//     size force a global reorganization.
+package distrib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind selects a placement strategy.
+type Kind uint8
+
+const (
+	// RoundRobin is Bridge's interleaving: node (n+k) mod p, local n/p.
+	RoundRobin Kind = iota + 1
+	// Chunked divides the file into p contiguous chunks (Gamma).
+	Chunked
+	// Hashed scatters blocks by a hash of the block number (Gamma's
+	// other mode, with the block number as the key).
+	Hashed
+	// Disordered scatters blocks arbitrarily and chains them through
+	// explicit next-pointers in the Bridge block headers — the paper's
+	// "explicit linked-list representation of files that permits
+	// arbitrary scattering of blocks at the expense of very slow random
+	// access". Placement is per-block state, not a formula, so
+	// Disordered has no Layout; the Bridge Server resolves it.
+	Disordered
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RoundRobin:
+		return "round-robin"
+	case Chunked:
+		return "chunked"
+	case Hashed:
+		return "hashed"
+	case Disordered:
+		return "disordered"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ErrNeedSize is returned when a Chunked spec lacks the a-priori total size
+// — the paper's "principal disadvantage of chunking".
+var ErrNeedSize = errors.New("distrib: chunked placement requires TotalBlocks a priori")
+
+// ErrBadSpec is returned for invalid placement parameters.
+var ErrBadSpec = errors.New("distrib: invalid placement spec")
+
+// Spec is a serializable description of a file's placement.
+type Spec struct {
+	Kind Kind
+	// P is the interleaving breadth (number of LFS instances).
+	P int
+	// Start is the node holding block zero (round-robin only): the paper
+	// allows the round-robin distribution to start on any node.
+	Start int
+	// TotalBlocks is the a-priori file size (chunked only).
+	TotalBlocks int64
+	// Seed perturbs the hash (hashed only).
+	Seed uint64
+}
+
+// Layout maps global block numbers to (node, local block) coordinates.
+type Layout interface {
+	// Spec returns the layout's defining parameters.
+	Spec() Spec
+	// NodeFor returns the index (0..P-1) of the node holding block n.
+	NodeFor(n int64) int
+	// LocalFor returns the block's index within its node's local file.
+	LocalFor(n int64) int64
+	// GlobalFor inverts the mapping: the global block number of local
+	// block `local` on node index `node`. Tools use it to translate
+	// between global and local block names. Returns -1 if no such block
+	// can be determined (hashed placement beyond the explored prefix).
+	GlobalFor(node int, local int64) int64
+}
+
+// New validates a spec and builds its layout.
+func New(s Spec) (Layout, error) {
+	if s.P <= 0 {
+		return nil, fmt.Errorf("%w: P = %d", ErrBadSpec, s.P)
+	}
+	switch s.Kind {
+	case RoundRobin:
+		if s.Start < 0 || s.Start >= s.P {
+			return nil, fmt.Errorf("%w: start %d with P %d", ErrBadSpec, s.Start, s.P)
+		}
+		return roundRobin{s}, nil
+	case Chunked:
+		if s.TotalBlocks <= 0 {
+			return nil, ErrNeedSize
+		}
+		return chunked{s, (s.TotalBlocks + int64(s.P) - 1) / int64(s.P)}, nil
+	case Hashed:
+		return &hashed{spec: s}, nil
+	case Disordered:
+		return nil, fmt.Errorf("%w: disordered placement is per-block state, not a layout", ErrBadSpec)
+	default:
+		return nil, fmt.Errorf("%w: kind %v", ErrBadSpec, s.Kind)
+	}
+}
+
+type roundRobin struct{ spec Spec }
+
+func (l roundRobin) Spec() Spec { return l.spec }
+
+func (l roundRobin) NodeFor(n int64) int {
+	return int((n + int64(l.spec.Start)) % int64(l.spec.P))
+}
+
+func (l roundRobin) LocalFor(n int64) int64 { return n / int64(l.spec.P) }
+
+func (l roundRobin) GlobalFor(node int, local int64) int64 {
+	if node < 0 || node >= l.spec.P || local < 0 {
+		return -1
+	}
+	return local*int64(l.spec.P) + int64((node-l.spec.Start+l.spec.P)%l.spec.P)
+}
+
+type chunked struct {
+	spec      Spec
+	chunkSize int64
+}
+
+func (l chunked) Spec() Spec { return l.spec }
+
+func (l chunked) NodeFor(n int64) int {
+	node := int(n / l.chunkSize)
+	if node >= l.spec.P {
+		node = l.spec.P - 1 // blocks past the planned size pile onto the last node
+	}
+	return node
+}
+
+func (l chunked) LocalFor(n int64) int64 {
+	node := int64(l.NodeFor(n))
+	return n - node*l.chunkSize
+}
+
+func (l chunked) GlobalFor(node int, local int64) int64 {
+	if node < 0 || node >= l.spec.P || local < 0 {
+		return -1
+	}
+	return int64(node)*l.chunkSize + local
+}
+
+// hashed places block n on node hash(n) mod p. Local indices are the count
+// of earlier blocks on the same node, memoized in prefix tables; this is
+// inherently sequential state, which is itself part of why hashing fits a
+// keyed database better than a positional file.
+type hashed struct {
+	spec Spec
+	// nodes[i] caches NodeFor(i); locals[i] caches LocalFor(i).
+	nodes  []uint16
+	locals []int64
+	counts []int64 // running per-node counts for extension
+}
+
+func (l *hashed) Spec() Spec { return l.spec }
+
+func (l *hashed) rawNode(n int64) int {
+	x := uint64(n) + l.spec.Seed
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(l.spec.P))
+}
+
+func (l *hashed) extend(n int64) {
+	if l.counts == nil {
+		l.counts = make([]int64, l.spec.P)
+	}
+	for int64(len(l.nodes)) <= n {
+		i := int64(len(l.nodes))
+		node := l.rawNode(i)
+		l.nodes = append(l.nodes, uint16(node))
+		l.locals = append(l.locals, l.counts[node])
+		l.counts[node]++
+	}
+}
+
+func (l *hashed) NodeFor(n int64) int {
+	l.extend(n)
+	return int(l.nodes[n])
+}
+
+func (l *hashed) LocalFor(n int64) int64 {
+	l.extend(n)
+	return l.locals[n]
+}
+
+// GlobalFor scans the explored prefix, extending it up to a bounded search
+// horizon; hashed placement has no closed-form inverse.
+func (l *hashed) GlobalFor(node int, local int64) int64 {
+	if node < 0 || node >= l.spec.P || local < 0 {
+		return -1
+	}
+	const horizon = 1 << 22
+	for probe := int64(64); ; probe *= 2 {
+		l.extend(probe)
+		for n := int64(0); n < int64(len(l.nodes)); n++ {
+			if int(l.nodes[n]) == node && l.locals[n] == local {
+				return n
+			}
+		}
+		if probe > horizon {
+			return -1
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package distrib
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinPaperFormula(t *testing.T) {
+	// "the nth block of an interleaved file will be block (n div p) in
+	// the constituent file on LFS (n mod p)".
+	l, err := New(Spec{Kind: RoundRobin, P: 9})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for n := int64(0); n < 100; n++ {
+		if got, want := l.NodeFor(n), int(n%9); got != want {
+			t.Fatalf("NodeFor(%d) = %d, want %d", n, got, want)
+		}
+		if got, want := l.LocalFor(n), n/9; got != want {
+			t.Fatalf("LocalFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRoundRobinStartOffset(t *testing.T) {
+	// "If the round-robin distribution can start on any node, then the
+	// nth block will be found on processor ((n + k) mod p)".
+	l, err := New(Spec{Kind: RoundRobin, P: 5, Start: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for n := int64(0); n < 50; n++ {
+		if got, want := l.NodeFor(n), int((n+3)%5); got != want {
+			t.Fatalf("NodeFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestChunkedLayout(t *testing.T) {
+	l, err := New(Spec{Kind: Chunked, P: 4, TotalBlocks: 100})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// ceil(100/4) = 25 per chunk.
+	cases := []struct {
+		n     int64
+		node  int
+		local int64
+	}{{0, 0, 0}, {24, 0, 24}, {25, 1, 0}, {99, 3, 24}, {120, 3, 45}}
+	for _, c := range cases {
+		if got := l.NodeFor(c.n); got != c.node {
+			t.Errorf("NodeFor(%d) = %d, want %d", c.n, got, c.node)
+		}
+		if got := l.LocalFor(c.n); got != c.local {
+			t.Errorf("LocalFor(%d) = %d, want %d", c.n, got, c.local)
+		}
+	}
+}
+
+func TestChunkedNeedsSize(t *testing.T) {
+	if _, err := New(Spec{Kind: Chunked, P: 4}); !errors.Is(err, ErrNeedSize) {
+		t.Errorf("New chunked without size = %v, want ErrNeedSize", err)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	for _, s := range []Spec{
+		{Kind: RoundRobin, P: 0},
+		{Kind: RoundRobin, P: 4, Start: 4},
+		{Kind: RoundRobin, P: 4, Start: -1},
+		{Kind: Kind(99), P: 4},
+	} {
+		if _, err := New(s); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", s)
+		}
+	}
+}
+
+func TestHashedLocalIndicesAreDense(t *testing.T) {
+	l, err := New(Spec{Kind: Hashed, P: 7, Seed: 42})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Per node, local indices must be 0,1,2,... in global order.
+	next := make(map[int]int64)
+	for n := int64(0); n < 500; n++ {
+		node := l.NodeFor(n)
+		if got := l.LocalFor(n); got != next[node] {
+			t.Fatalf("LocalFor(%d) on node %d = %d, want %d", n, node, got, next[node])
+		}
+		next[node]++
+	}
+}
+
+func TestHashedDeterministic(t *testing.T) {
+	a, _ := New(Spec{Kind: Hashed, P: 5, Seed: 9})
+	b, _ := New(Spec{Kind: Hashed, P: 5, Seed: 9})
+	for n := int64(0); n < 200; n++ {
+		if a.NodeFor(n) != b.NodeFor(n) || a.LocalFor(n) != b.LocalFor(n) {
+			t.Fatalf("hashed layout not deterministic at block %d", n)
+		}
+	}
+	// Out-of-order access must agree with in-order access.
+	c, _ := New(Spec{Kind: Hashed, P: 5, Seed: 9})
+	if c.LocalFor(150) != a.LocalFor(150) {
+		t.Error("out-of-order LocalFor disagrees")
+	}
+}
+
+func TestRoundRobinWindowsAlwaysDistinct(t *testing.T) {
+	// The paper's guarantee: "Round-robin interleaving guarantees that
+	// consecutive blocks will all be on different nodes."
+	for _, p := range []int{2, 4, 8, 32} {
+		l, _ := New(Spec{Kind: RoundRobin, P: p})
+		if f := DistinctWindowFraction(l, 200, p); f != 1.0 {
+			t.Errorf("p=%d: round-robin distinct fraction = %v, want 1.0", p, f)
+		}
+	}
+}
+
+func TestHashedWindowsRarelyDistinct(t *testing.T) {
+	// "with p processors ... the probability that p consecutive blocks
+	// would be on p different processors would be extremely low."
+	// The exact probability is p!/p^p: ~0.0021 for p=8.
+	l, _ := New(Spec{Kind: Hashed, P: 8, Seed: 1})
+	if f := DistinctWindowFraction(l, 2000, 8); f > 0.02 {
+		t.Errorf("hashed distinct fraction = %v, want ~0.002", f)
+	}
+}
+
+func TestMeanWindowMaxLoad(t *testing.T) {
+	rr, _ := New(Spec{Kind: RoundRobin, P: 8})
+	if m := MeanWindowMaxLoad(rr, 100, 8); m != 1.0 {
+		t.Errorf("round-robin mean max load = %v, want 1.0", m)
+	}
+	h, _ := New(Spec{Kind: Hashed, P: 8, Seed: 3})
+	if m := MeanWindowMaxLoad(h, 1000, 8); m < 1.5 {
+		t.Errorf("hashed mean max load = %v, want noticeably above 1", m)
+	}
+}
+
+func TestChunkedAppendMoves(t *testing.T) {
+	// Growing a chunked file forces most existing blocks to move;
+	// round-robin appends move nothing by construction.
+	moves := ChunkedAppendMoves(4, 100, 200)
+	if moves == 0 {
+		t.Error("re-chunking moved no blocks; expected a global reorganization")
+	}
+	// Doubling the file size with p=4: old chunk 25, new chunk 50. Block
+	// 25..49 move from node 1 to node 0, etc. At least half must move.
+	if moves < 50 {
+		t.Errorf("moves = %d, want >= 50 of 100", moves)
+	}
+	if got := ChunkedAppendMoves(4, 100, 100); got != 0 {
+		t.Errorf("same-size re-chunk moved %d blocks, want 0", got)
+	}
+}
+
+func TestGlobalForInverts(t *testing.T) {
+	specs := []Spec{
+		{Kind: RoundRobin, P: 5, Start: 2},
+		{Kind: Chunked, P: 4, TotalBlocks: 100},
+		{Kind: Hashed, P: 3, Seed: 11},
+	}
+	for _, s := range specs {
+		l, err := New(s)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", s, err)
+		}
+		for n := int64(0); n < 120; n++ {
+			node, local := l.NodeFor(n), l.LocalFor(n)
+			if got := l.GlobalFor(node, local); got != n {
+				t.Fatalf("%v: GlobalFor(NodeFor(%d), LocalFor(%d)) = %d", s.Kind, n, n, got)
+			}
+		}
+		// Out-of-range coordinates are rejected.
+		if l.GlobalFor(-1, 0) != -1 || l.GlobalFor(s.P, 0) != -1 || l.GlobalFor(0, -1) != -1 {
+			t.Errorf("%v: GlobalFor out-of-range not -1", s.Kind)
+		}
+	}
+}
+
+func TestDisorderedHasNoLayout(t *testing.T) {
+	if _, err := New(Spec{Kind: Disordered, P: 4}); err == nil {
+		t.Error("New(Disordered) returned a layout")
+	}
+	if Disordered.String() != "disordered" {
+		t.Errorf("String = %q", Disordered.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		RoundRobin: "round-robin",
+		Chunked:    "chunked",
+		Hashed:     "hashed",
+		Kind(42):   "Kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestQuickRoundRobinInverse(t *testing.T) {
+	// Property: (NodeFor, LocalFor) is a bijection blockNum <-> (node,
+	// local): n == local*p + ((node - start) mod p).
+	f := func(pRaw uint8, startRaw uint8, nRaw uint16) bool {
+		p := int(pRaw%31) + 2
+		start := int(startRaw) % p
+		n := int64(nRaw)
+		l, err := New(Spec{Kind: RoundRobin, P: p, Start: start})
+		if err != nil {
+			return false
+		}
+		node, local := l.NodeFor(n), l.LocalFor(n)
+		rec := local*int64(p) + int64((node-start+p)%p)
+		return rec == n && node >= 0 && node < p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChunkedCoversAllBlocks(t *testing.T) {
+	// Property: every block in [0, total) maps to a valid node and local
+	// index, and (node, local) pairs are unique.
+	f := func(pRaw uint8, totRaw uint16) bool {
+		p := int(pRaw%15) + 1
+		total := int64(totRaw%500) + 1
+		l, err := New(Spec{Kind: Chunked, P: p, TotalBlocks: total})
+		if err != nil {
+			return false
+		}
+		seen := make(map[[2]int64]bool)
+		for n := int64(0); n < total; n++ {
+			node, local := l.NodeFor(n), l.LocalFor(n)
+			if node < 0 || node >= p || local < 0 {
+				return false
+			}
+			key := [2]int64{int64(node), local}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

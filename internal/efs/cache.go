@@ -1,0 +1,105 @@
+package efs
+
+import "container/list"
+
+// blockCache is the LRU cache of recently-accessed blocks the paper
+// describes: "a cache of recently-accessed blocks makes sequential access
+// more efficient by keeping neighboring blocks (and their pointers) in
+// memory". Whole tracks are inserted on read misses (full-track buffering).
+//
+// The cache also feeds the block-location map: whenever a used data block
+// enters the cache, its (file, block-number) → disk-address mapping is
+// learned, so later lookups can skip the linked-list walk.
+type blockCache struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[int32]*list.Element
+}
+
+type cacheEntry struct {
+	addr   int32
+	data   []byte // private copy, BlockSize bytes
+	key    fileKey
+	hasKey bool
+}
+
+type fileKey struct {
+	fileID   uint32
+	blockNum uint32
+}
+
+func newBlockCache(capacity int) *blockCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &blockCache{cap: capacity, ll: list.New(), m: make(map[int32]*list.Element)}
+}
+
+// get returns a copy of the cached block, if present.
+func (c *blockCache) get(addr int32) ([]byte, bool) {
+	el, ok := c.m[addr]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	out := make([]byte, len(e.data))
+	copy(out, e.data)
+	return out, true
+}
+
+// put inserts or refreshes a block, returning the location key of any
+// evicted used block so the owner can drop its location-map entry, plus the
+// location key learned from the inserted block (if it is a used data
+// block).
+func (c *blockCache) put(addr int32, data []byte) (evicted fileKey, hasEvicted bool, learned fileKey, hasLearned bool) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	h := decodeHeader(cp)
+	var key fileKey
+	hasKey := h.Flags&flagUsed != 0 && h.Flags&flagDirOverflow == 0
+	if hasKey {
+		key = fileKey{fileID: h.FileID, blockNum: h.BlockNum}
+		learned, hasLearned = key, true
+	}
+	if el, ok := c.m[addr]; ok {
+		e := el.Value.(*cacheEntry)
+		// The block may have changed identity (freed, reallocated).
+		if e.hasKey && (!hasKey || e.key != key) {
+			evicted, hasEvicted = e.key, true
+		}
+		e.data, e.key, e.hasKey = cp, key, hasKey
+		c.ll.MoveToFront(el)
+		return evicted, hasEvicted, learned, hasLearned
+	}
+	el := c.ll.PushFront(&cacheEntry{addr: addr, data: cp, key: key, hasKey: hasKey})
+	c.m[addr] = el
+	if c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, e.addr)
+		if e.hasKey {
+			evicted, hasEvicted = e.key, true
+		}
+	}
+	return evicted, hasEvicted, learned, hasLearned
+}
+
+// invalidate drops a block, returning its location key if it had one.
+func (c *blockCache) invalidate(addr int32) (fileKey, bool) {
+	el, ok := c.m[addr]
+	if !ok {
+		return fileKey{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.m, addr)
+	if e.hasKey {
+		return e.key, true
+	}
+	return fileKey{}, false
+}
+
+// len returns the number of cached blocks.
+func (c *blockCache) len() int { return c.ll.Len() }

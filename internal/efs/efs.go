@@ -1,0 +1,346 @@
+// Package efs implements the Elementary File System: the local file system
+// that runs on each Bridge node, modeled on the Cronus EFS the paper built
+// upon. It is deliberately simple, exactly as the paper describes:
+//
+//   - a flat namespace of numeric file ids, hashed into a directory;
+//   - files represented as doubly linked circular lists of 1 KB blocks,
+//     each block carrying its file number, block number, and neighbor
+//     pointers in a 24-byte header;
+//   - stateless operation: every request is self-contained and may carry a
+//     disk-address hint; lookups walk the linked list from the closest of
+//     the file's first block, last block, and the hint;
+//   - a cache of recently-accessed blocks with full-track read-ahead, which
+//     is what makes average sequential-read time "substantially less than
+//     disk latency".
+//
+// One deviation from a strict circular list: the first block's prev pointer
+// is not rewritten on every append (that would cost an extra disk access
+// per append). The directory entry is the authoritative source of the
+// first/last block addresses, and backward walks stop at block 0.
+package efs
+
+import (
+	"fmt"
+	"sort"
+
+	"bridge/internal/disk"
+	"bridge/internal/sim"
+	"bridge/internal/stats"
+)
+
+// Options configures volume geometry at Format time.
+type Options struct {
+	// DirBuckets is the number of directory hash buckets. Default 16.
+	DirBuckets int
+	// CacheBlocks is the block cache capacity. Default 128 (a few
+	// tracks).
+	CacheBlocks int
+}
+
+func (o *Options) applyDefaults() {
+	if o.DirBuckets <= 0 {
+		o.DirBuckets = 16
+	}
+	if o.CacheBlocks <= 0 {
+		o.CacheBlocks = 128
+	}
+}
+
+// FileInfo describes one file.
+type FileInfo struct {
+	FileID uint32
+	Blocks int
+	First  int32
+	Last   int32
+}
+
+// FS is a mounted EFS volume. An FS is owned by a single LFS server
+// process; it is not safe for concurrent use.
+type FS struct {
+	d     *disk.Disk
+	sb    superblock
+	bm    *bitmap
+	cache *blockCache
+	loc   map[fileKey]int32
+	// buckets caches directory bucket chains by home bucket index.
+	buckets map[int]*bucketChain
+	dirty   struct {
+		super  bool
+		bitmap bool
+	}
+	stats *stats.Counters
+}
+
+// bucketChain is a loaded directory bucket plus its overflow blocks.
+type bucketChain struct {
+	blocks []*bucketBlock
+}
+
+type bucketBlock struct {
+	addr  int32
+	b     dirBucket
+	dirty bool
+}
+
+// Format initializes a fresh volume on d and returns it mounted.
+func Format(p sim.Proc, d *disk.Disk, opts Options) (*FS, error) {
+	opts.applyDefaults()
+	n := d.Config().NumBlocks
+	if d.Config().BlockSize != BlockSize {
+		return nil, fmt.Errorf("efs: disk block size %d, want %d", d.Config().BlockSize, BlockSize)
+	}
+	bitmapBlocks := (n + BlockSize*8 - 1) / (BlockSize * 8)
+	dataStart := 1 + opts.DirBuckets + bitmapBlocks
+	if dataStart >= n {
+		return nil, fmt.Errorf("efs: volume too small: %d blocks, %d needed for metadata", n, dataStart)
+	}
+	fs := &FS{
+		d: d,
+		sb: superblock{
+			NumBlocks:    uint32(n),
+			DirBuckets:   uint32(opts.DirBuckets),
+			BitmapBlocks: uint32(bitmapBlocks),
+			DataStart:    uint32(dataStart),
+		},
+		bm:      newBitmap(n),
+		cache:   newBlockCache(opts.CacheBlocks),
+		loc:     make(map[fileKey]int32),
+		buckets: make(map[int]*bucketChain),
+		stats:   stats.New(),
+	}
+	for i := 0; i < dataStart; i++ {
+		fs.bm.set(i)
+	}
+	// Write superblock and empty directory buckets; preload the bucket
+	// cache so Create on a fresh volume needs no directory reads.
+	buf := make([]byte, BlockSize)
+	encodeSuper(buf, fs.sb)
+	if err := d.WriteBlock(p, 0, buf); err != nil {
+		return nil, fmt.Errorf("efs: formatting superblock: %w", err)
+	}
+	empty := make([]byte, BlockSize)
+	encodeBucket(empty, dirBucket{Overflow: nilAddr})
+	for i := 0; i < opts.DirBuckets; i++ {
+		if err := d.WriteBlock(p, 1+i, empty); err != nil {
+			return nil, fmt.Errorf("efs: formatting directory: %w", err)
+		}
+		fs.buckets[i] = &bucketChain{blocks: []*bucketBlock{{
+			addr: int32(1 + i),
+			b:    dirBucket{Overflow: nilAddr},
+		}}}
+	}
+	if err := fs.flushBitmap(p); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount opens an existing volume on d: it reads the superblock and the
+// free-space bitmap; directory buckets load lazily.
+func Mount(p sim.Proc, d *disk.Disk) (*FS, error) {
+	if d.Config().BlockSize != BlockSize {
+		return nil, fmt.Errorf("efs: disk block size %d, want %d", d.Config().BlockSize, BlockSize)
+	}
+	raw, err := d.ReadBlock(p, 0)
+	if err != nil {
+		return nil, fmt.Errorf("efs: reading superblock: %w", err)
+	}
+	sb, err := decodeSuper(raw)
+	if err != nil {
+		return nil, err
+	}
+	if int(sb.NumBlocks) != d.Config().NumBlocks {
+		return nil, fmt.Errorf("%w: superblock capacity %d, disk %d", ErrCorrupt, sb.NumBlocks, d.Config().NumBlocks)
+	}
+	fs := &FS{
+		d:       d,
+		sb:      sb,
+		bm:      newBitmap(int(sb.NumBlocks)),
+		cache:   newBlockCache(128),
+		loc:     make(map[fileKey]int32),
+		buckets: make(map[int]*bucketChain),
+		stats:   stats.New(),
+	}
+	bmBlocks := make([][]byte, sb.BitmapBlocks)
+	for i := range bmBlocks {
+		b, err := d.ReadBlock(p, 1+int(sb.DirBuckets)+i)
+		if err != nil {
+			return nil, fmt.Errorf("efs: reading bitmap: %w", err)
+		}
+		bmBlocks[i] = b
+	}
+	fs.bm.decodeFrom(bmBlocks)
+	return fs, nil
+}
+
+// Stats returns the volume's counters (cache hits/misses, list-walk steps).
+func (fs *FS) Stats() *stats.Counters { return fs.stats }
+
+// Disk returns the underlying device.
+func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// FreeBlocks returns the number of unallocated blocks.
+func (fs *FS) FreeBlocks() int { return fs.bm.free() }
+
+// DataStart returns the first data-region block address.
+func (fs *FS) DataStart() int { return int(fs.sb.DataStart) }
+
+// readCached returns block addr through the cache; a miss reads the whole
+// containing track (full-track buffering).
+func (fs *FS) readCached(p sim.Proc, addr int32) ([]byte, error) {
+	if b, ok := fs.cache.get(addr); ok {
+		fs.stats.Add("efs.cache_hits", 1)
+		return b, nil
+	}
+	fs.stats.Add("efs.cache_misses", 1)
+	first, blocks, err := fs.d.ReadTrack(p, int(addr))
+	if err != nil {
+		return nil, fmt.Errorf("efs: reading block %d: %w", addr, err)
+	}
+	var out []byte
+	for i, b := range blocks {
+		a := int32(first + i)
+		fs.cacheInsert(a, b)
+		if a == addr {
+			out = make([]byte, len(b))
+			copy(out, b)
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("%w: track read missed block %d", ErrCorrupt, addr)
+	}
+	return out, nil
+}
+
+// writeThrough writes a block to disk and refreshes the cache. Data-block
+// writes in EFS are write-through; only directory and bitmap metadata are
+// written behind (flushed on Sync).
+func (fs *FS) writeThrough(p sim.Proc, addr int32, data []byte) error {
+	if err := fs.d.WriteBlock(p, int(addr), data); err != nil {
+		return fmt.Errorf("efs: writing block %d: %w", addr, err)
+	}
+	fs.cacheInsert(addr, data)
+	return nil
+}
+
+// cacheInsert puts a block into the cache and maintains the location map.
+func (fs *FS) cacheInsert(addr int32, data []byte) {
+	// Only data-region blocks can teach file locations.
+	if int(addr) < int(fs.sb.DataStart) {
+		evicted, hasEvicted, _, _ := fs.cache.put(addr, data)
+		if hasEvicted {
+			delete(fs.loc, evicted)
+		}
+		return
+	}
+	evicted, hasEvicted, learned, hasLearned := fs.cache.put(addr, data)
+	if hasEvicted {
+		delete(fs.loc, evicted)
+	}
+	if hasLearned {
+		fs.loc[learned] = addr
+	}
+}
+
+// invalidate drops a block from the cache and location map.
+func (fs *FS) invalidate(addr int32) {
+	if key, ok := fs.cache.invalidate(addr); ok {
+		delete(fs.loc, key)
+	}
+}
+
+// loadChain returns the directory bucket chain for a file id, reading
+// bucket blocks on first use.
+func (fs *FS) loadChain(p sim.Proc, fileID uint32) (*bucketChain, error) {
+	idx := bucketFor(fileID, int(fs.sb.DirBuckets))
+	if ch, ok := fs.buckets[idx]; ok {
+		return ch, nil
+	}
+	ch := &bucketChain{}
+	addr := int32(1 + idx)
+	for addr != nilAddr {
+		raw, err := fs.readCached(p, addr)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeBucket(raw)
+		if err != nil {
+			return nil, err
+		}
+		ch.blocks = append(ch.blocks, &bucketBlock{addr: addr, b: b})
+		addr = b.Overflow
+	}
+	fs.buckets[idx] = ch
+	return ch, nil
+}
+
+// findEntry returns the bucket block and entry index holding fileID.
+func (fs *FS) findEntry(p sim.Proc, fileID uint32) (*bucketBlock, int, error) {
+	ch, err := fs.loadChain(p, fileID)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, bb := range ch.blocks {
+		for i := range bb.b.Entries {
+			if bb.b.Entries[i].FileID == fileID {
+				return bb, i, nil
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: file %d", ErrNotFound, fileID)
+}
+
+// Sync flushes dirty directory buckets, the bitmap, and the superblock.
+// Buckets flush in index order so simulated timings stay deterministic
+// under position-dependent disk models.
+func (fs *FS) Sync(p sim.Proc) error {
+	idxs := make([]int, 0, len(fs.buckets))
+	for idx := range fs.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		ch := fs.buckets[idx]
+		for _, bb := range ch.blocks {
+			if !bb.dirty {
+				continue
+			}
+			buf := make([]byte, BlockSize)
+			encodeBucket(buf, bb.b)
+			if err := fs.d.WriteBlock(p, int(bb.addr), buf); err != nil {
+				return fmt.Errorf("efs: flushing directory: %w", err)
+			}
+			fs.cacheInsert(bb.addr, buf)
+			bb.dirty = false
+		}
+	}
+	if fs.dirty.bitmap {
+		if err := fs.flushBitmap(p); err != nil {
+			return err
+		}
+	}
+	if fs.dirty.super {
+		buf := make([]byte, BlockSize)
+		encodeSuper(buf, fs.sb)
+		if err := fs.d.WriteBlock(p, 0, buf); err != nil {
+			return fmt.Errorf("efs: flushing superblock: %w", err)
+		}
+		fs.dirty.super = false
+	}
+	return nil
+}
+
+func (fs *FS) flushBitmap(p sim.Proc) error {
+	blocks := make([][]byte, fs.sb.BitmapBlocks)
+	for i := range blocks {
+		blocks[i] = make([]byte, BlockSize)
+	}
+	fs.bm.encodeInto(blocks)
+	for i, b := range blocks {
+		if err := fs.d.WriteBlock(p, 1+int(fs.sb.DirBuckets)+i, b); err != nil {
+			return fmt.Errorf("efs: flushing bitmap: %w", err)
+		}
+	}
+	fs.dirty.bitmap = false
+	return nil
+}

@@ -1,0 +1,183 @@
+package efs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// On-disk layout, all little-endian:
+//
+//	block 0:                superblock
+//	blocks 1..D:            directory hash buckets
+//	blocks D+1..D+B:        free-space bitmap
+//	blocks D+B+1..:         data blocks (and directory overflow buckets)
+//
+// Every data block carries the 24-byte EFS header the paper describes
+// (file number, block number, next/prev links); the remaining 1000 bytes
+// are the data area. The Bridge layer takes 40 of those bytes for its own
+// header, leaving 960 bytes of payload per block, exactly as in the paper.
+
+// Geometry and header sizes.
+const (
+	BlockSize      = 1024
+	HeaderBytes    = 24
+	DataBytes      = BlockSize - HeaderBytes // 1000
+	dirEntryBytes  = 16
+	dirBlockHeader = 8
+	dirEntriesMax  = (BlockSize - dirBlockHeader) / dirEntryBytes // 63
+)
+
+// nilAddr marks an absent block pointer.
+const nilAddr int32 = -1
+
+var superMagic = [8]byte{'E', 'F', 'S', 'B', 'R', 'D', 'G', '1'}
+
+const superVersion = 1
+
+// Errors returned by EFS operations.
+var (
+	ErrExists      = errors.New("efs: file exists")
+	ErrNotFound    = errors.New("efs: file not found")
+	ErrNoSpace     = errors.New("efs: no space on device")
+	ErrBadBlockNum = errors.New("efs: block number out of range for file")
+	ErrNotAppend   = errors.New("efs: write beyond end of file")
+	ErrCorrupt     = errors.New("efs: corrupt volume")
+	ErrTooLarge    = errors.New("efs: data larger than block data area")
+)
+
+// Block header flags.
+const (
+	flagUsed uint16 = 1 << iota
+	flagDirOverflow
+)
+
+// blockHeader is the 24-byte per-block EFS header.
+type blockHeader struct {
+	FileID   uint32
+	BlockNum uint32
+	Next     int32
+	Prev     int32
+	DataLen  uint16
+	Flags    uint16
+}
+
+func encodeHeader(dst []byte, h blockHeader) {
+	binary.LittleEndian.PutUint32(dst[0:], h.FileID)
+	binary.LittleEndian.PutUint32(dst[4:], h.BlockNum)
+	binary.LittleEndian.PutUint32(dst[8:], uint32(h.Next))
+	binary.LittleEndian.PutUint32(dst[12:], uint32(h.Prev))
+	binary.LittleEndian.PutUint16(dst[16:], h.DataLen)
+	binary.LittleEndian.PutUint16(dst[18:], h.Flags)
+	// bytes 20..23 reserved
+	dst[20], dst[21], dst[22], dst[23] = 0, 0, 0, 0
+}
+
+func decodeHeader(src []byte) blockHeader {
+	return blockHeader{
+		FileID:   binary.LittleEndian.Uint32(src[0:]),
+		BlockNum: binary.LittleEndian.Uint32(src[4:]),
+		Next:     int32(binary.LittleEndian.Uint32(src[8:])),
+		Prev:     int32(binary.LittleEndian.Uint32(src[12:])),
+		DataLen:  binary.LittleEndian.Uint16(src[16:]),
+		Flags:    binary.LittleEndian.Uint16(src[18:]),
+	}
+}
+
+// superblock is the volume header in block 0.
+type superblock struct {
+	NumBlocks    uint32
+	DirBuckets   uint32
+	BitmapBlocks uint32
+	DataStart    uint32
+	NextFileID   uint32 // allocator hint for locally-created scratch files
+}
+
+func encodeSuper(dst []byte, s superblock) {
+	copy(dst, superMagic[:])
+	binary.LittleEndian.PutUint32(dst[8:], superVersion)
+	binary.LittleEndian.PutUint32(dst[12:], s.NumBlocks)
+	binary.LittleEndian.PutUint32(dst[16:], s.DirBuckets)
+	binary.LittleEndian.PutUint32(dst[20:], s.BitmapBlocks)
+	binary.LittleEndian.PutUint32(dst[24:], s.DataStart)
+	binary.LittleEndian.PutUint32(dst[28:], s.NextFileID)
+}
+
+func decodeSuper(src []byte) (superblock, error) {
+	var magic [8]byte
+	copy(magic[:], src)
+	if magic != superMagic {
+		return superblock{}, fmt.Errorf("%w: bad superblock magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(src[8:]); v != superVersion {
+		return superblock{}, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	return superblock{
+		NumBlocks:    binary.LittleEndian.Uint32(src[12:]),
+		DirBuckets:   binary.LittleEndian.Uint32(src[16:]),
+		BitmapBlocks: binary.LittleEndian.Uint32(src[20:]),
+		DataStart:    binary.LittleEndian.Uint32(src[24:]),
+		NextFileID:   binary.LittleEndian.Uint32(src[28:]),
+	}, nil
+}
+
+// dirEntry is one directory slot: file id, chain endpoints, length.
+type dirEntry struct {
+	FileID uint32
+	First  int32
+	Last   int32
+	Blocks int32
+}
+
+// dirBucket is the in-memory form of a directory bucket block.
+type dirBucket struct {
+	Overflow int32 // next overflow bucket block, nilAddr if none
+	Entries  []dirEntry
+}
+
+func encodeBucket(dst []byte, b dirBucket) {
+	binary.LittleEndian.PutUint16(dst[0:], uint16(len(b.Entries)))
+	binary.LittleEndian.PutUint32(dst[2:], uint32(b.Overflow))
+	// bytes 6..7 reserved
+	dst[6], dst[7] = 0, 0
+	off := dirBlockHeader
+	for _, e := range b.Entries {
+		binary.LittleEndian.PutUint32(dst[off:], e.FileID)
+		binary.LittleEndian.PutUint32(dst[off+4:], uint32(e.First))
+		binary.LittleEndian.PutUint32(dst[off+8:], uint32(e.Last))
+		binary.LittleEndian.PutUint32(dst[off+12:], uint32(e.Blocks))
+		off += dirEntryBytes
+	}
+	for ; off < BlockSize; off++ {
+		dst[off] = 0
+	}
+}
+
+func decodeBucket(src []byte) (dirBucket, error) {
+	n := int(binary.LittleEndian.Uint16(src[0:]))
+	if n > dirEntriesMax {
+		return dirBucket{}, fmt.Errorf("%w: bucket entry count %d", ErrCorrupt, n)
+	}
+	b := dirBucket{
+		Overflow: int32(binary.LittleEndian.Uint32(src[2:])),
+		Entries:  make([]dirEntry, n),
+	}
+	off := dirBlockHeader
+	for i := range b.Entries {
+		b.Entries[i] = dirEntry{
+			FileID: binary.LittleEndian.Uint32(src[off:]),
+			First:  int32(binary.LittleEndian.Uint32(src[off+4:])),
+			Last:   int32(binary.LittleEndian.Uint32(src[off+8:])),
+			Blocks: int32(binary.LittleEndian.Uint32(src[off+12:])),
+		}
+		off += dirEntryBytes
+	}
+	return b, nil
+}
+
+// bucketFor hashes a file id to its home bucket index. File names in EFS
+// "are numbers that are used to hash into a directory".
+func bucketFor(fileID uint32, buckets int) int {
+	// Fibonacci hashing spreads sequential ids across buckets.
+	return int((uint64(fileID) * 11400714819323198485) % uint64(buckets))
+}

@@ -1,0 +1,203 @@
+package lfs
+
+import (
+	"fmt"
+	"time"
+
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// The node agent is how tools "become part of the file system": a tool
+// sends SpawnReq to each storage node's agent and the agent starts the
+// tool's worker process locally, so the worker's traffic to the node's LFS
+// is all node-local. The agent also implements the embedded-binary-tree
+// broadcast the paper suggests for speeding up Create's sequential
+// initiation ("Performance could be improved somewhat by sending startup
+// and completion messages through an embedded binary tree").
+
+// WorkerFunc is tool code exported to a storage node. In the simulated
+// network the function value travels in the message; on a real network this
+// corresponds to the paper's exportation of user-level code to LFS nodes.
+type WorkerFunc func(p sim.Proc, node msg.NodeID)
+
+// spawnCPU models 1988-era process creation cost on the node.
+const spawnCPU = 2 * time.Millisecond
+
+type (
+	// SpawnReq asks the agent to start a worker process on its node.
+	SpawnReq struct {
+		Name string
+		Fn   WorkerFunc
+	}
+	// SpawnResp acknowledges that the worker has been started.
+	SpawnResp struct{ Status Status }
+
+	// TreeReq broadcasts an LFS operation to Targets through an embedded
+	// binary tree: the receiving agent is Targets[0]; it forwards the
+	// request to the heads of the two halves of Targets[1:], delivers Op
+	// to its local LFS, and acknowledges once its subtree completes.
+	TreeReq struct {
+		Targets []msg.NodeID
+		Op      any
+		OpSize  int
+	}
+	// TreeResp reports subtree completion; Status carries the first
+	// error encountered in the subtree.
+	TreeResp struct{ Status Status }
+)
+
+type agent struct {
+	net  *msg.Network
+	node msg.NodeID
+	port *msg.Port
+}
+
+func startAgent(rt sim.Runtime, net *msg.Network, node msg.NodeID) *agent {
+	a := &agent{
+		net:  net,
+		node: node,
+		port: net.NewPort(msg.Addr{Node: node, Port: AgentPortName}),
+	}
+	rt.Go(a.port.Addr().String(), func(p sim.Proc) { a.run(p) })
+	return a
+}
+
+func (a *agent) run(p sim.Proc) {
+	c := msg.NewClient(p, a.net, a.node, AgentPortName+".cli")
+	spawned := 0
+	for {
+		req, ok := a.port.Recv(p)
+		if !ok {
+			c.Close()
+			return
+		}
+		switch r := req.Body.(type) {
+		case SpawnReq:
+			p.Sleep(spawnCPU)
+			spawned++
+			name := fmt.Sprintf("n%d/%s#%d", a.node, r.Name, spawned)
+			node := a.node
+			p.Go(name, func(wp sim.Proc) { r.Fn(wp, node) })
+			_ = c.Reply(req, SpawnResp{}, 8)
+		case TreeReq:
+			st := a.tree(p, c, r)
+			_ = c.Reply(req, TreeResp{Status: st}, 8)
+		default:
+			_ = c.Reply(req, TreeResp{Status: Status{Code: CodeIO, Detail: "agent: unknown request"}}, 8)
+		}
+	}
+}
+
+// tree performs the local op and forwards to the two child subtrees,
+// overlapping all three.
+func (a *agent) tree(p sim.Proc, c *msg.Client, r TreeReq) Status {
+	rest := r.Targets
+	if len(rest) > 0 && rest[0] == a.node {
+		rest = rest[1:]
+	}
+	var ids []uint64
+	mid := (len(rest) + 1) / 2
+	for _, half := range [][]msg.NodeID{rest[:mid], rest[mid:]} {
+		if len(half) == 0 {
+			continue
+		}
+		id, err := c.Start(msg.Addr{Node: half[0], Port: AgentPortName},
+			TreeReq{Targets: half, Op: r.Op, OpSize: r.OpSize}, r.OpSize+16)
+		if err != nil {
+			return statusFor(err)
+		}
+		ids = append(ids, id)
+	}
+	// Local delivery to this node's LFS.
+	localID, err := c.Start(lfsAddr(a.node), r.Op, r.OpSize)
+	if err != nil {
+		return statusFor(err)
+	}
+	st := Status{}
+	if m, err := c.Await(localID); err != nil {
+		st = statusFor(err)
+	} else if s := statusOf(m.Body); s.Code != CodeOK && st.Code == CodeOK {
+		st = s
+	}
+	for _, id := range ids {
+		m, err := c.Await(id)
+		if err != nil {
+			if st.Code == CodeOK {
+				st = statusFor(err)
+			}
+			continue
+		}
+		if s := m.Body.(TreeResp).Status; s.Code != CodeOK && st.Code == CodeOK {
+			st = s
+		}
+	}
+	return st
+}
+
+// statusOf extracts the Status from any LFS reply body.
+func statusOf(body any) Status {
+	switch b := body.(type) {
+	case CreateResp:
+		return b.Status
+	case DeleteResp:
+		return b.Status
+	case ReadResp:
+		return b.Status
+	case WriteResp:
+		return b.Status
+	case StatResp:
+		return b.Status
+	case SyncResp:
+		return b.Status
+	default:
+		return Status{Code: CodeIO, Detail: "agent: unknown reply"}
+	}
+}
+
+// Spawn asks the agent on node to start a worker; it returns once the
+// worker process has been created.
+func Spawn(c *msg.Client, node msg.NodeID, name string, fn WorkerFunc) error {
+	m, err := c.Call(msg.Addr{Node: node, Port: AgentPortName}, SpawnReq{Name: name, Fn: fn}, 64)
+	if err != nil {
+		return err
+	}
+	return m.Body.(SpawnResp).Status.Err()
+}
+
+// SpawnAll starts a worker on every listed node, overlapping the spawns,
+// and waits for all acknowledgements. fn receives the node it runs on.
+func SpawnAll(c *msg.Client, nodes []msg.NodeID, name string, fn WorkerFunc) error {
+	ids := make([]uint64, 0, len(nodes))
+	for _, n := range nodes {
+		id, err := c.Start(msg.Addr{Node: n, Port: AgentPortName}, SpawnReq{Name: name, Fn: fn}, 64)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	ms, err := c.Gather(ids)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if err := m.Body.(SpawnResp).Status.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TreeBroadcast delivers op to the LFS server of every listed node through
+// the embedded binary tree rooted at nodes[0], returning the first error.
+func TreeBroadcast(c *msg.Client, nodes []msg.NodeID, op any, opSize int) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	m, err := c.Call(msg.Addr{Node: nodes[0], Port: AgentPortName},
+		TreeReq{Targets: nodes, Op: op, OpSize: opSize}, opSize+16)
+	if err != nil {
+		return err
+	}
+	return m.Body.(TreeResp).Status.Err()
+}

@@ -1,0 +1,133 @@
+package lfs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bridge/internal/disk"
+	"bridge/internal/efs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+func TestUsageAndCheckOverProtocol(t *testing.T) {
+	rt, net, nodes := testCluster(2, Config{DiskBlocks: 512, Timing: disk.FixedTiming{}})
+	rt.Go("client", func(p sim.Proc) {
+		defer stopAll(nodes)
+		c := NewClient(p, net, 0, "cli")
+		node := nodes[0].ID
+		total0, free0, err := c.Usage(node)
+		if err != nil || total0 != 512 {
+			t.Errorf("Usage = %d/%d, %v", total0, free0, err)
+			return
+		}
+		c.Create(node, 1)
+		for i := 0; i < 10; i++ {
+			c.Write(node, 1, uint32(i), []byte("x"), -1)
+		}
+		_, free1, err := c.Usage(node)
+		if err != nil || free0-free1 != 10 {
+			t.Errorf("Usage after writes: free %d -> %d, %v", free0, free1, err)
+		}
+		rep, err := c.Check(node)
+		if err != nil {
+			t.Errorf("Check: %v", err)
+			return
+		}
+		if !rep.OK() || rep.Files != 1 || rep.ChainBlocks != 10 {
+			t.Errorf("Check = %+v", rep)
+		}
+		rep, fixes, err := c.Repair(node)
+		if err != nil || fixes != 0 || !rep.OK() {
+			t.Errorf("Repair clean volume = %d fixes, %v", fixes, err)
+		}
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+func TestUnknownLFSRequest(t *testing.T) {
+	rt, net, nodes := testCluster(1, Config{DiskBlocks: 256, Timing: disk.FixedTiming{}})
+	rt.Go("client", func(p sim.Proc) {
+		defer stopAll(nodes)
+		c := NewClient(p, net, 0, "cli")
+		type junk struct{}
+		m, err := c.C.Call(lfsAddr(nodes[0].ID), junk{}, 8)
+		if err != nil {
+			t.Errorf("Call: %v", err)
+			return
+		}
+		resp, ok := m.Body.(SyncResp)
+		if !ok || resp.Status.Code != CodeIO {
+			t.Errorf("unknown request reply = %+v", m.Body)
+		}
+		// Server still alive.
+		if err := c.Create(nodes[0].ID, 5); err != nil {
+			t.Errorf("Create after junk: %v", err)
+		}
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+func TestStatusErrRoundTrip(t *testing.T) {
+	for _, base := range []error{
+		efs.ErrNotFound, efs.ErrExists, efs.ErrNoSpace, efs.ErrBadBlockNum,
+		efs.ErrNotAppend, efs.ErrTooLarge, efs.ErrCorrupt,
+	} {
+		st := statusFor(base)
+		back := st.Err()
+		if back == nil || !strings.Contains(back.Error(), base.Error()) {
+			t.Errorf("round trip of %v = %v", base, back)
+		}
+	}
+	if statusFor(nil).Err() != nil {
+		t.Error("nil error did not round trip to nil")
+	}
+	// Detail prefix deduplication.
+	st := Status{Code: CodeNotFound, Detail: efs.ErrNotFound.Error() + ": file 7"}
+	if got := st.Err().Error(); strings.Count(got, "efs: file not found") != 1 {
+		t.Errorf("duplicated prefix: %q", got)
+	}
+}
+
+func TestWireSizeCoversProtocol(t *testing.T) {
+	bodies := []any{
+		CreateReq{}, CreateResp{}, DeleteReq{}, DeleteResp{},
+		ReadReq{}, ReadResp{Data: make([]byte, 100)},
+		WriteReq{Data: make([]byte, 100)}, WriteResp{},
+		StatReq{}, StatResp{}, SyncReq{}, SyncResp{},
+		CheckReq{}, CheckResp{}, UsageReq{}, UsageResp{},
+		struct{}{}, // default case
+	}
+	for _, b := range bodies {
+		if WireSize(b) <= 0 {
+			t.Errorf("WireSize(%T) = %d", b, WireSize(b))
+		}
+	}
+	if WireSize(ReadResp{Data: make([]byte, 500)}) <= WireSize(ReadResp{}) {
+		t.Error("ReadResp size does not grow with payload")
+	}
+}
+
+func TestNodeBootFailureClosesPort(t *testing.T) {
+	// A node whose disk is too small to format must close its port so
+	// clients see failure rather than hanging.
+	rt := sim.NewVirtual()
+	net := msg.NewNetwork(rt, msg.DefaultConfig())
+	bad := StartNode(rt, net, 1, Config{DiskBlocks: 4, Timing: disk.FixedTiming{}}, nil)
+	rt.Go("client", func(p sim.Proc) {
+		defer bad.Stop()
+		c := NewClient(p, net, 0, "cli")
+		m, err := c.C.CallTimeout(lfsAddr(1), StatReq{FileID: 1}, 8, 50*time.Millisecond)
+		if err == nil {
+			t.Errorf("call to unbootable node succeeded: %+v", m.Body)
+		}
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package lfs wraps an EFS volume in a message-serving process: the middle
+// layer of Bridge. One LFS server runs on every node with a disk; it is
+// stateless between requests (requests carry hints, replies return block
+// addresses to use as the next hint). Each node also runs an agent process
+// that spawns tool workers on the node and forwards binary-tree broadcasts.
+package lfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bridge/internal/efs"
+)
+
+// PortName is the LFS server port on every storage node.
+const PortName = "lfs"
+
+// AgentPortName is the node agent port on every storage node.
+const AgentPortName = "agent"
+
+// ScratchBase is the start of the local scratch file-id range. Bridge
+// directory consistency requires that all global Create/Delete/Open go
+// through the Bridge Server, but tools (like the sort's local run files)
+// may create node-local scratch files with ids at or above this base.
+const ScratchBase uint32 = 1 << 30
+
+// ErrCode is a transportable error class; it survives the trip through a
+// message where a Go error value would not (on a real network).
+type ErrCode uint8
+
+const (
+	CodeOK ErrCode = iota
+	CodeNotFound
+	CodeExists
+	CodeNoSpace
+	CodeBadBlockNum
+	CodeNotAppend
+	CodeTooLarge
+	CodeCorrupt
+	CodeIO
+)
+
+// codeFor classifies an EFS error for transport.
+func codeFor(err error) ErrCode {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, efs.ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, efs.ErrExists):
+		return CodeExists
+	case errors.Is(err, efs.ErrNoSpace):
+		return CodeNoSpace
+	case errors.Is(err, efs.ErrBadBlockNum):
+		return CodeBadBlockNum
+	case errors.Is(err, efs.ErrNotAppend):
+		return CodeNotAppend
+	case errors.Is(err, efs.ErrTooLarge):
+		return CodeTooLarge
+	case errors.Is(err, efs.ErrCorrupt):
+		return CodeCorrupt
+	default:
+		return CodeIO
+	}
+}
+
+// Err reconstructs a sentinel-wrapped error from a transported code.
+func (c ErrCode) Err(detail string) error {
+	var base error
+	switch c {
+	case CodeOK:
+		return nil
+	case CodeNotFound:
+		base = efs.ErrNotFound
+	case CodeExists:
+		base = efs.ErrExists
+	case CodeNoSpace:
+		base = efs.ErrNoSpace
+	case CodeBadBlockNum:
+		base = efs.ErrBadBlockNum
+	case CodeNotAppend:
+		base = efs.ErrNotAppend
+	case CodeTooLarge:
+		base = efs.ErrTooLarge
+	case CodeCorrupt:
+		base = efs.ErrCorrupt
+	default:
+		base = errors.New("lfs: I/O error")
+	}
+	if detail == "" {
+		return base
+	}
+	// Details usually embed the base message already; don't repeat it.
+	if rest, found := strings.CutPrefix(detail, base.Error()); found {
+		return fmt.Errorf("%w%s", base, rest)
+	}
+	return fmt.Errorf("%w: %s", base, detail)
+}
+
+// Status is the common reply trailer.
+type Status struct {
+	Code   ErrCode
+	Detail string
+}
+
+// Err converts the status to an error (nil when CodeOK).
+func (s Status) Err() error { return s.Code.Err(s.Detail) }
+
+func statusFor(err error) Status {
+	if err == nil {
+		return Status{}
+	}
+	return Status{Code: codeFor(err), Detail: err.Error()}
+}
+
+// Request and reply bodies. Replies carry the disk address of the block
+// touched, which the stateless protocol returns to callers as the hint for
+// their next request.
+type (
+	// CreateReq registers a new local file.
+	CreateReq struct{ FileID uint32 }
+	// CreateResp acknowledges a CreateReq.
+	CreateResp struct{ Status Status }
+
+	// DeleteReq removes a local file.
+	DeleteReq struct{ FileID uint32 }
+	// DeleteResp reports the number of blocks freed.
+	DeleteResp struct {
+		Freed  int
+		Status Status
+	}
+
+	// ReadReq reads one logical block, with an optional disk-address
+	// hint (pass efs nilAddr, -1, for none).
+	ReadReq struct {
+		FileID   uint32
+		BlockNum uint32
+		Hint     int32
+	}
+	// ReadResp returns the block data and its disk address.
+	ReadResp struct {
+		Data   []byte
+		Addr   int32
+		Status Status
+	}
+
+	// WriteReq writes one logical block (append when BlockNum equals the
+	// file size).
+	WriteReq struct {
+		FileID   uint32
+		BlockNum uint32
+		Data     []byte
+		Hint     int32
+	}
+	// WriteResp returns the written block's disk address.
+	WriteResp struct {
+		Addr   int32
+		Status Status
+	}
+
+	// StatReq asks for a file's directory information.
+	StatReq struct{ FileID uint32 }
+	// StatResp returns it.
+	StatResp struct {
+		Info   efs.FileInfo
+		Status Status
+	}
+
+	// SyncReq flushes metadata write-behind.
+	SyncReq struct{}
+	// SyncResp acknowledges a SyncReq.
+	SyncResp struct{ Status Status }
+
+	// UsageReq asks for the volume's capacity and free space.
+	UsageReq struct{}
+	// UsageResp returns them, in blocks.
+	UsageResp struct {
+		TotalBlocks int
+		FreeBlocks  int
+		Status      Status
+	}
+
+	// CheckReq runs the volume consistency checker (fsck); Repair also
+	// rebuilds the allocation bitmap from the chains.
+	CheckReq struct{ Repair bool }
+	// CheckResp returns the report and, after a repair, the number of
+	// bitmap corrections.
+	CheckResp struct {
+		Report efs.CheckReport
+		Fixes  int
+		Status Status
+	}
+)
+
+// WireSize estimates the on-wire payload size of a protocol body, used by
+// the network bandwidth model.
+func WireSize(body any) int {
+	switch b := body.(type) {
+	case ReadReq:
+		return 16
+	case ReadResp:
+		return 12 + len(b.Data)
+	case WriteReq:
+		return 16 + len(b.Data)
+	case WriteResp:
+		return 12
+	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq:
+		return 8
+	case UsageResp:
+		return 16
+	case CreateResp, SyncResp:
+		return 8
+	case CheckResp:
+		n := 16
+		for _, p := range b.Report.Problems {
+			n += len(p)
+		}
+		return n
+	case DeleteResp:
+		return 12
+	case StatResp:
+		return 24
+	default:
+		return 16
+	}
+}

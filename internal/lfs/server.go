@@ -1,0 +1,270 @@
+package lfs
+
+import (
+	"time"
+
+	"bridge/internal/disk"
+	"bridge/internal/efs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// Config parameterizes one storage node.
+type Config struct {
+	// DiskBlocks is the device capacity. Default 8192 (8 MB per node).
+	DiskBlocks int
+	// Timing is the disk timing model. Default FixedTiming{15ms}.
+	Timing disk.TimingModel
+	// EFS configures the local file system.
+	EFS efs.Options
+	// OpCPU is the processor time the LFS charges per request on top of
+	// device time (request decode, cache lookup bookkeeping).
+	OpCPU time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.DiskBlocks == 0 {
+		c.DiskBlocks = 8192
+	}
+	if c.Timing == nil {
+		c.Timing = disk.FixedTiming{Latency: 15 * time.Millisecond}
+	}
+	if c.OpCPU == 0 {
+		c.OpCPU = 300 * time.Microsecond
+	}
+}
+
+// Node is one storage node: a disk, an EFS volume, an LFS server process,
+// and an agent process.
+type Node struct {
+	ID    msg.NodeID
+	Disk  *disk.Disk
+	cfg   Config
+	net   *msg.Network
+	port  *msg.Port
+	agent *agent
+
+	// fs is owned by the server process after boot.
+	fs *efs.FS
+}
+
+// StartNode boots a storage node on the runtime: it formats (or mounts) the
+// disk and starts the LFS server and agent processes. If existing is
+// non-nil, that disk is mounted instead of formatting a new one.
+func StartNode(rt sim.Runtime, net *msg.Network, id msg.NodeID, cfg Config, existing *disk.Disk) *Node {
+	cfg.applyDefaults()
+	d := existing
+	if d == nil {
+		d = disk.New(disk.Config{NumBlocks: cfg.DiskBlocks, Timing: cfg.Timing})
+	}
+	n := &Node{
+		ID:   id,
+		Disk: d,
+		cfg:  cfg,
+		net:  net,
+		port: net.NewPort(msg.Addr{Node: id, Port: PortName}),
+	}
+	n.agent = startAgent(rt, net, id)
+	rt.Go(n.port.Addr().String(), func(p sim.Proc) {
+		n.serve(p, existing != nil)
+	})
+	return n
+}
+
+// Addr returns the LFS server address.
+func (n *Node) Addr() msg.Addr { return n.port.Addr() }
+
+// AgentAddr returns the node agent address.
+func (n *Node) AgentAddr() msg.Addr { return msg.Addr{Node: n.ID, Port: AgentPortName} }
+
+// FS exposes the EFS volume for tests and for image persistence; do not
+// call it concurrently with a running simulation.
+func (n *Node) FS() *efs.FS { return n.fs }
+
+// Fail simulates a node crash: the disk fails and both service ports close,
+// so in-flight and future messages to the node are lost.
+func (n *Node) Fail() {
+	n.Disk.Fail()
+	n.port.Close()
+	n.agent.port.Close()
+}
+
+// Stop closes the node's ports so its processes exit at the next receive.
+func (n *Node) Stop() {
+	n.port.Close()
+	n.agent.port.Close()
+}
+
+func (n *Node) serve(p sim.Proc, mount bool) {
+	var err error
+	if mount {
+		n.fs, err = efs.Mount(p, n.Disk)
+	} else {
+		n.fs, err = efs.Format(p, n.Disk, n.cfg.EFS)
+	}
+	if err != nil {
+		// A node that cannot boot its volume serves nothing; close the
+		// port so clients see it as failed rather than hanging forever.
+		n.port.Close()
+		return
+	}
+	for {
+		req, ok := n.port.Recv(p)
+		if !ok {
+			return
+		}
+		if n.cfg.OpCPU > 0 {
+			p.Sleep(n.cfg.OpCPU)
+		}
+		body := n.handle(p, req.Body)
+		// Replies to dead clients drop silently.
+		_ = n.net.Send(p, n.ID, req.From, &msg.Message{
+			From:  n.port.Addr(),
+			ReqID: req.ReqID,
+			Body:  body,
+			Size:  WireSize(body),
+		})
+	}
+}
+
+// handle executes one EFS operation.
+func (n *Node) handle(p sim.Proc, body any) any {
+	switch r := body.(type) {
+	case CreateReq:
+		return CreateResp{Status: statusFor(n.fs.Create(p, r.FileID))}
+	case DeleteReq:
+		freed, err := n.fs.Delete(p, r.FileID)
+		return DeleteResp{Freed: freed, Status: statusFor(err)}
+	case ReadReq:
+		data, addr, err := n.fs.ReadBlock(p, r.FileID, r.BlockNum, r.Hint)
+		return ReadResp{Data: data, Addr: addr, Status: statusFor(err)}
+	case WriteReq:
+		addr, err := n.fs.WriteBlock(p, r.FileID, r.BlockNum, r.Data, r.Hint)
+		return WriteResp{Addr: addr, Status: statusFor(err)}
+	case StatReq:
+		info, err := n.fs.Stat(p, r.FileID)
+		return StatResp{Info: info, Status: statusFor(err)}
+	case SyncReq:
+		return SyncResp{Status: statusFor(n.fs.Sync(p))}
+	case CheckReq:
+		if r.Repair {
+			rep, fixes, err := n.fs.Repair(p)
+			return CheckResp{Report: rep, Fixes: fixes, Status: statusFor(err)}
+		}
+		rep, err := n.fs.Check(p)
+		return CheckResp{Report: rep, Status: statusFor(err)}
+	case UsageReq:
+		return UsageResp{
+			TotalBlocks: n.Disk.Config().NumBlocks,
+			FreeBlocks:  n.fs.FreeBlocks(),
+		}
+	default:
+		return SyncResp{Status: Status{Code: CodeIO, Detail: "lfs: unknown request"}}
+	}
+}
+
+// Client is a typed convenience wrapper over msg.Client for talking to LFS
+// servers. It tracks nothing: hints are the caller's business, exactly as
+// in the stateless protocol.
+type Client struct {
+	C *msg.Client
+}
+
+// NewClient creates an LFS client for a process homed on the given node.
+func NewClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string) *Client {
+	return &Client{C: msg.NewClient(proc, net, node, name)}
+}
+
+// lfsAddr returns the LFS port of a node.
+func lfsAddr(node msg.NodeID) msg.Addr { return msg.Addr{Node: node, Port: PortName} }
+
+// Create registers a file on the target node.
+func (c *Client) Create(node msg.NodeID, fileID uint32) error {
+	m, err := c.C.Call(lfsAddr(node), CreateReq{FileID: fileID}, WireSize(CreateReq{}))
+	if err != nil {
+		return err
+	}
+	return m.Body.(CreateResp).Status.Err()
+}
+
+// Delete removes a file on the target node, returning blocks freed.
+func (c *Client) Delete(node msg.NodeID, fileID uint32) (int, error) {
+	m, err := c.C.Call(lfsAddr(node), DeleteReq{FileID: fileID}, WireSize(DeleteReq{}))
+	if err != nil {
+		return 0, err
+	}
+	r := m.Body.(DeleteResp)
+	return r.Freed, r.Status.Err()
+}
+
+// Read reads a block; addr is the returned hint for the next call.
+func (c *Client) Read(node msg.NodeID, fileID, blockNum uint32, hint int32) (data []byte, addr int32, err error) {
+	req := ReadReq{FileID: fileID, BlockNum: blockNum, Hint: hint}
+	m, err := c.C.Call(lfsAddr(node), req, WireSize(req))
+	if err != nil {
+		return nil, -1, err
+	}
+	r := m.Body.(ReadResp)
+	return r.Data, r.Addr, r.Status.Err()
+}
+
+// Write writes a block; addr is the returned hint.
+func (c *Client) Write(node msg.NodeID, fileID, blockNum uint32, data []byte, hint int32) (int32, error) {
+	req := WriteReq{FileID: fileID, BlockNum: blockNum, Data: data, Hint: hint}
+	m, err := c.C.Call(lfsAddr(node), req, WireSize(req))
+	if err != nil {
+		return -1, err
+	}
+	r := m.Body.(WriteResp)
+	return r.Addr, r.Status.Err()
+}
+
+// Stat returns a file's directory information.
+func (c *Client) Stat(node msg.NodeID, fileID uint32) (efs.FileInfo, error) {
+	m, err := c.C.Call(lfsAddr(node), StatReq{FileID: fileID}, WireSize(StatReq{}))
+	if err != nil {
+		return efs.FileInfo{}, err
+	}
+	r := m.Body.(StatResp)
+	return r.Info, r.Status.Err()
+}
+
+// Sync flushes the node's metadata.
+func (c *Client) Sync(node msg.NodeID) error {
+	m, err := c.C.Call(lfsAddr(node), SyncReq{}, WireSize(SyncReq{}))
+	if err != nil {
+		return err
+	}
+	return m.Body.(SyncResp).Status.Err()
+}
+
+// Usage returns the node's capacity and free space in blocks.
+func (c *Client) Usage(node msg.NodeID) (total, free int, err error) {
+	m, err := c.C.Call(lfsAddr(node), UsageReq{}, WireSize(UsageReq{}))
+	if err != nil {
+		return 0, 0, err
+	}
+	r := m.Body.(UsageResp)
+	return r.TotalBlocks, r.FreeBlocks, r.Status.Err()
+}
+
+// Check runs the volume consistency checker on the node.
+func (c *Client) Check(node msg.NodeID) (efs.CheckReport, error) {
+	m, err := c.C.Call(lfsAddr(node), CheckReq{}, WireSize(CheckReq{}))
+	if err != nil {
+		return efs.CheckReport{}, err
+	}
+	r := m.Body.(CheckResp)
+	return r.Report, r.Status.Err()
+}
+
+// Repair runs the checker with bitmap repair on the node.
+func (c *Client) Repair(node msg.NodeID) (efs.CheckReport, int, error) {
+	req := CheckReq{Repair: true}
+	m, err := c.C.Call(lfsAddr(node), req, WireSize(req))
+	if err != nil {
+		return efs.CheckReport{}, 0, err
+	}
+	r := m.Body.(CheckResp)
+	return r.Report, r.Fixes, r.Status.Err()
+}

@@ -1,0 +1,220 @@
+// Package model is the analytical performance model that accompanies the
+// simulator — the counterpart of the paper's companion analysis (Dibble &
+// Scott, "Analysis of a parallel disk-based merge sort", reference [17]),
+// which expressed "the maximum available degree of parallelism in terms of
+// the relative performance of processors, communication channels, and
+// physical devices" and whose constants "agree quite nicely with empirical
+// data".
+//
+// The model predicts, in closed form, the cost of the basic operations, the
+// copy tool, both sort phases, and the saturation width of the token-ring
+// merge. The experiments package compares these predictions against the
+// simulation; they agree within a few percent for the disk-bound operations
+// and within tens of percent where queueing effects (which the closed forms
+// ignore) matter.
+package model
+
+import (
+	"time"
+)
+
+// Params holds the hardware and software constants. They mirror the
+// simulator's defaults (msg.DefaultConfig, 15 ms Wren-class disks, the LFS
+// and Bridge Server CPU charges).
+type Params struct {
+	// DiskLatency is one device access (D).
+	DiskLatency time.Duration
+	// BlocksPerTrack amortizes sequential reads: a track read costs one
+	// access and serves BlocksPerTrack blocks.
+	BlocksPerTrack int
+	// SendCPU and RecvCPU are per-message processor charges.
+	SendCPU time.Duration
+	RecvCPU time.Duration
+	// LocalLatency and RemoteLatency are message transfer delays.
+	LocalLatency  time.Duration
+	RemoteLatency time.Duration
+	// BytesPerSec is internode bandwidth; BlockBytes the payload size.
+	BytesPerSec int64
+	BlockBytes  int
+	// LFSCPU and ServerCPU are per-request charges at the LFS and the
+	// Bridge Server.
+	LFSCPU    time.Duration
+	ServerCPU time.Duration
+	// SpawnCPU is process creation cost at a node agent.
+	SpawnCPU time.Duration
+	// SortCPUPerRecord is compare/move cost per record per pass.
+	SortCPUPerRecord time.Duration
+	// InCore is the sort's in-core buffer in records.
+	InCore int
+}
+
+// Default returns the constants matching the simulator's defaults.
+func Default() Params {
+	return Params{
+		DiskLatency:      15 * time.Millisecond,
+		BlocksPerTrack:   8,
+		SendCPU:          800 * time.Microsecond,
+		RecvCPU:          800 * time.Microsecond,
+		LocalLatency:     100 * time.Microsecond,
+		RemoteLatency:    500 * time.Microsecond,
+		BytesPerSec:      4 << 20,
+		BlockBytes:       1024,
+		LFSCPU:           300 * time.Microsecond,
+		ServerCPU:        500 * time.Microsecond,
+		SpawnCPU:         2 * time.Millisecond,
+		SortCPUPerRecord: 30 * time.Microsecond,
+		InCore:           512,
+	}
+}
+
+// transfer returns the wire delay for one block-sized message.
+func (p Params) transfer(local bool) time.Duration {
+	if local {
+		return p.LocalLatency
+	}
+	d := p.RemoteLatency
+	if p.BytesPerSec > 0 {
+		d += time.Duration(int64(p.BlockBytes) * int64(time.Second) / p.BytesPerSec)
+	}
+	return d
+}
+
+// msgCost is the CPU of one message hop (sender plus receiver).
+func (p Params) msgCost() time.Duration { return p.SendCPU + p.RecvCPU }
+
+// lfsCall is the round-trip cost of one LFS request carrying deviceTime of
+// disk work, as seen by a blocked caller on the same node (local) or
+// another node.
+func (p Params) lfsCall(deviceTime time.Duration, local bool) time.Duration {
+	return 2*p.msgCost() + 2*p.transfer(local) + p.LFSCPU + deviceTime
+}
+
+// SeqReadBlock is the amortized cost of one sequential block read at the
+// LFS: a track read every BlocksPerTrack blocks.
+func (p Params) seqReadDevice() time.Duration {
+	return p.DiskLatency / time.Duration(p.BlocksPerTrack)
+}
+
+// appendDevice is the device time of one append: the new block plus the
+// old tail's pointer rewrite, write-through.
+func (p Params) appendDevice() time.Duration { return 2 * p.DiskLatency }
+
+// NaiveRead predicts the naive-interface per-block sequential read: client
+// to server to LFS and back (two message round trips plus the device).
+func (p Params) NaiveRead() time.Duration {
+	// client<->server hop pair + server CPU, then server<->LFS call.
+	return 2*p.msgCost() + 2*p.transfer(true) + p.ServerCPU + p.lfsCall(p.seqReadDevice(), false)
+}
+
+// NaiveWrite predicts the naive-interface per-block append.
+func (p Params) NaiveWrite() time.Duration {
+	return 2*p.msgCost() + 2*p.transfer(true) + p.ServerCPU + p.lfsCall(p.appendDevice(), false)
+}
+
+// DeletePerBlock predicts the per-block cost of delete at one LFS: the
+// freeing write plus the amortized chain read.
+func (p Params) DeletePerBlock() time.Duration {
+	return p.DiskLatency + p.seqReadDevice() + p.LFSCPU
+}
+
+// DeleteTotal predicts a whole-file delete: the per-node chains free in
+// parallel.
+func (p Params) DeleteTotal(records, procs int) time.Duration {
+	perNode := (records + procs - 1) / procs
+	return time.Duration(perNode) * p.DeletePerBlock()
+}
+
+// CreateTime predicts Create: sequential initiation and termination at the
+// server (a send and a receive per LFS) around one parallel directory
+// operation.
+func (p Params) CreateTime(procs int) time.Duration {
+	perNode := p.SendCPU + p.RecvCPU
+	return p.ServerCPU + time.Duration(procs)*perNode + p.transfer(false)*2 + p.LFSCPU
+}
+
+// ToolStartup predicts spawning one worker per node (sequential sends,
+// overlapped spawns, gathered acks).
+func (p Params) ToolStartup(procs int) time.Duration {
+	return time.Duration(procs)*(p.SendCPU+p.RecvCPU) + p.SpawnCPU + 2*p.transfer(false)
+}
+
+// CopyTime predicts the copy tool: each node moves records/procs blocks
+// with local LFS calls (read amortized by the track buffer, write two
+// accesses), plus startup and completion.
+func (p Params) CopyTime(records, procs int) time.Duration {
+	perNode := (records + procs - 1) / procs
+	perBlock := p.lfsCall(p.seqReadDevice(), true) + p.lfsCall(p.appendDevice(), true)
+	return time.Duration(perNode)*perBlock + 2*p.ToolStartup(procs)
+}
+
+// SortLocalTime predicts the local external sort phase on each node:
+// run formation (read + write every block) plus ceil(log2(runs)) two-way
+// merge passes (read + write every block, then discard the inputs).
+func (p Params) SortLocalTime(records, procs int) time.Duration {
+	perNode := (records + procs - 1) / procs
+	if perNode == 0 {
+		return 0
+	}
+	runs := (perNode + p.InCore - 1) / p.InCore
+	passes := 0
+	for r := runs; r > 1; r = (r + 1) / 2 {
+		passes++
+	}
+	perBlockPass := p.lfsCall(p.seqReadDevice(), true) + p.lfsCall(p.appendDevice(), true) + p.SortCPUPerRecord
+	formation := time.Duration(perNode) * perBlockPass
+	merge := time.Duration(perNode*passes) * (perBlockPass + p.DeletePerBlock())
+	return formation + merge
+}
+
+// TokenCycle is the serial cost per emitted record in the token-ring
+// merge: one token hop plus the emitting reader's next sequential read.
+func (p Params) TokenCycle() time.Duration {
+	hop := p.msgCost() + p.transfer(false)
+	return hop + p.lfsCall(p.seqReadDevice(), true)
+}
+
+// WriterCycle is the per-record cost at one destination writer.
+func (p Params) WriterCycle() time.Duration {
+	return p.lfsCall(p.appendDevice(), true)
+}
+
+// MergePassTime predicts one merge pass over the whole file on p nodes:
+// every record is emitted serially by the token but written by t-wide
+// writer groups; each group of width t handles records*t/p records, and
+// all p/t groups run in parallel, so per-group record count * the
+// bottleneck cycle.
+func (p Params) MergePassTime(records, procs, t int) time.Duration {
+	perGroup := records * t / procs
+	cycle := p.TokenCycle()
+	if w := p.WriterCycle() / time.Duration(t); w > cycle {
+		cycle = w
+	}
+	return time.Duration(perGroup) * cycle
+}
+
+// SortMergeTime predicts the whole merge phase: log2(procs) passes.
+func (p Params) SortMergeTime(records, procs int) time.Duration {
+	var total time.Duration
+	for t := 2; t <= procs; t *= 2 {
+		total += p.MergePassTime(records, procs, t)
+	}
+	return total
+}
+
+// SortTotalTime is both phases.
+func (p Params) SortTotalTime(records, procs int) time.Duration {
+	return p.SortLocalTime(records, procs) + p.SortMergeTime(records, procs)
+}
+
+// MergeSaturationWidth is the paper's parallelism bound for the merge: the
+// group width t at which the serial token cycle overtakes the parallel
+// writer cycle — beyond it extra writers no longer help a group ("with
+// sufficiently large p, the token will eventually be unable to complete a
+// circuit of the nodes in the time it takes to read and write a record").
+func (p Params) MergeSaturationWidth() int {
+	t := 1
+	for p.WriterCycle()/time.Duration(t) > p.TokenCycle() {
+		t++
+	}
+	return t
+}

@@ -1,0 +1,208 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bridge/internal/sim"
+)
+
+// ErrTimeout is returned by CallTimeout and GatherTimeout when the deadline
+// expires before the reply arrives — typically because the destination node
+// has failed.
+var ErrTimeout = errors.New("msg: call timed out")
+
+// ErrClosed is returned when the client's reply port is closed while
+// waiting, which happens on simulation shutdown or deadlock unwinding.
+var ErrClosed = errors.New("msg: reply port closed")
+
+// Client is an RPC endpoint for one process: a private reply port plus
+// request/response correlation. A Client must only be used by the process
+// that created it.
+type Client struct {
+	net     *Network
+	node    NodeID
+	port    *Port
+	proc    sim.Proc
+	nextReq uint64
+	pending map[uint64]*Message
+}
+
+// NewClient creates a client for proc, homed on the given node. The name
+// must be unique on that node.
+func NewClient(proc sim.Proc, net *Network, node NodeID, name string) *Client {
+	return &Client{
+		net:     net,
+		node:    node,
+		port:    net.NewPort(Addr{Node: node, Port: name}),
+		proc:    proc,
+		pending: make(map[uint64]*Message),
+	}
+}
+
+// Node returns the node the client is homed on.
+func (c *Client) Node() NodeID { return c.node }
+
+// Addr returns the client's reply address.
+func (c *Client) Addr() Addr { return c.port.Addr() }
+
+// Proc returns the owning process.
+func (c *Client) Proc() sim.Proc { return c.proc }
+
+// Net returns the network.
+func (c *Client) Net() *Network { return c.net }
+
+// Send transmits a one-way message (ReqID 0); no reply is expected.
+func (c *Client) Send(to Addr, body any, size int) error {
+	return c.net.Send(c.proc, c.node, to, &Message{From: c.Addr(), Body: body, Size: size})
+}
+
+// Start sends a request and returns its correlation id without waiting for
+// the reply; use Await or Gather to collect it. This is how the Bridge
+// Server and tools overlap operations on many LFS instances.
+func (c *Client) Start(to Addr, body any, size int) (uint64, error) {
+	c.nextReq++
+	id := c.nextReq
+	err := c.net.Send(c.proc, c.node, to, &Message{From: c.Addr(), ReqID: id, Body: body, Size: size})
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Await blocks until the reply with the given correlation id arrives.
+func (c *Client) Await(id uint64) (*Message, error) {
+	if m, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		return m, nil
+	}
+	for {
+		m, ok := c.port.Recv(c.proc)
+		if !ok {
+			return nil, ErrClosed
+		}
+		if m.ReqID == id {
+			return m, nil
+		}
+		c.pending[m.ReqID] = m
+	}
+}
+
+// AwaitTimeout is Await with a deadline across the whole wait.
+func (c *Client) AwaitTimeout(id uint64, d time.Duration) (*Message, error) {
+	if m, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		return m, nil
+	}
+	deadline := c.proc.Now() + d
+	for {
+		remain := deadline - c.proc.Now()
+		if remain < 0 {
+			remain = 0
+		}
+		m, ok, timedOut := c.port.RecvTimeout(c.proc, remain)
+		if timedOut {
+			return nil, fmt.Errorf("%w: req %d", ErrTimeout, id)
+		}
+		if !ok {
+			return nil, ErrClosed
+		}
+		if m.ReqID == id {
+			return m, nil
+		}
+		c.pending[m.ReqID] = m
+	}
+}
+
+// Call sends a request and blocks for its reply.
+func (c *Client) Call(to Addr, body any, size int) (*Message, error) {
+	id, err := c.Start(to, body, size)
+	if err != nil {
+		return nil, err
+	}
+	return c.Await(id)
+}
+
+// CallTimeout is Call with a deadline on the reply.
+func (c *Client) CallTimeout(to Addr, body any, size int, d time.Duration) (*Message, error) {
+	id, err := c.Start(to, body, size)
+	if err != nil {
+		return nil, err
+	}
+	return c.AwaitTimeout(id, d)
+}
+
+// Gather collects the replies for all the given correlation ids, in id
+// order.
+func (c *Client) Gather(ids []uint64) ([]*Message, error) {
+	out := make([]*Message, len(ids))
+	for i, id := range ids {
+		m, err := c.Await(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// GatherTimeout is Gather with a single deadline across all replies.
+// Replies that arrived in time are returned even when others timed out; the
+// error reports the first failure.
+func (c *Client) GatherTimeout(ids []uint64, d time.Duration) ([]*Message, error) {
+	deadline := c.proc.Now() + d
+	out := make([]*Message, len(ids))
+	var firstErr error
+	for i, id := range ids {
+		remain := deadline - c.proc.Now()
+		if remain < 0 {
+			remain = 0
+		}
+		m, err := c.AwaitTimeout(id, remain)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[i] = m
+	}
+	return out, firstErr
+}
+
+// Reply answers a received request, preserving its correlation id.
+func (c *Client) Reply(req *Message, body any, size int) error {
+	return c.net.Send(c.proc, c.node, req.From, &Message{From: c.Addr(), ReqID: req.ReqID, Body: body, Size: size})
+}
+
+// Close closes the client's reply port.
+func (c *Client) Close() { c.port.Close() }
+
+// Handler processes one request in a Serve loop and returns the reply body
+// and its wire size. Returning a nil body suppresses the automatic reply
+// (the handler is then responsible for any response).
+type Handler func(proc sim.Proc, req *Message) (body any, size int)
+
+// Serve runs a request loop on port until the port closes: receive, handle,
+// reply to req.From with the request's correlation id. Used by the LFS
+// servers and the Bridge Server.
+func Serve(proc sim.Proc, net *Network, node NodeID, port *Port, h Handler) {
+	for {
+		req, ok := port.Recv(proc)
+		if !ok {
+			return
+		}
+		body, size := h(proc, req)
+		if body == nil {
+			continue
+		}
+		// Replies to unknown/dead clients are dropped, as on a network.
+		_ = net.Send(proc, node, req.From, &Message{
+			From:  port.Addr(),
+			ReqID: req.ReqID,
+			Body:  body,
+			Size:  size,
+		})
+	}
+}

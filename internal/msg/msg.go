@@ -1,0 +1,223 @@
+// Package msg is the message-passing layer of the Bridge reproduction — the
+// analog of Chrysalis atomic queues on the BBN Butterfly. Every Bridge
+// component (Bridge Server, LFS instances, tool workers) owns one or more
+// Ports, addressed by (node, port-name), and exchanges Messages through a
+// Network that models transfer latency, bandwidth, and per-message CPU cost.
+//
+// The cost model follows the paper's environment: messages between
+// processes on the same node are cheap (shared-memory queues), messages
+// between nodes pay a base latency plus a per-byte cost, and both sender and
+// receiver pay a small CPU charge per message. The paper notes the design
+// "could be realized equally well on any local area network"; the tcpnet
+// subpackage provides that realization for wall-clock runs.
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bridge/internal/sim"
+	"bridge/internal/stats"
+	"bridge/internal/trace"
+)
+
+// NodeID identifies a processor node. The Bridge Server conventionally runs
+// on its own node; LFS instances run on nodes with disks.
+type NodeID int
+
+// Addr names a message port: a node plus a port name unique on that node.
+type Addr struct {
+	Node NodeID
+	Port string
+}
+
+func (a Addr) String() string { return fmt.Sprintf("n%d/%s", a.Node, a.Port) }
+
+// Message is the unit of communication. Body carries a protocol-specific
+// request or response struct; Size is the payload size in bytes used by the
+// bandwidth model (header overhead is added by the network).
+type Message struct {
+	From  Addr   // sender's reply address
+	ReqID uint64 // request/response correlation; 0 for one-way messages
+	Body  any
+	Size  int
+}
+
+// Config holds the communication cost model.
+type Config struct {
+	// LocalLatency is the queue-transfer delay between processes on the
+	// same node (shared-memory message).
+	LocalLatency time.Duration
+	// RemoteLatency is the base delay for a message crossing nodes.
+	RemoteLatency time.Duration
+	// BytesPerSec is the internode bandwidth; 0 means infinite.
+	BytesPerSec int64
+	// SendCPU and RecvCPU are per-message processor charges, paid by the
+	// sending and receiving process respectively.
+	SendCPU time.Duration
+	RecvCPU time.Duration
+	// HeaderBytes is added to every message's Size for the bandwidth
+	// model.
+	HeaderBytes int
+}
+
+// DefaultConfig approximates Butterfly-class communication circa 1988:
+// millisecond-scale message handling and ~4 MB/s interconnect bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		LocalLatency:  100 * time.Microsecond,
+		RemoteLatency: 500 * time.Microsecond,
+		BytesPerSec:   4 << 20,
+		SendCPU:       800 * time.Microsecond,
+		RecvCPU:       800 * time.Microsecond,
+		HeaderBytes:   32,
+	}
+}
+
+// ErrNoPort is returned by Send when the destination address has never been
+// registered. Sends to a closed (failed) port are dropped silently, like a
+// network: the caller discovers the failure by timeout.
+var ErrNoPort = errors.New("msg: no such port")
+
+// Network connects ports and applies the cost model.
+type Network struct {
+	rt     sim.Runtime
+	cfg    Config
+	stats  *stats.Counters
+	tracer *trace.Tracer // nil = tracing off
+
+	mu    sync.Mutex
+	ports map[Addr]*Port
+}
+
+// NewNetwork creates a network over the given runtime with the given cost
+// model.
+func NewNetwork(rt sim.Runtime, cfg Config) *Network {
+	return &Network{rt: rt, cfg: cfg, stats: stats.New(), ports: make(map[Addr]*Port)}
+}
+
+// Runtime returns the underlying runtime.
+func (n *Network) Runtime() sim.Runtime { return n.rt }
+
+// Config returns the cost model.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns the network's counter registry (messages, bytes, local vs
+// remote traffic).
+func (n *Network) Stats() *stats.Counters { return n.stats }
+
+// SetTracer enables event tracing of every Send (nil disables). Set it
+// before the simulation starts.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// NewPort registers a port at addr. It panics if the address is already
+// registered, since that is always a wiring bug.
+func (n *Network) NewPort(addr Addr) *Port {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.ports[addr]; dup {
+		panic(fmt.Sprintf("msg: duplicate port %v", addr))
+	}
+	p := &Port{net: n, addr: addr, q: n.rt.NewQueue(addr.String())}
+	n.ports[addr] = p
+	return p
+}
+
+// lookup returns the port at addr, or nil.
+func (n *Network) lookup(addr Addr) *Port {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ports[addr]
+}
+
+// delay returns the transfer delay for a message of the given payload size.
+func (n *Network) delay(from NodeID, to NodeID, size int) time.Duration {
+	if from == to {
+		return n.cfg.LocalLatency
+	}
+	d := n.cfg.RemoteLatency
+	if n.cfg.BytesPerSec > 0 {
+		bytes := int64(size + n.cfg.HeaderBytes)
+		d += time.Duration(bytes * int64(time.Second) / n.cfg.BytesPerSec)
+	}
+	return d
+}
+
+// Send transmits m from fromNode to the port at to. The calling process is
+// charged SendCPU. Unknown destinations return ErrNoPort; closed
+// destinations drop the message silently.
+func (n *Network) Send(p sim.Proc, fromNode NodeID, to Addr, m *Message) error {
+	if n.cfg.SendCPU > 0 {
+		p.Sleep(n.cfg.SendCPU)
+	}
+	dst := n.lookup(to)
+	if dst == nil {
+		return fmt.Errorf("%w: %v", ErrNoPort, to)
+	}
+	n.stats.Add("msg.sent", 1)
+	n.stats.Add("msg.bytes", int64(m.Size+n.cfg.HeaderBytes))
+	if fromNode == to.Node {
+		n.stats.Add("msg.local", 1)
+	} else {
+		n.stats.Add("msg.remote", 1)
+		n.stats.Add("msg.remote_bytes", int64(m.Size+n.cfg.HeaderBytes))
+	}
+	if n.tracer != nil {
+		n.tracer.Emitf(n.rt.Now(), "msg.send", "n%d -> %v %T (%dB)", fromNode, to, m.Body, m.Size)
+	}
+	dst.q.SendDelayed(m, n.delay(fromNode, to.Node, m.Size))
+	return nil
+}
+
+// Port is a receive endpoint.
+type Port struct {
+	net  *Network
+	addr Addr
+	q    sim.Queue
+}
+
+// Addr returns the port's address.
+func (p *Port) Addr() Addr { return p.addr }
+
+// Recv blocks until a message arrives; ok is false once the port is closed
+// and drained. The calling process is charged RecvCPU per message.
+func (p *Port) Recv(proc sim.Proc) (*Message, bool) {
+	v, ok := p.q.Recv(proc)
+	if !ok {
+		return nil, false
+	}
+	if p.net.cfg.RecvCPU > 0 {
+		proc.Sleep(p.net.cfg.RecvCPU)
+	}
+	return v.(*Message), true
+}
+
+// RecvTimeout is Recv with a deadline.
+func (p *Port) RecvTimeout(proc sim.Proc, d time.Duration) (m *Message, ok bool, timedOut bool) {
+	v, ok, timedOut := p.q.RecvTimeout(proc, d)
+	if !ok {
+		return nil, false, timedOut
+	}
+	if p.net.cfg.RecvCPU > 0 {
+		proc.Sleep(p.net.cfg.RecvCPU)
+	}
+	return v.(*Message), true, false
+}
+
+// TryRecv returns a message if one is available without blocking.
+func (p *Port) TryRecv(proc sim.Proc) (m *Message, ok bool) {
+	v, ok, _ := p.q.TryRecv(proc)
+	if !ok {
+		return nil, false
+	}
+	if p.net.cfg.RecvCPU > 0 {
+		proc.Sleep(p.net.cfg.RecvCPU)
+	}
+	return v.(*Message), true
+}
+
+// Close closes the port; pending receivers unblock and future sends to it
+// are dropped. Used by the failure injector to "kill" a node's services.
+func (p *Port) Close() { p.q.Close() }

@@ -1,0 +1,229 @@
+// Package seqfs provides the conventional-file-system baselines the paper
+// compares against: single-process copy and external merge sort driven
+// through the naive Bridge interface. Run against a P=1 cluster they model
+// an ordinary uniprocessor file system; run against a wider cluster they
+// show what striping alone (without tools) buys — "an ordinary file system
+// can copy a file of length n in time O(n)".
+package seqfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"bridge/internal/core"
+	"bridge/internal/sim"
+)
+
+// SortOptions mirrors the tool sort's tuning knobs.
+type SortOptions struct {
+	InCore       int           // records per in-core buffer (default 512)
+	KeyBytes     int           // sort key width (default 8)
+	CPUPerRecord time.Duration // compare/move cost (default 30µs)
+}
+
+func (o *SortOptions) applyDefaults() {
+	if o.InCore <= 0 {
+		o.InCore = 512
+	}
+	if o.KeyBytes <= 0 {
+		o.KeyBytes = 8
+	}
+	if o.CPUPerRecord <= 0 {
+		o.CPUPerRecord = 30 * time.Microsecond
+	}
+}
+
+// Copy copies src to dst sequentially through the Bridge Server: one block
+// in, one block out, O(n).
+func Copy(pc sim.Proc, c *core.Client, src, dst string) (int64, error) {
+	if _, err := c.Open(src); err != nil {
+		return 0, fmt.Errorf("seqfs: opening %s: %w", src, err)
+	}
+	if _, err := c.Create(dst); err != nil {
+		return 0, fmt.Errorf("seqfs: creating %s: %w", dst, err)
+	}
+	var n int64
+	for {
+		data, eof, err := c.SeqRead(src)
+		if err != nil {
+			return n, fmt.Errorf("seqfs: reading %s: %w", src, err)
+		}
+		if eof {
+			return n, nil
+		}
+		if err := c.SeqWrite(dst, data); err != nil {
+			return n, fmt.Errorf("seqfs: writing %s: %w", dst, err)
+		}
+		n++
+	}
+}
+
+// Sort externally sorts src into dst with a single process: in-core runs of
+// InCore records, then repeated 2-way merges of run files, all through the
+// naive interface. This is the classic O(n log n) external merge sort the
+// paper cites as the standard algorithm.
+func Sort(pc sim.Proc, c *core.Client, src, dst string, opts SortOptions) (int64, error) {
+	opts.applyDefaults()
+	meta, err := c.Open(src)
+	if err != nil {
+		return 0, fmt.Errorf("seqfs: opening %s: %w", src, err)
+	}
+	total := meta.Blocks
+
+	// Run formation.
+	var runs []string
+	runSeq := 0
+	newRun := func() string {
+		runSeq++
+		return fmt.Sprintf("%s.run%d", dst, runSeq)
+	}
+	for off := int64(0); off < total; off += int64(opts.InCore) {
+		end := off + int64(opts.InCore)
+		if end > total {
+			end = total
+		}
+		batch := make([][]byte, 0, end-off)
+		for i := off; i < end; i++ {
+			data, eof, err := c.SeqRead(src)
+			if err != nil || eof {
+				return 0, fmt.Errorf("seqfs: reading %s block %d: eof=%v err=%v", src, i, eof, err)
+			}
+			batch = append(batch, data)
+		}
+		pc.Sleep(time.Duration(len(batch)*log2ceil(opts.InCore)) * opts.CPUPerRecord)
+		sort.SliceStable(batch, func(a, b int) bool {
+			return bytes.Compare(key(batch[a], opts.KeyBytes), key(batch[b], opts.KeyBytes)) < 0
+		})
+		name := dst
+		if total > int64(opts.InCore) {
+			name = newRun()
+		}
+		if _, err := c.Create(name); err != nil {
+			return 0, fmt.Errorf("seqfs: creating run %s: %w", name, err)
+		}
+		for _, rec := range batch {
+			if err := c.SeqWrite(name, rec); err != nil {
+				return 0, fmt.Errorf("seqfs: writing run %s: %w", name, err)
+			}
+		}
+		if name != dst {
+			runs = append(runs, name)
+		}
+	}
+	if total <= int64(opts.InCore) {
+		if len(runs) == 0 && total == 0 {
+			if _, err := c.Create(dst); err != nil {
+				return 0, fmt.Errorf("seqfs: creating %s: %w", dst, err)
+			}
+		}
+		return total, nil
+	}
+
+	// Merge passes.
+	for len(runs) > 1 {
+		var next []string
+		for i := 0; i+1 < len(runs); i += 2 {
+			target := dst
+			if len(runs) > 2 {
+				target = newRun()
+			}
+			if _, err := c.Create(target); err != nil {
+				return 0, fmt.Errorf("seqfs: creating %s: %w", target, err)
+			}
+			if err := merge2(pc, c, runs[i], runs[i+1], target, opts); err != nil {
+				return 0, err
+			}
+			if _, err := c.Delete(runs[i]); err != nil {
+				return 0, fmt.Errorf("seqfs: deleting run: %w", err)
+			}
+			if _, err := c.Delete(runs[i+1]); err != nil {
+				return 0, fmt.Errorf("seqfs: deleting run: %w", err)
+			}
+			if target != dst {
+				next = append(next, target)
+			}
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		runs = next
+	}
+	return total, nil
+}
+
+func key(rec []byte, kb int) []byte {
+	if len(rec) < kb {
+		k := make([]byte, kb)
+		copy(k, rec)
+		return k
+	}
+	return rec[:kb]
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// merge2 merges two sorted run files into target through the naive view.
+func merge2(pc sim.Proc, c *core.Client, a, b, target string, opts SortOptions) error {
+	type cur struct {
+		name string
+		data []byte
+		done bool
+	}
+	advance := func(s *cur) error {
+		data, eof, err := c.SeqRead(s.name)
+		if err != nil {
+			return fmt.Errorf("seqfs: merge reading %s: %w", s.name, err)
+		}
+		if eof {
+			s.done, s.data = true, nil
+			return nil
+		}
+		s.data = data
+		return nil
+	}
+	ca, cb := &cur{name: a}, &cur{name: b}
+	if _, err := c.Open(a); err != nil {
+		return fmt.Errorf("seqfs: opening run %s: %w", a, err)
+	}
+	if _, err := c.Open(b); err != nil {
+		return fmt.Errorf("seqfs: opening run %s: %w", b, err)
+	}
+	if err := advance(ca); err != nil {
+		return err
+	}
+	if err := advance(cb); err != nil {
+		return err
+	}
+	for !ca.done || !cb.done {
+		var s *cur
+		switch {
+		case ca.done:
+			s = cb
+		case cb.done:
+			s = ca
+		case bytes.Compare(key(cb.data, opts.KeyBytes), key(ca.data, opts.KeyBytes)) < 0:
+			s = cb
+		default:
+			s = ca
+		}
+		pc.Sleep(opts.CPUPerRecord)
+		if err := c.SeqWrite(target, s.data); err != nil {
+			return fmt.Errorf("seqfs: merge writing %s: %w", target, err)
+		}
+		if err := advance(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

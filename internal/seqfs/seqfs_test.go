@@ -1,0 +1,153 @@
+package seqfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bridge/internal/core"
+	"bridge/internal/disk"
+	"bridge/internal/lfs"
+	"bridge/internal/sim"
+	"bridge/internal/workload"
+)
+
+func withCluster(t *testing.T, p int, fn func(proc sim.Proc, c *core.Client)) {
+	t.Helper()
+	rt := sim.NewVirtual()
+	cl, err := core.StartCluster(rt, core.ClusterConfig{
+		P:    p,
+		Node: lfs.Config{DiskBlocks: 4096, Timing: disk.FixedTiming{}},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	rt.Go("seqfs-test", func(proc sim.Proc) {
+		defer cl.Stop()
+		c := cl.NewClient(proc, 0, "seqfs-cli")
+		defer c.Close()
+		fn(proc, c)
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestSeqCopy(t *testing.T) {
+	withCluster(t, 1, func(proc sim.Proc, c *core.Client) {
+		want := workload.Records(1, 33, 64)
+		if err := workload.Fill(proc, c, "src", want); err != nil {
+			t.Error(err)
+			return
+		}
+		n, err := Copy(proc, c, "src", "dst")
+		if err != nil || n != 33 {
+			t.Errorf("Copy = %d, %v", n, err)
+			return
+		}
+		got, err := workload.ReadAll(proc, c, "dst")
+		if err != nil || len(got) != 33 {
+			t.Errorf("ReadAll = %d, %v", len(got), err)
+			return
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Errorf("block %d differs", i)
+				return
+			}
+		}
+	})
+}
+
+func TestSeqCopyEmpty(t *testing.T) {
+	withCluster(t, 1, func(proc sim.Proc, c *core.Client) {
+		workload.Fill(proc, c, "src", nil)
+		n, err := Copy(proc, c, "src", "dst")
+		if err != nil || n != 0 {
+			t.Errorf("Copy empty = %d, %v", n, err)
+		}
+	})
+}
+
+func checkSorted(t *testing.T, proc sim.Proc, c *core.Client, name string, want [][]byte) {
+	t.Helper()
+	got, err := workload.ReadAll(proc, c, name)
+	if err != nil {
+		t.Errorf("ReadAll: %v", err)
+		return
+	}
+	if len(got) != len(want) {
+		t.Errorf("%d records, want %d", len(got), len(want))
+		return
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1][:8], got[i][:8]) > 0 {
+			t.Errorf("not sorted at %d", i)
+			return
+		}
+	}
+	count := map[string]int{}
+	for _, w := range want {
+		count[string(w)]++
+	}
+	for _, g := range got {
+		count[string(g)]--
+	}
+	for _, v := range count {
+		if v != 0 {
+			t.Error("not a permutation of the input")
+			return
+		}
+	}
+}
+
+func TestSeqSortSmall(t *testing.T) {
+	// Fits in core: single run, written directly.
+	withCluster(t, 1, func(proc sim.Proc, c *core.Client) {
+		want := workload.Records(2, 10, 64)
+		workload.Fill(proc, c, "src", want)
+		n, err := Sort(proc, c, "src", "dst", SortOptions{InCore: 64})
+		if err != nil || n != 10 {
+			t.Errorf("Sort = %d, %v", n, err)
+			return
+		}
+		checkSorted(t, proc, c, "dst", want)
+	})
+}
+
+func TestSeqSortMultiRun(t *testing.T) {
+	for _, n := range []int{17, 32, 65} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			withCluster(t, 2, func(proc sim.Proc, c *core.Client) {
+				want := workload.Records(int64(n), n, 64)
+				workload.Fill(proc, c, "src", want)
+				got, err := Sort(proc, c, "src", "dst", SortOptions{InCore: 8})
+				if err != nil || got != int64(n) {
+					t.Errorf("Sort = %d, %v", got, err)
+					return
+				}
+				checkSorted(t, proc, c, "dst", want)
+				// Run files cleaned up: only src and dst remain.
+				names, err := c.List()
+				if err != nil || len(names) != 2 {
+					t.Errorf("List = %v, %v; want [dst src]", names, err)
+				}
+			})
+		})
+	}
+}
+
+func TestSeqSortEmpty(t *testing.T) {
+	withCluster(t, 1, func(proc sim.Proc, c *core.Client) {
+		workload.Fill(proc, c, "src", nil)
+		n, err := Sort(proc, c, "src", "dst", SortOptions{})
+		if err != nil || n != 0 {
+			t.Errorf("Sort empty = %d, %v", n, err)
+			return
+		}
+		if meta, err := c.Open("dst"); err != nil || meta.Blocks != 0 {
+			t.Errorf("dst = %+v, %v", meta, err)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: for any set of sleep durations, processes wake in nondecreasing
+// deadline order and the clock ends at the maximum deadline.
+func TestQuickTimerOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		rt := NewVirtual()
+		type wake struct {
+			at time.Duration
+			d  time.Duration
+		}
+		var wakes []wake
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			rt.Go("p", func(p Proc) {
+				p.Sleep(d)
+				wakes = append(wakes, wake{p.Now(), d})
+			})
+		}
+		if err := rt.Wait(); err != nil {
+			return false
+		}
+		if len(wakes) != len(raw) {
+			return false
+		}
+		var maxD time.Duration
+		for i, w := range wakes {
+			if w.at != w.d {
+				return false
+			}
+			if i > 0 && wakes[i-1].at > w.at {
+				return false
+			}
+			if w.d > maxD {
+				maxD = w.d
+			}
+		}
+		return rt.Now() == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a queue delivers every sent value exactly once, in availability
+// order, regardless of send delays.
+func TestQuickQueueDeliversAllInOrder(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 128 {
+			raw = raw[:128]
+		}
+		rt := NewVirtual()
+		q := rt.NewQueue("q")
+		type item struct {
+			id int
+			at time.Duration
+		}
+		want := make([]item, len(raw))
+		rt.Go("send", func(p Proc) {
+			for i, r := range raw {
+				d := time.Duration(r) * time.Microsecond
+				want[i] = item{i, d}
+				q.SendDelayed(i, d)
+			}
+		})
+		var got []item
+		rt.Go("recv", func(p Proc) {
+			for range raw {
+				v, ok := q.Recv(p)
+				if !ok {
+					return
+				}
+				got = append(got, item{v.(int), p.Now()})
+			}
+		})
+		if err := rt.Wait(); err != nil {
+			return false
+		}
+		if len(got) != len(raw) {
+			return false
+		}
+		// Expected delivery order: by (availability, send order).
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		for i := range got {
+			if got[i].id != want[i].id {
+				return false
+			}
+			// Delivery can never precede availability.
+			if got[i].at < want[i].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a single receiver draining an initially-filled queue, the
+// receive timestamps equal each item's availability time (the receiver
+// sleeps exactly until the head item is ready).
+func TestQuickQueueExactAvailabilityTimes(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		rt := NewVirtual()
+		q := rt.NewQueue("q")
+		delays := make([]time.Duration, len(raw))
+		rt.Go("send", func(p Proc) {
+			for i, r := range raw {
+				delays[i] = time.Duration(r) * time.Microsecond
+				q.SendDelayed(i, delays[i])
+			}
+		})
+		ok := true
+		rt.Go("recv", func(p Proc) {
+			sorted := append([]time.Duration(nil), delays...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, wantAt := range sorted {
+				_, rok := q.Recv(p)
+				if !rok || p.Now() != wantAt {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := rt.Wait(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

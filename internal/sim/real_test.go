@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The real runtime runs against the wall clock at a small scale so these
+// tests stay fast; assertions are deliberately loose since host scheduling
+// is nondeterministic.
+
+func TestRealSleepAndNow(t *testing.T) {
+	rt := NewReal(0.001) // 1 simulated ms = 1 host µs
+	err := rt.Run("p", func(p Proc) {
+		p.Sleep(10 * time.Millisecond)
+		if now := p.Now(); now < 10*time.Millisecond {
+			t.Errorf("Now = %v, want >= 10ms", now)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rt.Virtual() {
+		t.Error("Virtual() = true for real runtime")
+	}
+}
+
+func TestRealQueueRoundTrip(t *testing.T) {
+	rt := NewReal(0.001)
+	q := rt.NewQueue("q")
+	var got []int
+	rt.Go("recv", func(p Proc) {
+		for i := 0; i < 10; i++ {
+			v, ok := q.Recv(p)
+			if !ok {
+				t.Error("Recv: closed early")
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	rt.Go("send", func(p Proc) {
+		for i := 0; i < 10; i++ {
+			q.Send(i)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestRealQueueDelayed(t *testing.T) {
+	rt := NewReal(0.001)
+	q := rt.NewQueue("q")
+	err := rt.Run("p", func(p Proc) {
+		start := p.Now()
+		q.SendDelayed("x", 20*time.Millisecond)
+		v, ok := q.Recv(p)
+		if !ok || v != "x" {
+			t.Fatalf("Recv = %v/%v", v, ok)
+		}
+		if d := p.Now() - start; d < 20*time.Millisecond {
+			t.Errorf("delivered after %v, want >= 20ms", d)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRealRecvTimeout(t *testing.T) {
+	rt := NewReal(0.001)
+	q := rt.NewQueue("q")
+	err := rt.Run("p", func(p Proc) {
+		_, ok, timedOut := q.RecvTimeout(p, 5*time.Millisecond)
+		if ok || !timedOut {
+			t.Errorf("RecvTimeout = ok=%v timedOut=%v, want timeout", ok, timedOut)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRealQueueClose(t *testing.T) {
+	rt := NewReal(0.001)
+	q := rt.NewQueue("q")
+	rt.Go("recv", func(p Proc) {
+		if _, ok := q.Recv(p); ok {
+			t.Error("Recv on closed queue returned ok")
+		}
+	})
+	rt.Go("closer", func(p Proc) {
+		p.Sleep(2 * time.Millisecond)
+		q.Close()
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+func TestRealTryRecv(t *testing.T) {
+	rt := NewReal(0.001)
+	q := rt.NewQueue("q")
+	err := rt.Run("p", func(p Proc) {
+		if _, ok, _ := q.TryRecv(p); ok {
+			t.Error("TryRecv on empty queue returned ok")
+		}
+		q.Send(7)
+		if v, ok, _ := q.TryRecv(p); !ok || v != 7 {
+			t.Errorf("TryRecv = %v/%v, want 7/true", v, ok)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

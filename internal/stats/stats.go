@@ -1,0 +1,98 @@
+// Package stats provides lightweight named counters and accumulated timers
+// used to instrument the simulated disks, the message network, and the file
+// system layers. All methods are safe for concurrent use.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counters is a registry of named int64 counters and duration accumulators.
+// The zero value is not usable; call New.
+type Counters struct {
+	mu sync.Mutex
+	n  map[string]int64
+	d  map[string]time.Duration
+}
+
+// New returns an empty counter registry.
+func New() *Counters {
+	return &Counters{n: make(map[string]int64), d: make(map[string]time.Duration)}
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.n[name] += delta
+	c.mu.Unlock()
+}
+
+// AddTime accumulates a duration under the named timer.
+func (c *Counters) AddTime(name string, d time.Duration) {
+	c.mu.Lock()
+	c.d[name] += d
+	c.mu.Unlock()
+}
+
+// Get returns the current value of the named counter.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n[name]
+}
+
+// GetTime returns the accumulated duration of the named timer.
+func (c *Counters) GetTime(name string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.d[name]
+}
+
+// Reset clears all counters and timers.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = make(map[string]int64)
+	c.d = make(map[string]time.Duration)
+}
+
+// Snapshot returns copies of the counter and timer maps.
+func (c *Counters) Snapshot() (map[string]int64, map[string]time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := make(map[string]int64, len(c.n))
+	for k, v := range c.n {
+		n[k] = v
+	}
+	d := make(map[string]time.Duration, len(c.d))
+	for k, v := range c.d {
+		d[k] = v
+	}
+	return n, d
+}
+
+// String renders all counters and timers sorted by name, one per line.
+func (c *Counters) String() string {
+	n, d := c.Snapshot()
+	keys := make([]string, 0, len(n)+len(d))
+	for k := range n {
+		keys = append(keys, k)
+	}
+	for k := range d {
+		keys = append(keys, k+" (time)")
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if strings.HasSuffix(k, " (time)") {
+			fmt.Fprintf(&b, "%s: %v\n", k, d[strings.TrimSuffix(k, " (time)")])
+		} else {
+			fmt.Fprintf(&b, "%s: %d\n", k, n[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	c := New()
+	c.Add("ops", 3)
+	c.Add("ops", 2)
+	if got := c.Get("ops"); got != 5 {
+		t.Errorf("Get = %d, want 5", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestAddTime(t *testing.T) {
+	c := New()
+	c.AddTime("busy", 10*time.Millisecond)
+	c.AddTime("busy", 5*time.Millisecond)
+	if got := c.GetTime("busy"); got != 15*time.Millisecond {
+		t.Errorf("GetTime = %v, want 15ms", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	c := New()
+	c.Add("a", 1)
+	n, d := c.Snapshot()
+	c.Add("a", 1)
+	c.AddTime("t", time.Second)
+	if n["a"] != 1 {
+		t.Errorf("snapshot mutated: %d", n["a"])
+	}
+	if len(d) != 0 {
+		t.Errorf("unexpected timers in snapshot: %v", d)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Add("a", 1)
+	c.AddTime("t", time.Second)
+	c.Reset()
+	if c.Get("a") != 0 || c.GetTime("t") != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	c := New()
+	c.Add("zebra", 1)
+	c.Add("alpha", 2)
+	c.AddTime("mid", time.Second)
+	s := c.String()
+	ia, iz, im := strings.Index(s, "alpha"), strings.Index(s, "zebra"), strings.Index(s, "mid")
+	if ia < 0 || iz < 0 || im < 0 || !(ia < im && im < iz) {
+		t.Errorf("String not sorted: %q", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+				c.AddTime("d", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Errorf("concurrent adds = %d, want 8000", got)
+	}
+}

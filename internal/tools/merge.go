@@ -1,0 +1,360 @@
+package tools
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"bridge/internal/core"
+	"bridge/internal/efs"
+	"bridge/internal/lfs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// This file implements the token-passing parallel merge of Figure 4 of the
+// paper: merging two files each interleaved across t/2 nodes into one file
+// interleaved across t nodes, using t/2 reader processes per input and t
+// writer processes for the destination.
+//
+// The token carries the least unwritten key from the *other* input file,
+// the name (port) of the process holding that record, and the sequence
+// number of the next destination record. A process holding the token
+// compares the token's key with its least unwritten local key: if its own
+// record sorts first (or ties), it emits the record to the destination
+// writer for that sequence number and forwards the token along its own
+// ring; otherwise it sends a fresh token back to the originator.
+// Correctness rests on the invariant the paper states: the token is never
+// passed twice in a row without a record being written, and records are
+// written in nondecreasing key order.
+
+// Messages of the merge protocol.
+type (
+	// mergeToken is the Figure 4 token.
+	mergeToken struct {
+		Start bool
+		End   bool
+		Key   []byte
+		Orig  msg.Addr // process holding the advertised key
+		Seq   int64    // next destination sequence number
+	}
+	// mergeRecord carries one record to its destination writer.
+	mergeRecord struct {
+		Seq int64
+		Raw []byte // full LFS data area (Bridge header + payload)
+	}
+	// mergeStop terminates the reader processes once the merge is done.
+	mergeStop struct{}
+	// mergeFinish tells each writer the total record count so it knows
+	// when its column is complete.
+	mergeFinish struct{ Total int64 }
+)
+
+func mergeWireSize(body any) int {
+	switch b := body.(type) {
+	case mergeToken:
+		return 48 + len(b.Key)
+	case mergeRecord:
+		return 16 + len(b.Raw)
+	case mergeFinish:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// mergeGroup describes one merge: group nodes (t of them, t even; the first
+// t/2 hold input A's columns, the rest input B's), the input and output LFS
+// file ids (the same id on every node), and the key width.
+type mergeGroup struct {
+	seq      uint64 // unique id for port naming
+	pass     int
+	group    int
+	nodes    []msg.NodeID
+	inFile   uint32
+	outFile  uint32
+	keyBytes int
+
+	// Ports, all created by the controller before any worker starts so
+	// that no message can ever race a port's creation.
+	readerPorts []*msg.Port // len t: 0..t/2-1 read A, t/2..t-1 read B
+	writerPorts []*msg.Port // len t
+}
+
+// newMergeGroup allocates the group's ports.
+func newMergeGroup(network *msg.Network, seq uint64, pass, group int, nodes []msg.NodeID, inFile, outFile uint32, keyBytes int) *mergeGroup {
+	g := &mergeGroup{
+		seq: seq, pass: pass, group: group,
+		nodes: nodes, inFile: inFile, outFile: outFile, keyBytes: keyBytes,
+	}
+	t := len(nodes)
+	g.readerPorts = make([]*msg.Port, t)
+	g.writerPorts = make([]*msg.Port, t)
+	for i, n := range nodes {
+		g.readerPorts[i] = network.NewPort(msg.Addr{Node: n, Port: fmt.Sprintf("mg%d.p%d.g%d.r%d", seq, pass, group, i)})
+		g.writerPorts[i] = network.NewPort(msg.Addr{Node: n, Port: fmt.Sprintf("mg%d.p%d.g%d.w%d", seq, pass, group, i)})
+	}
+	return g
+}
+
+// start injects the Start token into the first process of input A.
+func (g *mergeGroup) start(pc sim.Proc, network *msg.Network) {
+	tok := mergeToken{Start: true}
+	_ = network.Send(pc, 0, g.readerPorts[0].Addr(), &msg.Message{Body: tok, Size: mergeWireSize(tok)})
+}
+
+// close releases the group's ports.
+func (g *mergeGroup) close() {
+	for _, p := range g.readerPorts {
+		p.Close()
+	}
+	for _, p := range g.writerPorts {
+		p.Close()
+	}
+}
+
+// half returns which input file (0 = A, 1 = B) position i serves, and its
+// ring position within that input.
+func (g *mergeGroup) half(i int) (file, ring int) {
+	t2 := len(g.nodes) / 2
+	if i < t2 {
+		return 0, i
+	}
+	return 1, i - t2
+}
+
+// ringNext returns the reader port of the successor in the same input ring.
+func (g *mergeGroup) ringNext(i int) msg.Addr {
+	t2 := len(g.nodes) / 2
+	file, ring := g.half(i)
+	next := (ring + 1) % t2
+	return g.readerPorts[file*t2+next].Addr()
+}
+
+// otherFirst returns the first reader of the other input file.
+func (g *mergeGroup) otherFirst(i int) msg.Addr {
+	t2 := len(g.nodes) / 2
+	file, _ := g.half(i)
+	return g.readerPorts[(1-file)*t2].Addr()
+}
+
+// writerFor returns the writer port for a destination sequence number.
+func (g *mergeGroup) writerFor(seq int64) msg.Addr {
+	return g.writerPorts[int(seq%int64(len(g.nodes)))].Addr()
+}
+
+// keyOf extracts a record's sort key from its raw block.
+func keyOf(raw []byte, keyBytes int) ([]byte, error) {
+	_, payload, err := core.DecodeBlock(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < keyBytes {
+		// Short records sort by their full payload, zero-padded.
+		k := make([]byte, keyBytes)
+		copy(k, payload)
+		return k, nil
+	}
+	return payload[:keyBytes], nil
+}
+
+// mergeReaderStats reports a reader's work.
+type mergeReaderStats struct {
+	Emitted int64
+}
+
+// runReader executes the Figure 4 process for position i of the group.
+func (g *mergeGroup) runReader(p sim.Proc, network *msg.Network, node msg.NodeID, i int) (mergeReaderStats, error) {
+	st := mergeReaderStats{}
+	lc := lfs.NewClient(p, network, node, fmt.Sprintf("mg%d.p%d.g%d.rc%d", g.seq, g.pass, g.group, i))
+	defer lc.C.Close()
+	port := g.readerPorts[i]
+	me := port.Addr()
+
+	info, err := lc.Stat(node, g.inFile)
+	if err != nil {
+		return st, fmt.Errorf("merge reader %d: stat input: %w", i, err)
+	}
+	total := int64(info.Blocks)
+	var (
+		pos  int64
+		hint int32 = -1
+		cur  []byte
+		key  []byte
+	)
+	readNext := func() error {
+		if pos >= total {
+			cur, key = nil, nil
+			return nil
+		}
+		raw, addr, err := lc.Read(node, g.inFile, uint32(pos), hint)
+		if err != nil {
+			return fmt.Errorf("merge reader %d: read %d: %w", i, pos, err)
+		}
+		hint = addr
+		k, err := keyOf(raw, g.keyBytes)
+		if err != nil {
+			return fmt.Errorf("merge reader %d: block %d: %w", i, pos, err)
+		}
+		cur, key = raw, k
+		pos++
+		return nil
+	}
+	atEOF := func() bool { return cur == nil }
+	send := func(to msg.Addr, body any) {
+		_ = network.Send(p, node, to, &msg.Message{From: me, Body: body, Size: mergeWireSize(body)})
+	}
+	emit := func(seq int64) {
+		rec := mergeRecord{Seq: seq, Raw: cur}
+		send(g.writerFor(seq), rec)
+		st.Emitted++
+	}
+	finishAll := func(totalRecords int64) {
+		// DONE: stop every other reader and tell the writers the total.
+		for j, rp := range g.readerPorts {
+			if j != i {
+				send(rp.Addr(), mergeStop{})
+			}
+		}
+		for _, wp := range g.writerPorts {
+			send(wp.Addr(), mergeFinish{Total: totalRecords})
+		}
+	}
+
+	if err := readNext(); err != nil {
+		return st, err
+	}
+	for {
+		m, ok := port.Recv(p)
+		if !ok {
+			return st, nil
+		}
+		switch tok := m.Body.(type) {
+		case mergeStop:
+			return st, nil
+		case mergeToken:
+			switch {
+			case tok.Start:
+				if atEOF() {
+					send(g.otherFirst(i), mergeToken{End: true, Seq: 0, Orig: me})
+				} else {
+					send(g.otherFirst(i), mergeToken{Key: key, Orig: me, Seq: 0})
+				}
+			case tok.End:
+				if atEOF() {
+					// Both inputs exhausted: tok.Seq is the total
+					// number of records written.
+					finishAll(tok.Seq)
+					return st, nil
+				}
+				emit(tok.Seq)
+				send(g.ringNext(i), mergeToken{End: true, Seq: tok.Seq + 1, Orig: tok.Orig})
+				if err := readNext(); err != nil {
+					return st, err
+				}
+			default:
+				if atEOF() {
+					// My input file is exhausted at this point of the
+					// ring traversal; drain the other file.
+					send(tok.Orig, mergeToken{End: true, Seq: tok.Seq, Orig: me})
+					continue
+				}
+				if bytes.Compare(key, tok.Key) <= 0 {
+					emit(tok.Seq)
+					send(g.ringNext(i), mergeToken{Key: tok.Key, Orig: tok.Orig, Seq: tok.Seq + 1})
+					if err := readNext(); err != nil {
+						return st, err
+					}
+				} else {
+					send(tok.Orig, mergeToken{Key: key, Orig: me, Seq: tok.Seq})
+				}
+			}
+		default:
+			return st, fmt.Errorf("merge reader %d: unexpected message %T", i, m.Body)
+		}
+	}
+}
+
+// mergeWriterStats reports a writer's work.
+type mergeWriterStats struct {
+	Written int64
+}
+
+// runWriter consumes this destination column's records (sequence numbers
+// congruent to i mod t), reassembling order with a small reorder buffer,
+// and appends them as local blocks of the output file.
+func (g *mergeGroup) runWriter(p sim.Proc, network *msg.Network, node msg.NodeID, i int) (mergeWriterStats, error) {
+	st := mergeWriterStats{}
+	t := int64(len(g.nodes))
+	lc := lfs.NewClient(p, network, node, fmt.Sprintf("mg%d.p%d.g%d.wc%d", g.seq, g.pass, g.group, i))
+	defer lc.C.Close()
+	port := g.writerPorts[i]
+	// Intermediate pass files are node-local scratch: create the local
+	// column here. The final pass writes into the Bridge-created
+	// destination, which already exists on every node.
+	if err := lc.Create(node, g.outFile); err != nil && !errors.Is(err, efs.ErrExists) {
+		return st, fmt.Errorf("merge writer %d: creating output: %w", i, err)
+	}
+
+	var (
+		pending    = make(map[int64][]byte)
+		nextSeq    = int64(i)
+		localBlock uint32
+		hint       int32 = -1
+		expected         = int64(-1)
+	)
+	drain := func() error {
+		for {
+			raw, ok := pending[nextSeq]
+			if !ok {
+				return nil
+			}
+			delete(pending, nextSeq)
+			// Refresh the Bridge header so the destination block
+			// carries its own global block number.
+			h, payload, err := core.DecodeBlock(raw)
+			if err != nil {
+				return fmt.Errorf("merge writer %d: decode seq %d: %w", i, nextSeq, err)
+			}
+			h.GlobalBlock = nextSeq
+			h.P = uint16(len(g.nodes))
+			out := core.EncodeBlock(h, payload)
+			addr, err := lc.Write(node, g.outFile, localBlock, out, hint)
+			if err != nil {
+				return fmt.Errorf("merge writer %d: write %d: %w", i, localBlock, err)
+			}
+			hint = addr
+			localBlock++
+			st.Written++
+			nextSeq += t
+		}
+	}
+	expectedFor := func(total int64) int64 {
+		if total <= int64(i) {
+			return 0
+		}
+		return (total-1-int64(i))/t + 1
+	}
+	for {
+		if expected >= 0 && st.Written == expected {
+			return st, nil
+		}
+		m, ok := port.Recv(p)
+		if !ok {
+			return st, nil
+		}
+		switch b := m.Body.(type) {
+		case mergeRecord:
+			pending[b.Seq] = b.Raw
+			if err := drain(); err != nil {
+				return st, err
+			}
+		case mergeFinish:
+			expected = expectedFor(b.Total)
+		case mergeStop:
+			return st, nil
+		default:
+			return st, fmt.Errorf("merge writer %d: unexpected message %T", i, m.Body)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package tools
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bridge/internal/core"
+	"bridge/internal/disk"
+	"bridge/internal/lfs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// These tests drive the Figure 4 token-ring merge directly, without the
+// surrounding sort tool: synthetic sorted columns go in, and the merged
+// interleaved output must be the sorted union.
+
+const mergeTestKeyBytes = 8
+
+// record builds a one-block record with the given uint64 key.
+func record(key uint64, tag int) []byte {
+	payload := make([]byte, 32)
+	binary.BigEndian.PutUint64(payload, key)
+	binary.BigEndian.PutUint32(payload[8:], uint32(tag))
+	return core.EncodeBlock(core.BlockHeader{GlobalBlock: int64(tag)}, payload)
+}
+
+// writeColumns distributes records round-robin across the given nodes as
+// local file fileID.
+func writeColumns(proc sim.Proc, network *msg.Network, nodes []msg.NodeID, fileID uint32, recs [][]byte) error {
+	lc := lfs.NewClient(proc, network, 0, fmt.Sprintf("mt-write-%d", toolSeq.Add(1)))
+	defer lc.C.Close()
+	for _, n := range nodes {
+		if err := lc.Create(n, fileID); err != nil {
+			return err
+		}
+	}
+	counts := make([]uint32, len(nodes))
+	for i, rec := range recs {
+		n := i % len(nodes)
+		if _, err := lc.Write(nodes[n], fileID, counts[n], rec, -1); err != nil {
+			return err
+		}
+		counts[n]++
+	}
+	return nil
+}
+
+// readColumns reassembles an interleaved file from its local columns.
+func readColumns(proc sim.Proc, network *msg.Network, nodes []msg.NodeID, fileID uint32) ([][]byte, error) {
+	lc := lfs.NewClient(proc, network, 0, fmt.Sprintf("mt-read-%d", toolSeq.Add(1)))
+	defer lc.C.Close()
+	sizes := make([]int, len(nodes))
+	total := 0
+	for i, n := range nodes {
+		info, err := lc.Stat(n, fileID)
+		if err != nil {
+			return nil, err
+		}
+		sizes[i] = info.Blocks
+		total += info.Blocks
+	}
+	out := make([][]byte, total)
+	for s := 0; s < total; s++ {
+		n := s % len(nodes)
+		local := uint32(s / len(nodes))
+		if int(local) >= sizes[n] {
+			return nil, fmt.Errorf("output not dense: seq %d missing on node %d", s, nodes[n])
+		}
+		raw, _, err := lc.Read(nodes[n], fileID, local, -1)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = raw
+	}
+	return out, nil
+}
+
+// runOneMerge executes a single merge group over fresh LFS columns.
+func runOneMerge(t *testing.T, tWidth int, keysA, keysB []uint64) [][]byte {
+	t.Helper()
+	rt := sim.NewVirtual()
+	cl, err := core.StartCluster(rt, core.ClusterConfig{
+		P:    tWidth,
+		Node: lfs.Config{DiskBlocks: 4096, Timing: disk.FixedTiming{}},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	var merged [][]byte
+	var mergeErr error
+	rt.Go("merge-driver", func(proc sim.Proc) {
+		defer cl.Stop()
+		nodes := cl.NodeIDs()
+		const inID, outID = lfs.ScratchBase + 1, lfs.ScratchBase + 2
+		var recsA, recsB [][]byte
+		for i, k := range keysA {
+			recsA = append(recsA, record(k, i))
+		}
+		for i, k := range keysB {
+			recsB = append(recsB, record(k, 1000+i))
+		}
+		if err := writeColumns(proc, cl.Net, nodes[:tWidth/2], inID, recsA); err != nil {
+			mergeErr = err
+			return
+		}
+		if err := writeColumns(proc, cl.Net, nodes[tWidth/2:], inID, recsB); err != nil {
+			mergeErr = err
+			return
+		}
+		seq := toolSeq.Add(1)
+		g := newMergeGroup(cl.Net, seq, 1, 0, nodes, inID, outID, mergeTestKeyBytes)
+		g.start(proc, cl.Net)
+		join := rt.NewQueue("merge-join")
+		for i := 0; i < tWidth; i++ {
+			i := i
+			node := nodes[i]
+			proc.Go(fmt.Sprintf("mr%d", i), func(p sim.Proc) {
+				_, err := g.runReader(p, cl.Net, node, i)
+				join.Send(err)
+			})
+			proc.Go(fmt.Sprintf("mw%d", i), func(p sim.Proc) {
+				_, err := g.runWriter(p, cl.Net, node, i)
+				join.Send(err)
+			})
+		}
+		for i := 0; i < 2*tWidth; i++ {
+			v, ok := join.Recv(proc)
+			if !ok {
+				mergeErr = fmt.Errorf("join queue closed")
+				return
+			}
+			if err, isErr := v.(error); isErr && err != nil && mergeErr == nil {
+				mergeErr = err
+			}
+		}
+		g.close()
+		if mergeErr != nil {
+			return
+		}
+		merged, mergeErr = readColumns(proc, cl.Net, nodes, outID)
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if mergeErr != nil {
+		t.Fatalf("merge: %v", mergeErr)
+	}
+	return merged
+}
+
+// verifyMerge checks sortedness and multiset preservation.
+func verifyMerge(t *testing.T, merged [][]byte, keysA, keysB []uint64) {
+	t.Helper()
+	if len(merged) != len(keysA)+len(keysB) {
+		t.Fatalf("merged %d records, want %d", len(merged), len(keysA)+len(keysB))
+	}
+	want := append(append([]uint64(nil), keysA...), keysB...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var prev []byte
+	for i, raw := range merged {
+		key, err := keyOf(raw, mergeTestKeyBytes)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if prev != nil && bytes.Compare(prev, key) > 0 {
+			t.Fatalf("output not sorted at record %d", i)
+		}
+		prev = key
+		if got := binary.BigEndian.Uint64(key); got != want[i] {
+			t.Fatalf("record %d key = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestMergeBalanced(t *testing.T) {
+	keysA := []uint64{1, 4, 7, 10, 13, 16}
+	keysB := []uint64{2, 3, 9, 11, 20, 21}
+	verifyMerge(t, runOneMerge(t, 4, keysA, keysB), keysA, keysB)
+}
+
+func TestMergeT2SelfRing(t *testing.T) {
+	// t=2: each input has a single reader whose ring successor is
+	// itself.
+	keysA := []uint64{5, 6, 7}
+	keysB := []uint64{1, 2, 3, 4, 8, 9}
+	verifyMerge(t, runOneMerge(t, 2, keysA, keysB), keysA, keysB)
+}
+
+func TestMergeOneInputEmpty(t *testing.T) {
+	keysB := []uint64{3, 1, 9}
+	sort.Slice(keysB, func(i, j int) bool { return keysB[i] < keysB[j] })
+	verifyMerge(t, runOneMerge(t, 4, nil, keysB), nil, keysB)
+	verifyMerge(t, runOneMerge(t, 4, keysB, nil), keysB, nil)
+}
+
+func TestMergeBothEmpty(t *testing.T) {
+	verifyMerge(t, runOneMerge(t, 4, nil, nil), nil, nil)
+}
+
+func TestMergeAllDuplicates(t *testing.T) {
+	keysA := []uint64{7, 7, 7, 7}
+	keysB := []uint64{7, 7, 7}
+	verifyMerge(t, runOneMerge(t, 2, keysA, keysB), keysA, keysB)
+}
+
+func TestMergeDisjointRanges(t *testing.T) {
+	// All of A sorts before all of B, and vice versa.
+	lo := []uint64{1, 2, 3, 4, 5}
+	hi := []uint64{100, 200, 300}
+	verifyMerge(t, runOneMerge(t, 4, lo, hi), lo, hi)
+	verifyMerge(t, runOneMerge(t, 4, hi, lo), hi, lo)
+}
+
+func TestQuickMergeRandomInputs(t *testing.T) {
+	f := func(rawA, rawB []uint16, widthSel bool) bool {
+		if len(rawA) > 40 {
+			rawA = rawA[:40]
+		}
+		if len(rawB) > 40 {
+			rawB = rawB[:40]
+		}
+		tWidth := 2
+		if widthSel {
+			tWidth = 4
+		}
+		keysA := make([]uint64, len(rawA))
+		for i, v := range rawA {
+			keysA[i] = uint64(v)
+		}
+		keysB := make([]uint64, len(rawB))
+		for i, v := range rawB {
+			keysB[i] = uint64(v)
+		}
+		sort.Slice(keysA, func(i, j int) bool { return keysA[i] < keysA[j] })
+		sort.Slice(keysB, func(i, j int) bool { return keysB[i] < keysB[j] })
+		merged := runOneMerge(t, tWidth, keysA, keysB)
+		// Inline verification (returning false beats t.Fatal inside
+		// quick).
+		if len(merged) != len(keysA)+len(keysB) {
+			return false
+		}
+		want := append(append([]uint64(nil), keysA...), keysB...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, raw := range merged {
+			key, err := keyOf(raw, mergeTestKeyBytes)
+			if err != nil {
+				return false
+			}
+			if binary.BigEndian.Uint64(key) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

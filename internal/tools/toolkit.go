@@ -1,0 +1,138 @@
+// Package tools implements Bridge tools: applications that become part of
+// the file system. A tool talks to the Bridge Server only to create, open,
+// and locate files; it then spawns worker processes on the LFS nodes (via
+// each node's agent) and moves all data traffic node-locally — "exporting
+// the I/O-related portions of an application into the processors closest to
+// the data".
+//
+// The standard tools from the paper are provided: copy (and one-to-one
+// filters built on it: character translation, XOR encryption, rot13), a
+// sequential-search grep, a summary tool (wc), and the parallel external
+// merge sort with the token-passing merge of Figure 4.
+package tools
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bridge/internal/core"
+	"bridge/internal/lfs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// toolSeq disambiguates port names when one controller runs several tools.
+var toolSeq atomic.Uint64
+
+// WorkerCtx is handed to exported worker code running on a storage node.
+type WorkerCtx struct {
+	Proc sim.Proc
+	Net  *msg.Network
+	// Node is the storage node this worker runs on.
+	Node msg.NodeID
+	// Index is the node's position in the file's interleaving order.
+	Index int
+	// LFS is a client homed on this node: all its traffic to the local
+	// server is node-local.
+	LFS *lfs.Client
+}
+
+// WorkerFn is the tool code exported to each node. Its return value is
+// delivered back to the controller.
+type WorkerFn func(ctx *WorkerCtx) (any, error)
+
+// workerDone is the completion message workers send to the controller.
+type workerDone struct {
+	Index  int
+	Result any
+	Err    string
+}
+
+// RunOnNodes exports fn to every listed node, runs the workers in parallel,
+// and gathers their results in node order: the paper's typical tool
+// interaction — "(1) a brief phase of communication with the Bridge Server
+// ... (2) the creation of subprocesses on all the LFS nodes, and (3) a
+// lengthy series of interactions between the subprocesses and the instances
+// of LFS", followed by an O(log p)-cheap completion wave.
+func RunOnNodes(pc sim.Proc, network *msg.Network, nodes []msg.NodeID, name string, fn WorkerFn) ([]any, error) {
+	seq := toolSeq.Add(1)
+	ctrl := msg.NewClient(pc, network, 0, fmt.Sprintf("tool.%s.%d.ctl", name, seq))
+	defer ctrl.Close()
+	donePort := network.NewPort(msg.Addr{Node: 0, Port: fmt.Sprintf("tool.%s.%d.done", name, seq)})
+	defer donePort.Close()
+	doneAddr := donePort.Addr()
+
+	// Start all the spawns before waiting for any acknowledgement, like
+	// the server's Create: initiation is sequential, execution overlaps.
+	spawnIDs := make([]uint64, 0, len(nodes))
+	for i, node := range nodes {
+		i := i
+		worker := func(p sim.Proc, self msg.NodeID) {
+			ctx := &WorkerCtx{
+				Proc:  p,
+				Net:   network,
+				Node:  self,
+				Index: i,
+				LFS:   lfs.NewClient(p, network, self, fmt.Sprintf("%s.%d.lfs%d", name, seq, i)),
+			}
+			defer ctx.LFS.C.Close()
+			result, err := fn(ctx)
+			d := workerDone{Index: i, Result: result}
+			if err != nil {
+				d.Err = err.Error()
+			}
+			_ = network.Send(p, self, doneAddr, &msg.Message{From: ctx.LFS.C.Addr(), Body: d, Size: 64})
+		}
+		req := lfs.SpawnReq{Name: fmt.Sprintf("%s.w%d", name, i), Fn: worker}
+		id, err := ctrl.Start(msg.Addr{Node: node, Port: lfs.AgentPortName}, req, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tools: spawning worker on node %d: %w", node, err)
+		}
+		spawnIDs = append(spawnIDs, id)
+	}
+	// A dead node's agent silently drops the spawn; bound the wait so the
+	// tool fails cleanly instead of relying on global deadlock detection.
+	if _, err := ctrl.GatherTimeout(spawnIDs, spawnAckTimeout); err != nil {
+		return nil, fmt.Errorf("tools: spawn acknowledgement: %w", err)
+	}
+
+	results := make([]any, len(nodes))
+	var firstErr error
+	for range nodes {
+		m, ok, timedOut := donePort.RecvTimeout(pc, workerTimeout)
+		if timedOut {
+			return nil, fmt.Errorf("tools: worker completion timed out after %v", workerTimeout)
+		}
+		if !ok {
+			return nil, fmt.Errorf("tools: completion port closed")
+		}
+		d := m.Body.(workerDone)
+		results[d.Index] = d.Result
+		if d.Err != "" && firstErr == nil {
+			firstErr = fmt.Errorf("tools: worker %d: %s", d.Index, d.Err)
+		}
+	}
+	return results, firstErr
+}
+
+// Timeouts for tool orchestration, in simulated time. Spawns are quick;
+// worker bodies can legitimately run for tens of simulated minutes (a
+// full-scale local sort), so the completion bound is generous.
+const (
+	spawnAckTimeout = 5 * time.Minute
+	workerTimeout   = 24 * time.Hour
+)
+
+// openMeta opens a file through the Bridge Server and validates that the
+// tool can address it (tools need the interleaved structure).
+func openMeta(c *core.Client, name string) (core.Meta, error) {
+	meta, err := c.Open(name)
+	if err != nil {
+		return core.Meta{}, fmt.Errorf("tools: opening %s: %w", name, err)
+	}
+	if len(meta.Nodes) == 0 {
+		return core.Meta{}, fmt.Errorf("tools: %s has no nodes", name)
+	}
+	return meta, nil
+}

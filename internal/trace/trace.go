@@ -1,0 +1,104 @@
+// Package trace is a lightweight event recorder for the simulated system:
+// message sends and disk accesses can be captured with their simulated
+// timestamps and dumped as a timeline, which is how the figures' behavior
+// (token circulation, lock-step rounds, disk overlap) can be inspected
+// event by event.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     time.Duration
+	Kind   string // e.g. "msg.send", "disk.read"
+	Detail string
+}
+
+// Tracer records events up to a capacity (then drops, counting the drops).
+// The zero value is a disabled tracer; use New. All methods are safe for
+// concurrent use and a nil *Tracer ignores all calls, so call sites never
+// need guards.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int
+}
+
+// New returns a tracer that keeps up to capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Emit records an event.
+func (t *Tracer) Emit(at time.Duration, kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) < t.cap {
+		t.events = append(t.events, Event{At: at, Kind: kind, Detail: detail})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Emitf records a formatted event. Prefer Emit with a prebuilt string on
+// hot paths.
+func (t *Tracer) Emitf(at time.Duration, kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(at, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Dropped reports how many events exceeded the capacity.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteTo dumps the timeline, one event per line.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range t.Events() {
+		c, err := fmt.Fprintf(w, "%12s  %-10s %s\n", e.At, e.Kind, e.Detail)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		c, err := fmt.Fprintf(w, "(... %d events dropped beyond capacity)\n", d)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := New(10)
+	tr.Emit(time.Second, "msg.send", "a -> b")
+	tr.Emitf(2*time.Second, "disk.read", "block %d", 7)
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[0].Kind != "msg.send" || ev[1].Detail != "block 7" {
+		t.Errorf("events = %+v", ev)
+	}
+}
+
+func TestCapacityAndDrops(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(time.Duration(i), "k", "d")
+	}
+	if len(tr.Events()) != 3 {
+		t.Errorf("kept %d, want 3", len(tr.Events()))
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", tr.Dropped())
+	}
+	var sb strings.Builder
+	tr.WriteTo(&sb)
+	if !strings.Contains(sb.String(), "7 events dropped") {
+		t.Errorf("WriteTo missing drop note: %q", sb.String())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, "k", "d")
+	tr.Emitf(0, "k", "%d", 1)
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil tracer returned data")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(10000)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Emit(time.Duration(j), "k", "d")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()) + tr.Dropped(); got != 8000 {
+		t.Errorf("events+dropped = %d, want 8000", got)
+	}
+}
+
+func TestWriteToFormat(t *testing.T) {
+	tr := New(4)
+	tr.Emit(15*time.Millisecond, "disk.read", "n1 block 3")
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "disk.read") || !strings.Contains(sb.String(), "n1 block 3") {
+		t.Errorf("WriteTo = %q", sb.String())
+	}
+}

@@ -1,0 +1,111 @@
+// Package workload generates deterministic test and benchmark inputs: files
+// of fixed-size records with pseudo-random sort keys (the sort tool's
+// input), and text-like blocks (for grep and wc). All generators are pure
+// functions of their seed.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bridge/internal/core"
+	"bridge/internal/sim"
+)
+
+// rng is a splitmix64 generator: tiny, deterministic, and good enough for
+// workload synthesis.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng { return &rng{state: uint64(seed)*2654435761 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Records builds n record payloads of the given size with a pseudo-random
+// big-endian key in the first 8 bytes and a deterministic body. Payload
+// size must be at least 16.
+func Records(seed int64, n, payloadBytes int) [][]byte {
+	if payloadBytes < 16 {
+		payloadBytes = 16
+	}
+	r := newRNG(seed)
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, payloadBytes)
+		binary.BigEndian.PutUint64(b, r.next())
+		binary.BigEndian.PutUint64(b[8:], uint64(i)) // unique record id
+		for j := 16; j < payloadBytes; j++ {
+			b[j] = byte((i + j) % 251)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Text builds n text-like payloads of words and newlines, for grep/wc
+// workloads. A known needle string appears in deterministic positions.
+func Text(seed int64, n, payloadBytes int, needle string) [][]byte {
+	r := newRNG(seed)
+	words := []string{"butterfly", "bridge", "interleave", "disk", "token",
+		"merge", "block", "parallel", "file", "system"}
+	out := make([][]byte, n)
+	for i := range out {
+		var b []byte
+		for len(b) < payloadBytes {
+			w := words[r.next()%uint64(len(words))]
+			b = append(b, w...)
+			if r.next()%8 == 0 {
+				b = append(b, '\n')
+			} else {
+				b = append(b, ' ')
+			}
+		}
+		if i%7 == 3 && len(needle) > 0 && len(b) > len(needle)+2 {
+			copy(b[1:], needle) // plant a needle off-origin
+		}
+		out[i] = b[:payloadBytes]
+	}
+	return out
+}
+
+// Fill creates the named Bridge file and appends every payload through the
+// naive interface.
+func Fill(pc sim.Proc, c *core.Client, name string, payloads [][]byte) error {
+	if _, err := c.Create(name); err != nil {
+		return fmt.Errorf("workload: creating %s: %w", name, err)
+	}
+	return Append(pc, c, name, payloads)
+}
+
+// Append appends payloads to an existing file.
+func Append(pc sim.Proc, c *core.Client, name string, payloads [][]byte) error {
+	for i, pl := range payloads {
+		if err := c.SeqWrite(name, pl); err != nil {
+			return fmt.Errorf("workload: writing block %d of %s: %w", i, name, err)
+		}
+	}
+	return nil
+}
+
+// ReadAll reads the whole file through the naive interface.
+func ReadAll(pc sim.Proc, c *core.Client, name string) ([][]byte, error) {
+	if _, err := c.Open(name); err != nil {
+		return nil, fmt.Errorf("workload: opening %s: %w", name, err)
+	}
+	var out [][]byte
+	for {
+		data, eof, err := c.SeqRead(name)
+		if err != nil {
+			return out, fmt.Errorf("workload: reading %s: %w", name, err)
+		}
+		if eof {
+			return out, nil
+		}
+		out = append(out, data)
+	}
+}

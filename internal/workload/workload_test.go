@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"bridge/internal/core"
+	"bridge/internal/disk"
+	"bridge/internal/lfs"
+	"bridge/internal/sim"
+)
+
+func TestRecordsDeterministic(t *testing.T) {
+	a := Records(7, 50, 64)
+	b := Records(7, 50, 64)
+	if len(a) != 50 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("record %d differs across runs with same seed", i)
+		}
+		if len(a[i]) != 64 {
+			t.Fatalf("record %d len = %d", i, len(a[i]))
+		}
+	}
+	c := Records(8, 50, 64)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i][:8], c[i][:8]) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("%d of 50 keys identical across different seeds", same)
+	}
+}
+
+func TestRecordsUniqueIDs(t *testing.T) {
+	recs := Records(1, 100, 32)
+	seen := map[string]bool{}
+	for _, r := range recs {
+		id := string(r[8:16])
+		if seen[id] {
+			t.Fatal("duplicate record id")
+		}
+		seen[id] = true
+	}
+}
+
+func TestRecordsMinimumSize(t *testing.T) {
+	recs := Records(1, 3, 4) // below the 16-byte floor
+	for _, r := range recs {
+		if len(r) < 16 {
+			t.Fatalf("record len = %d, want >= 16", len(r))
+		}
+	}
+}
+
+func TestTextContainsNeedle(t *testing.T) {
+	blocks := Text(3, 30, 200, "FINDME")
+	found := 0
+	for _, b := range blocks {
+		if len(b) != 200 {
+			t.Fatalf("block len = %d", len(b))
+		}
+		if bytes.Contains(b, []byte("FINDME")) {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("needle never planted")
+	}
+	if found == len(blocks) {
+		t.Error("needle in every block; should be sparse")
+	}
+}
+
+func TestFillAppendReadAll(t *testing.T) {
+	rt := sim.NewVirtual()
+	cl, err := core.StartCluster(rt, core.ClusterConfig{
+		P:    2,
+		Node: lfs.Config{DiskBlocks: 512, Timing: disk.FixedTiming{}},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	rt.Go("wl-test", func(proc sim.Proc) {
+		defer cl.Stop()
+		c := cl.NewClient(proc, 0, "wl-cli")
+		defer c.Close()
+		recs := Records(4, 12, 48)
+		if err := Fill(proc, c, "f", recs[:8]); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := Append(proc, c, "f", recs[8:]); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := ReadAll(proc, c, "f")
+		if err != nil || len(got) != 12 {
+			t.Errorf("ReadAll = %d, %v", len(got), err)
+			return
+		}
+		for i := range recs {
+			if !bytes.Equal(got[i], recs[i]) {
+				t.Errorf("record %d differs", i)
+				return
+			}
+		}
+		// Fill on an existing name fails.
+		if err := Fill(proc, c, "f", recs); err == nil {
+			t.Error("Fill onto existing file succeeded")
+		}
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
