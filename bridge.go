@@ -42,6 +42,7 @@ import (
 	"bridge/internal/core"
 	"bridge/internal/disk"
 	"bridge/internal/distrib"
+	"bridge/internal/fault"
 	"bridge/internal/lfs"
 	"bridge/internal/msg"
 	"bridge/internal/replica"
@@ -78,6 +79,25 @@ type (
 	Mirror = replica.Mirror
 	// Parity is a parity-protected file.
 	Parity = replica.Parity
+	// RetryPolicy tunes capped exponential backoff with deterministic
+	// jitter for retransmitting timed-out calls.
+	RetryPolicy = core.RetryPolicy
+	// HealthConfig tunes the Bridge Server's node health monitor.
+	HealthConfig = core.HealthConfig
+	// NodeHealth is one storage node's monitored state.
+	NodeHealth = core.NodeHealth
+	// HealthState is a node's health classification.
+	HealthState = core.HealthState
+	// FaultInjector deterministically injects message and disk faults and
+	// drives node crash/restart schedules; see NewFaultInjector.
+	FaultInjector = fault.Injector
+)
+
+// Health states, re-exported.
+const (
+	Healthy = core.Healthy
+	Suspect = core.Suspect
+	Dead    = core.Dead
 )
 
 // PayloadBytes is the usable payload per block: 960 bytes, as in the paper
@@ -101,7 +121,25 @@ var (
 	ErrNotFound = core.ErrNotFound
 	ErrExists   = core.ErrExists
 	ErrEOF      = core.ErrEOF
+	// ErrNodeDown is the health monitor's fast-fail: the target node is
+	// marked Dead, so the call failed immediately instead of timing out.
+	ErrNodeDown = core.ErrNodeDown
+	// ErrDegradedWrite reports a parity append whose data landed but whose
+	// parity update could not; Parity.Rebuild restores redundancy.
+	ErrDegradedWrite = replica.ErrDegradedWrite
+	// ErrBothCopiesLost reports a mirror read with neither copy reachable.
+	ErrBothCopiesLost = replica.ErrBothCopiesLost
+	// ErrTooManyFailures reports parity reconstruction needing more than
+	// one missing block.
+	ErrTooManyFailures = replica.ErrTooManyFailures
+	// ErrInjected marks disk errors produced by a FaultInjector.
+	ErrInjected = fault.ErrInjected
 )
+
+// NewFaultInjector creates a deterministic fault injector seeded for exact
+// replay; pass it in Config.Fault. Configure fault windows, partitions, bad
+// blocks, and node crash/restart schedules on it before calling Run.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
 
 // Config describes the simulated system.
 type Config struct {
@@ -130,6 +168,26 @@ type Config struct {
 	// TimeScale compresses real time: 0.001 makes a 15ms disk access
 	// cost 15µs of host time. Only used with RealTime. Default 0.001.
 	TimeScale float64
+	// Health enables the Bridge Server's heartbeat monitor. Calls to a
+	// node marked Dead fast-fail with ErrNodeDown instead of waiting out
+	// the LFS timeout, which is what lets mirrored and parity reads fail
+	// over quickly. Use &HealthConfig{} for the defaults.
+	Health *HealthConfig
+	// Retry enables capped exponential backoff with deterministic jitter:
+	// the session's server calls and the server's single-block LFS calls
+	// retransmit on timeout. Requests carry operation ids, so retransmitted
+	// writes are deduplicated, never applied twice. Use &RetryPolicy{} for
+	// the defaults.
+	Retry *RetryPolicy
+	// LFSTimeout bounds each Bridge Server → LFS call (default 60s). Pair
+	// Retry with a short timeout (~1s) on lossy networks so a dropped
+	// reply stalls the server briefly, not for a minute.
+	LFSTimeout time.Duration
+	// Fault, if non-nil, attaches this deterministic fault injector to the
+	// network and every disk, and drives its node crash/restart schedule
+	// against the cluster. Scheduled events only fire while the session
+	// runs — sleep past the last event inside Run if needed.
+	Fault *FaultInjector
 }
 
 // System is a configured Bridge cluster, ready to Run.
@@ -175,6 +233,11 @@ func (s *System) Run(fn func(*Session) error) error {
 		P:       s.cfg.Nodes,
 		Node:    lfs.Config{DiskBlocks: s.cfg.DiskBlocks, Timing: timing},
 		Servers: s.cfg.Servers,
+		Server: core.Config{
+			LFSTimeout: s.cfg.LFSTimeout,
+			LFSRetry:   s.cfg.Retry,
+			Health:     s.cfg.Health,
+		},
 	})
 	if err != nil {
 		return err
@@ -187,6 +250,16 @@ func (s *System) Run(fn func(*Session) error) error {
 			n.Disk.SetTracer(tr, fmt.Sprintf("disk%d", i))
 		}
 	}
+	if s.cfg.Fault != nil {
+		if tr != nil {
+			s.cfg.Fault.SetTracer(tr)
+		}
+		s.cfg.Fault.AttachNetwork(cl.Net)
+		for i, n := range cl.Nodes {
+			s.cfg.Fault.AttachDisk(n.Disk, fmt.Sprintf("disk%d", i))
+		}
+		s.cfg.Fault.Drive(rt, cl)
+	}
 	var fnErr error
 	rt.Go("bridge-session", func(proc sim.Proc) {
 		defer cl.Stop()
@@ -195,6 +268,9 @@ func (s *System) Run(fn func(*Session) error) error {
 			cl:     cl,
 			c:      cl.NewClient(proc, 0, "session"),
 			tracer: tr,
+		}
+		if s.cfg.Retry != nil {
+			sess.c.SetRetry(*s.cfg.Retry)
 		}
 		defer sess.c.Close()
 		fnErr = fn(sess)
@@ -344,6 +420,37 @@ func (s *Session) FailNode(i int) error {
 	}
 	s.cl.FailNode(i)
 	return nil
+}
+
+// RestartNode power-cycles a failed storage node: the disk returns with its
+// surviving blocks and the LFS reboots by mounting the volume. File
+// registrations the node had not synced are gone until RepairNode; lost
+// replica blocks are restored by Mirror.Resilver or Parity.Rebuild.
+func (s *Session) RestartNode(i int) error {
+	if i < 0 || i >= len(s.cl.Nodes) {
+		return fmt.Errorf("bridge: no node %d", i)
+	}
+	s.cl.RestartNode(i)
+	return nil
+}
+
+// RepairNode re-registers on a restarted node every file the directory says
+// it should hold, returning how many were repaired. Run it after
+// RestartNode and before replica-level repair.
+func (s *Session) RepairNode(i int) (int, error) { return s.c.RepairNode(i) }
+
+// Health returns the monitored state of every storage node (requires
+// Config.Health; without it all nodes report Healthy).
+func (s *Session) Health() ([]NodeHealth, error) { return s.c.Health() }
+
+// OpenMirror reopens an existing mirrored file.
+func (s *Session) OpenMirror(name string) (*Mirror, error) {
+	return replica.OpenMirror(s.proc, s.c, name)
+}
+
+// OpenParity reopens an existing parity-protected file.
+func (s *Session) OpenParity(name string) (*Parity, error) {
+	return replica.OpenParity(s.proc, s.c, name, s.Nodes())
 }
 
 // SetTimeout bounds each Bridge Server call from this session; failures

@@ -24,6 +24,8 @@ type Client struct {
 	mc      *msg.Client
 	servers []msg.Addr
 	timeout time.Duration
+	retry   *retrier // nil = no retransmission
+	nextOp  uint64
 }
 
 // NewClient creates a Bridge client for proc, homed on node, talking to the
@@ -87,6 +89,19 @@ func nameOf(body any) (string, bool) {
 // SetTimeout changes the per-call timeout (0 disables).
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
+// SetRetry enables retransmission of timed-out calls under the given
+// policy. Mutating requests carry operation ids, so a retry whose original
+// was actually executed (only the reply was lost) gets the cached result
+// back instead of running twice. Pair this with a timeout well below the
+// longest backoff-free operation.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = newRetrier(p) }
+
+// opID returns the next operation id for a mutating request.
+func (c *Client) opID() uint64 {
+	c.nextOp++
+	return c.nextOp
+}
+
 // Msg exposes the underlying message client, for tools that mix Bridge
 // calls with direct LFS traffic.
 func (c *Client) Msg() *msg.Client { return c.mc }
@@ -103,8 +118,23 @@ func (c *Client) call(body any) (*msg.Message, error) {
 }
 
 // callAt targets a specific server (used for job requests, which must go
-// to the server that owns the job).
+// to the server that owns the job). With a retry policy installed, calls
+// that time out are retransmitted with the same body — and so the same
+// OpID — under capped exponential backoff.
 func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
+	m, err := c.callOnce(to, body)
+	if c.retry == nil {
+		return m, err
+	}
+	for retry := 1; retry < c.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
+		c.mc.Proc().Sleep(c.retry.backoff(retry))
+		c.mc.Net().Stats().Add("bridge.client_retries", 1)
+		m, err = c.callOnce(to, body)
+	}
+	return m, err
+}
+
+func (c *Client) callOnce(to msg.Addr, body any) (*msg.Message, error) {
 	if c.timeout > 0 {
 		return c.mc.CallTimeout(to, body, WireSize(body), c.timeout)
 	}
@@ -114,7 +144,7 @@ func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
 // sentinels used to reconstruct typed errors from transported strings.
 var sentinels = []error{
 	ErrNotFound, ErrExists, ErrEOF, ErrBadBlock, ErrNoJob, ErrBadArg,
-	ErrLFSFailed, distrib.ErrNeedSize,
+	ErrNodeDown, ErrLFSFailed, distrib.ErrNeedSize,
 }
 
 // decodeErr rebuilds a sentinel-wrapped error from its transported string
@@ -140,7 +170,7 @@ func (c *Client) Create(name string) (Meta, error) {
 // CreateSpec creates a file with explicit placement; tree selects
 // binary-tree initiation of the per-LFS creates.
 func (c *Client) CreateSpec(name string, spec distrib.Spec, tree bool) (Meta, error) {
-	m, err := c.call(CreateReq{Name: name, Spec: spec, Tree: tree})
+	m, err := c.call(CreateReq{Name: name, Spec: spec, Tree: tree, OpID: c.opID()})
 	if err != nil {
 		return Meta{}, err
 	}
@@ -159,7 +189,7 @@ func (c *Client) CreateDisordered(name string) (Meta, error) {
 // storage nodes (indices into the node list); len(subset) must equal
 // spec.P.
 func (c *Client) CreateSubset(name string, spec distrib.Spec, subset []int) (Meta, error) {
-	m, err := c.call(CreateReq{Name: name, Spec: spec, Subset: subset})
+	m, err := c.call(CreateReq{Name: name, Spec: spec, Subset: subset, OpID: c.opID()})
 	if err != nil {
 		return Meta{}, err
 	}
@@ -169,7 +199,7 @@ func (c *Client) CreateSubset(name string, spec distrib.Spec, subset []int) (Met
 
 // Delete removes a file, returning the total number of blocks freed.
 func (c *Client) Delete(name string) (int, error) {
-	m, err := c.call(DeleteReq{Name: name})
+	m, err := c.call(DeleteReq{Name: name, OpID: c.opID()})
 	if err != nil {
 		return 0, err
 	}
@@ -202,7 +232,7 @@ func (c *Client) Stat(name string) (Meta, error) {
 // SeqRead returns the next block's payload at this client's cursor; eof is
 // true at end of file.
 func (c *Client) SeqRead(name string) (data []byte, eof bool, err error) {
-	m, err := c.call(SeqReadReq{Name: name})
+	m, err := c.call(SeqReadReq{Name: name, OpID: c.opID()})
 	if err != nil {
 		return nil, false, err
 	}
@@ -212,7 +242,7 @@ func (c *Client) SeqRead(name string) (data []byte, eof bool, err error) {
 
 // SeqWrite appends one block (payload up to PayloadBytes).
 func (c *Client) SeqWrite(name string, payload []byte) error {
-	m, err := c.call(SeqWriteReq{Name: name, Data: payload})
+	m, err := c.call(SeqWriteReq{Name: name, Data: payload, OpID: c.opID()})
 	if err != nil {
 		return err
 	}
@@ -231,7 +261,7 @@ func (c *Client) ReadAt(name string, blockNum int64) ([]byte, error) {
 
 // WriteAt writes block blockNum; blockNum equal to the file size appends.
 func (c *Client) WriteAt(name string, blockNum int64, payload []byte) error {
-	m, err := c.call(RandWriteReq{Name: name, BlockNum: blockNum, Data: payload})
+	m, err := c.call(RandWriteReq{Name: name, BlockNum: blockNum, Data: payload, OpID: c.opID()})
 	if err != nil {
 		return err
 	}
@@ -255,6 +285,37 @@ func (c *Client) List() ([]string, error) {
 	}
 	sort.Strings(all)
 	return all, nil
+}
+
+// Health returns the server's view of every storage node. Without a
+// health monitor configured every node reports Healthy.
+func (c *Client) Health() ([]NodeHealth, error) {
+	m, err := c.callAt(c.servers[0], HealthReq{})
+	if err != nil {
+		return nil, err
+	}
+	r := m.Body.(HealthResp)
+	return r.States, decodeErr(r.Err)
+}
+
+// RepairNode re-registers every Bridge file's LFS file on restarted
+// storage node index i, across all servers, returning the total number of
+// files repaired. Run it after Cluster.RestartNode and before replica
+// resilvering.
+func (c *Client) RepairNode(i int) (int, error) {
+	total := 0
+	for _, srv := range c.servers {
+		m, err := c.callAt(srv, RepairNodeReq{Node: i, OpID: c.opID()})
+		if err != nil {
+			return total, err
+		}
+		r := m.Body.(RepairNodeResp)
+		total += r.Files
+		if err := decodeErr(r.Err); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // GetInfo returns the cluster structure: the entry point for tools.

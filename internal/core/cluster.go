@@ -129,3 +129,11 @@ func (cl *Cluster) Stop() {
 func (cl *Cluster) FailNode(i int) {
 	cl.Nodes[i].Fail()
 }
+
+// RestartNode power-cycles failed storage node i: the disk comes back with
+// its surviving blocks and the LFS boots by mounting the volume. The
+// signature matches fault.NodeController, so a fault schedule can drive
+// crashes and restarts directly against the cluster.
+func (cl *Cluster) RestartNode(i int) {
+	cl.Nodes[i].Restart(cl.rt)
+}

@@ -46,6 +46,10 @@ var (
 	ErrNoJob     = errors.New("bridge: no such job")
 	ErrBadArg    = errors.New("bridge: invalid argument")
 	ErrLFSFailed = errors.New("bridge: constituent LFS operation failed")
+	// ErrNodeDown is a fast-fail: the health monitor has declared the
+	// target node dead, so the server refuses the LFS call immediately
+	// instead of waiting out LFSTimeout.
+	ErrNodeDown = errors.New("bridge: node marked down")
 )
 
 // BlockHeader is the 40-byte Bridge header at the front of every block's
@@ -207,6 +211,9 @@ type (
 		// cluster's node list) the file spans; len must equal Spec.P.
 		// Empty means the first Spec.P nodes.
 		Subset []int
+		// OpID is the client's operation id for retransmission dedup;
+		// 0 disables dedup for this request.
+		OpID uint64
 	}
 	// CreateResp acknowledges a CreateReq.
 	CreateResp struct {
@@ -215,7 +222,10 @@ type (
 	}
 
 	// DeleteReq deletes a file on every constituent LFS in parallel.
-	DeleteReq struct{ Name string }
+	DeleteReq struct {
+		Name string
+		OpID uint64
+	}
 	// DeleteResp reports total blocks freed across all LFS instances.
 	DeleteResp struct {
 		Freed int
@@ -231,8 +241,13 @@ type (
 		Err  string
 	}
 
-	// SeqReadReq reads the next block at the caller's cursor.
-	SeqReadReq struct{ Name string }
+	// SeqReadReq reads the next block at the caller's cursor. It carries
+	// an OpID because it mutates the cursor: a retransmitted read must
+	// get the cached block back, not advance the cursor twice.
+	SeqReadReq struct {
+		Name string
+		OpID uint64
+	}
 	// SeqReadResp returns the payload; EOF is set past the end.
 	SeqReadResp struct {
 		Data []byte
@@ -240,10 +255,12 @@ type (
 		Err  string
 	}
 
-	// SeqWriteReq appends one block.
+	// SeqWriteReq appends one block. The OpID is what makes a retried
+	// append safe: the server dedups it instead of appending twice.
 	SeqWriteReq struct {
 		Name string
 		Data []byte
+		OpID uint64
 	}
 	// SeqWriteResp acknowledges an append.
 	SeqWriteResp struct{ Err string }
@@ -264,6 +281,7 @@ type (
 		Name     string
 		BlockNum int64
 		Data     []byte
+		OpID     uint64
 	}
 	// RandWriteResp acknowledges a random write.
 	RandWriteResp struct{ Err string }
@@ -327,6 +345,30 @@ type (
 	GetInfoResp struct {
 		Info Info
 		Err  string
+	}
+
+	// HealthReq asks for the server's view of every storage node (requires
+	// Config.Health; without a monitor all nodes report Healthy).
+	HealthReq struct{}
+	// HealthResp returns the node states in interleaving order.
+	HealthResp struct {
+		States []NodeHealth
+		Err    string
+	}
+
+	// RepairNodeReq re-registers, on storage node index Node, the LFS file
+	// of every Bridge file placed there. A restarted node has lost any
+	// directory metadata it had not synced; this restores the LFS-level
+	// files (their surviving blocks reattach) so replica-layer repair can
+	// rewrite the lost ones.
+	RepairNodeReq struct {
+		Node int
+		OpID uint64
+	}
+	// RepairNodeResp reports how many files were re-registered.
+	RepairNodeResp struct {
+		Files int
+		Err   string
 	}
 
 	// WorkerData is the one-way message a job read sends to a worker.

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds retransmission of calls that time out. Retries pair
+// with the operation ids carried by mutating requests: a retransmitted
+// request reaches the server with the same OpID, so the server replays the
+// cached reply instead of re-executing the operation. The zero Attempts
+// value means "use the default"; policies are off unless installed with
+// Client.SetRetry or Config.LFSRetry.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 4).
+	Attempts int
+	// Base is the pause before the first retry; each further retry
+	// doubles it (default 50ms).
+	Base time.Duration
+	// Max caps the exponential backoff (default 2s).
+	Max time.Duration
+	// Jitter is the fraction of each backoff added as a deterministic
+	// random extra, to spread retransmission bursts. 0 disables.
+	Jitter float64
+	// Seed seeds the jitter sequence, so runs under the virtual clock
+	// replay exactly.
+	Seed int64
+}
+
+func (rp RetryPolicy) applyDefaults() RetryPolicy {
+	if rp.Attempts == 0 {
+		rp.Attempts = 4
+	}
+	if rp.Base == 0 {
+		rp.Base = 50 * time.Millisecond
+	}
+	if rp.Max == 0 {
+		rp.Max = 2 * time.Second
+	}
+	return rp
+}
+
+// retrier is the runtime state of a policy: the deterministic jitter
+// source. It is owned by a single process (the client's or the server's).
+type retrier struct {
+	p   RetryPolicy
+	rng *rand.Rand
+}
+
+func newRetrier(p RetryPolicy) *retrier {
+	p = p.applyDefaults()
+	return &retrier{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// backoff returns the pause before the retry-th retransmission (1-based).
+func (r *retrier) backoff(retry int) time.Duration {
+	d := r.p.Base
+	for i := 1; i < retry && d < r.p.Max; i++ {
+		d *= 2
+	}
+	if d > r.p.Max {
+		d = r.p.Max
+	}
+	if r.p.Jitter > 0 {
+		if span := int64(float64(d) * r.p.Jitter); span > 0 {
+			d += time.Duration(r.rng.Int63n(span))
+		}
+	}
+	return d
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"bridge/internal/distrib"
+	"bridge/internal/efs"
 	"bridge/internal/lfs"
 	"bridge/internal/msg"
 	"bridge/internal/sim"
@@ -33,6 +35,12 @@ type Config struct {
 	// so their LFS file ids never collide. Defaults: 0 and 1.
 	IDBase   uint32
 	IDStride uint32
+	// LFSRetry, when set, retransmits timed-out single-block LFS calls
+	// (reads, writes, stats) under the policy. Off by default.
+	LFSRetry *RetryPolicy
+	// Health, when set, runs a heartbeat monitor over the storage nodes
+	// and fast-fails calls to nodes it has declared dead. Off by default.
+	Health *HealthConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -64,7 +72,24 @@ type Server struct {
 	jobs    map[uint64]*job
 	nextID  uint32
 	nextJob uint64
+
+	retry     *retrier       // nil = no LFS retransmission
+	health    *healthTracker // nil = no monitoring
+	monStop   *msg.Port
+	nextLFSOp uint64
+	dedup     map[dedupKey]any
+	dedupQ    []dedupKey
 }
+
+// dedupKey identifies one client operation for retransmission dedup.
+type dedupKey struct {
+	client msg.Addr
+	op     uint64
+}
+
+// dedupCap bounds the reply cache; old entries evict FIFO. It only needs
+// to cover replies whose retransmissions may still be in flight.
+const dedupCap = 2048
 
 type dirent struct {
 	meta  Meta
@@ -134,6 +159,14 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 		dir:     make(map[string]*dirent),
 		cursors: make(map[cursorKey]*cursor),
 		jobs:    make(map[uint64]*job),
+		dedup:   make(map[dedupKey]any),
+	}
+	if cfg.LFSRetry != nil {
+		s.retry = newRetrier(*cfg.LFSRetry)
+	}
+	if cfg.Health != nil {
+		s.health = newHealthTracker(*cfg.Health)
+		s.startMonitor(rt)
 	}
 	rt.Go(s.port.Addr().String(), func(p sim.Proc) { s.run(p) })
 	return s
@@ -143,7 +176,13 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 func (s *Server) Addr() msg.Addr { return s.port.Addr() }
 
 // Stop closes the server port; the server process exits after draining.
-func (s *Server) Stop() { s.port.Close() }
+// The health monitor, if any, stops with it.
+func (s *Server) Stop() {
+	s.port.Close()
+	if s.monStop != nil {
+		s.monStop.Close()
+	}
+}
 
 func (s *Server) run(p sim.Proc) {
 	s.lc = msg.NewClient(p, s.net, s.cfg.Node, s.cfg.PortName+".lfscli")
@@ -159,7 +198,7 @@ func (s *Server) run(p sim.Proc) {
 		if s.cfg.OpCPU > 0 {
 			p.Sleep(s.cfg.OpCPU)
 		}
-		body := s.handle(p, req)
+		body := s.dispatch(p, req)
 		_ = s.net.Send(p, s.cfg.Node, req.From, &msg.Message{
 			From:  s.port.Addr(),
 			ReqID: req.ReqID,
@@ -167,6 +206,72 @@ func (s *Server) run(p sim.Proc) {
 			Size:  WireSize(body),
 		})
 	}
+}
+
+// opIDOf extracts the dedup operation id from requests that carry one.
+func opIDOf(body any) (uint64, bool) {
+	switch b := body.(type) {
+	case CreateReq:
+		return b.OpID, true
+	case DeleteReq:
+		return b.OpID, true
+	case SeqReadReq:
+		return b.OpID, true
+	case SeqWriteReq:
+		return b.OpID, true
+	case RandWriteReq:
+		return b.OpID, true
+	case RepairNodeReq:
+		return b.OpID, true
+	default:
+		return 0, false
+	}
+}
+
+// respErr returns the transported error string of a cacheable reply.
+func respErr(body any) string {
+	switch b := body.(type) {
+	case CreateResp:
+		return b.Err
+	case DeleteResp:
+		return b.Err
+	case SeqReadResp:
+		return b.Err
+	case SeqWriteResp:
+		return b.Err
+	case RandWriteResp:
+		return b.Err
+	case RepairNodeResp:
+		return b.Err
+	default:
+		return ""
+	}
+}
+
+// dispatch wraps handle with retransmission dedup: a request whose
+// (client, OpID) was already executed successfully gets the cached reply,
+// so lost replies and duplicated messages never re-run a mutation.
+func (s *Server) dispatch(p sim.Proc, req *msg.Message) any {
+	op, hasOp := opIDOf(req.Body)
+	if !hasOp || op == 0 {
+		return s.handle(p, req)
+	}
+	key := dedupKey{client: req.From, op: op}
+	if cached, hit := s.dedup[key]; hit {
+		s.net.Stats().Add("bridge.dedup_hits", 1)
+		return cached
+	}
+	body := s.handle(p, req)
+	// Cache successes only: a failed attempt should be re-executable.
+	if respErr(body) == "" {
+		if len(s.dedupQ) >= dedupCap {
+			delete(s.dedup, s.dedupQ[0])
+			s.dedupQ = s.dedupQ[1:]
+		}
+		s.dedup[key] = body
+		s.dedupQ = append(s.dedupQ, key)
+	}
+	return body
 }
 
 func (s *Server) handle(p sim.Proc, req *msg.Message) any {
@@ -223,6 +328,18 @@ func (s *Server) handle(p sim.Proc, req *msg.Message) any {
 			Nodes:  append([]msg.NodeID(nil), s.nodes...),
 			Server: s.port.Addr(),
 		}}
+	case HealthReq:
+		if s.health == nil {
+			states := make([]NodeHealth, len(s.nodes))
+			for i, n := range s.nodes {
+				states[i] = NodeHealth{Node: n, State: Healthy}
+			}
+			return HealthResp{States: states}
+		}
+		return HealthResp{States: s.health.snapshot(s.nodes)}
+	case RepairNodeReq:
+		files, err := s.repairNode(p, r.Node)
+		return RepairNodeResp{Files: files, Err: errString(err)}
 	default:
 		return CloseJobResp{Err: fmt.Sprintf("bridge: unknown request %T", req.Body)}
 	}
@@ -377,6 +494,9 @@ func (s *Server) refreshSize(p sim.Proc, ent *dirent) error {
 	op := lfs.StatReq{FileID: ent.meta.LFSFileID}
 	ids := make([]uint64, 0, len(ent.meta.Nodes))
 	for _, n := range ent.meta.Nodes {
+		if s.health != nil && s.health.get(n) == Dead {
+			return fmt.Errorf("%w: n%d", ErrNodeDown, n)
+		}
 		id, err := s.lc.Start(msg.Addr{Node: n, Port: lfs.PortName}, op, lfs.WireSize(op))
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
@@ -422,6 +542,32 @@ func (s *Server) stat(p sim.Proc, name string) (Meta, error) {
 	return ent.meta, nil
 }
 
+// lfsCall is the single-block LFS call path: it fast-fails on nodes the
+// health monitor has declared dead, retransmits timeouts under the
+// configured retry policy (the body — and so any LFS OpID in it — is
+// reused verbatim), and reports full timeouts to the health tracker.
+func (s *Server) lfsCall(p sim.Proc, node msg.NodeID, body any, size int) (*msg.Message, error) {
+	if s.health != nil && s.health.get(node) == Dead {
+		return nil, fmt.Errorf("%w: n%d", ErrNodeDown, node)
+	}
+	to := msg.Addr{Node: node, Port: lfs.PortName}
+	m, err := s.lc.CallTimeout(to, body, size, s.cfg.LFSTimeout)
+	if s.retry != nil {
+		for retry := 1; retry < s.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
+			p.Sleep(s.retry.backoff(retry))
+			s.net.Stats().Add("bridge.lfs_retries", 1)
+			if s.health != nil && s.health.get(node) == Dead {
+				return nil, fmt.Errorf("%w: n%d", ErrNodeDown, node)
+			}
+			m, err = s.lc.CallTimeout(to, body, size, s.cfg.LFSTimeout)
+		}
+	}
+	if errors.Is(err, msg.ErrTimeout) {
+		s.reportProbe(p.Now(), node, false)
+	}
+	return m, err
+}
+
 // lfsRead fetches one global block through the right LFS and returns its
 // payload.
 func (s *Server) lfsRead(p sim.Proc, ent *dirent, blockNum int64) ([]byte, error) {
@@ -432,8 +578,11 @@ func (s *Server) lfsRead(p sim.Proc, ent *dirent, blockNum int64) ([]byte, error
 	node := ent.meta.Nodes[l.NodeFor(blockNum)]
 	local := l.LocalFor(blockNum)
 	req := lfs.ReadReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(local), Hint: ent.hintFor(node)}
-	m, err := s.lc.CallTimeout(msg.Addr{Node: node, Port: lfs.PortName}, req, lfs.WireSize(req), s.cfg.LFSTimeout)
+	m, err := s.lfsCall(p, node, req, lfs.WireSize(req))
 	if err != nil {
+		if errors.Is(err, ErrNodeDown) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %v", ErrLFSFailed, err)
 	}
 	resp := m.Body.(lfs.ReadResp)
@@ -472,9 +621,13 @@ func (s *Server) lfsWrite(p sim.Proc, ent *dirent, blockNum int64, payload []byt
 		P:           uint16(ent.meta.Spec.P),
 		Start:       uint16(ent.meta.Spec.Start),
 	}, payload)
-	req := lfs.WriteReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(local), Data: data, Hint: ent.hintFor(node)}
-	m, err := s.lc.CallTimeout(msg.Addr{Node: node, Port: lfs.PortName}, req, lfs.WireSize(req), s.cfg.LFSTimeout)
+	s.nextLFSOp++
+	req := lfs.WriteReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(local), Data: data, Hint: ent.hintFor(node), OpID: s.nextLFSOp}
+	m, err := s.lfsCall(p, node, req, lfs.WireSize(req))
 	if err != nil {
+		if errors.Is(err, ErrNodeDown) {
+			return err
+		}
 		return fmt.Errorf("%w: %v", ErrLFSFailed, err)
 	}
 	resp := m.Body.(lfs.WriteResp)
@@ -483,6 +636,52 @@ func (s *Server) lfsWrite(p sim.Proc, ent *dirent, blockNum int64, payload []byt
 	}
 	ent.hints[node] = resp.Addr
 	return nil
+}
+
+// repairNode re-registers on storage node index idx the LFS file of every
+// Bridge file placed there. A restarted node's EFS directory reverts to
+// its last-synced state, so files created after that sync are gone at the
+// LFS level even though the Bridge directory still lists them; re-creating
+// them (tolerating "exists" for the survivors) makes every placement
+// reachable again, with the lost blocks left for replica-layer repair.
+// Iteration is in sorted name order so chaos runs replay deterministically.
+func (s *Server) repairNode(p sim.Proc, idx int) (int, error) {
+	if idx < 0 || idx >= len(s.nodes) {
+		return 0, fmt.Errorf("%w: node index %d of %d", ErrBadArg, idx, len(s.nodes))
+	}
+	node := s.nodes[idx]
+	names := make([]string, 0, len(s.dir))
+	for name := range s.dir {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	repaired := 0
+	for _, name := range names {
+		ent := s.dir[name]
+		placed := false
+		for _, n := range ent.meta.Nodes {
+			if n == node {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			continue
+		}
+		op := lfs.CreateReq{FileID: ent.meta.LFSFileID}
+		m, err := s.lc.CallTimeout(msg.Addr{Node: node, Port: lfs.PortName}, op, lfs.WireSize(op), s.cfg.LFSTimeout)
+		if err != nil {
+			return repaired, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		if err := m.Body.(lfs.CreateResp).Status.Err(); err != nil && !errors.Is(err, efs.ErrExists) {
+			return repaired, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		// Any cached block-address hint for this node predates the crash.
+		delete(ent.hints, node)
+		repaired++
+	}
+	s.net.Stats().Add("bridge.node_repairs", 1)
+	return repaired, nil
 }
 
 func (s *Server) seqRead(p sim.Proc, client msg.Addr, name string) ([]byte, bool, error) {
@@ -743,7 +942,8 @@ func (s *Server) parallelWrite(p sim.Proc, jobID uint64) (int, error) {
 				P:           uint16(ent.meta.Spec.P),
 				Start:       uint16(ent.meta.Spec.Start),
 			}, wb.Data)
-			req := lfs.WriteReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(l.LocalFor(blockNum)), Data: data, Hint: ent.hintFor(node)}
+			s.nextLFSOp++
+			req := lfs.WriteReq{FileID: ent.meta.LFSFileID, BlockNum: uint32(l.LocalFor(blockNum)), Data: data, Hint: ent.hintFor(node), OpID: s.nextLFSOp}
 			id, err := s.lc.Start(msg.Addr{Node: node, Port: lfs.PortName}, req, lfs.WireSize(req))
 			if err != nil {
 				return written, fmt.Errorf("%w: %v", ErrLFSFailed, err)

@@ -28,6 +28,14 @@ var (
 	ErrFailed     = errors.New("disk: device failed")
 )
 
+// FaultHook is consulted before every access when installed with SetFault:
+// it may inject an error (a transient or latent fault) and/or extra latency
+// (a limping device). label identifies the device; implementations must be
+// deterministic under the virtual clock.
+type FaultHook interface {
+	BeforeOp(now time.Duration, label string, op Op, bn int) (extra time.Duration, err error)
+}
+
 // Op distinguishes access types for the timing model.
 type Op uint8
 
@@ -70,6 +78,8 @@ type Disk struct {
 	stats  *stats.Counters
 	tracer *trace.Tracer // nil = tracing off
 	name   string
+	fault  FaultHook // nil = no fault injection
+	label  string    // device name passed to the fault hook
 	mu     sync.Mutex
 	blocks [][]byte // nil entry = never-written (zero) block
 	head   int      // last accessed block, for seek modeling
@@ -103,11 +113,29 @@ func (d *Disk) SetTracer(t *trace.Tracer, name string) {
 	d.mu.Unlock()
 }
 
+// SetFault installs a fault hook consulted before every access (nil
+// removes it); label names this device in the hook's rules. Set it before
+// the simulation starts.
+func (d *Disk) SetFault(h FaultHook, label string) {
+	d.mu.Lock()
+	d.fault, d.label = h, label
+	d.mu.Unlock()
+}
+
 // Fail marks the device failed; all subsequent operations return ErrFailed.
 // Used by the fault-injection experiments.
 func (d *Disk) Fail() {
 	d.mu.Lock()
 	d.failed = true
+	d.mu.Unlock()
+}
+
+// Restore clears a failure, modeling power-cycling a crashed device. The
+// stored blocks survive (the medium was not damaged); any metadata the file
+// system had not written through is of course still lost.
+func (d *Disk) Restore() {
+	d.mu.Lock()
+	d.failed = false
 	d.mu.Unlock()
 }
 
@@ -167,6 +195,24 @@ func (d *Disk) check(bn int) error {
 	return nil
 }
 
+// inject consults the fault hook for an access. Callers hold d.mu. On an
+// injected error the access is still accounted (the device spun and failed),
+// and the returned duration must be charged by the caller after unlocking.
+func (d *Disk) inject(p sim.Proc, op Op, bn, blocks int) (extra time.Duration, t time.Duration, err error) {
+	if d.fault == nil {
+		return 0, 0, nil
+	}
+	extra, err = d.fault.BeforeOp(p.Now(), d.label, op, bn)
+	if err != nil {
+		t = d.access(p, op, bn, blocks)
+		d.stats.Add("disk.fault_errors", 1)
+		if d.tracer != nil {
+			d.tracer.Emitf(p.Now(), "disk.fault", "%s block %d: %v", d.name, bn, err)
+		}
+	}
+	return extra, t, err
+}
+
 // ReadBlock returns a copy of block bn, charging one access.
 func (d *Disk) ReadBlock(p sim.Proc, bn int) ([]byte, error) {
 	d.mu.Lock()
@@ -174,10 +220,16 @@ func (d *Disk) ReadBlock(p sim.Proc, bn int) ([]byte, error) {
 		d.mu.Unlock()
 		return nil, err
 	}
+	extra, ft, ferr := d.inject(p, OpRead, bn, 1)
+	if ferr != nil {
+		d.mu.Unlock()
+		charge(p, ft+extra)
+		return nil, ferr
+	}
 	t := d.access(p, OpRead, bn, 1)
 	out := d.copyOut(bn)
 	d.mu.Unlock()
-	charge(p, t)
+	charge(p, t+extra)
 	return out, nil
 }
 
@@ -196,13 +248,19 @@ func (d *Disk) ReadTrack(p sim.Proc, bn int) (first int, blocks [][]byte, err er
 	if last > d.cfg.NumBlocks {
 		last = d.cfg.NumBlocks
 	}
+	extra, ft, ferr := d.inject(p, OpRead, bn, last-first)
+	if ferr != nil {
+		d.mu.Unlock()
+		charge(p, ft+extra)
+		return 0, nil, ferr
+	}
 	t := d.access(p, OpRead, first, last-first)
 	blocks = make([][]byte, last-first)
 	for i := range blocks {
 		blocks[i] = d.copyOut(first + i)
 	}
 	d.mu.Unlock()
-	charge(p, t)
+	charge(p, t+extra)
 	return first, blocks, nil
 }
 
@@ -218,12 +276,18 @@ func (d *Disk) WriteBlock(p sim.Proc, bn int, data []byte) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: got %d, want %d", ErrBadSize, len(data), d.cfg.BlockSize)
 	}
+	extra, ft, ferr := d.inject(p, OpWrite, bn, 1)
+	if ferr != nil {
+		d.mu.Unlock()
+		charge(p, ft+extra)
+		return ferr
+	}
 	t := d.access(p, OpWrite, bn, 1)
 	b := make([]byte, d.cfg.BlockSize)
 	copy(b, data)
 	d.blocks[bn] = b
 	d.mu.Unlock()
-	charge(p, t)
+	charge(p, t+extra)
 	return nil
 }
 

@@ -1,0 +1,244 @@
+// Package fault is a seeded, deterministic fault injector for the simulated
+// Bridge system. It plugs into the message network (drop, extra delay,
+// duplication, node partitions) and the disks (transient errors, latent bad
+// blocks, slow-disk "limping"), and drives scheduled node crashes and
+// restarts at fixed virtual times.
+//
+// Everything the injector does is a pure function of its seed, its
+// configured schedule, and the order in which the simulation consults it.
+// Under the virtual clock that order is deterministic, so a chaos run with
+// a given seed replays exactly: same faults, same timestamps, same trace.
+// The paper concedes that in Bridge "a failure anywhere in the system is
+// fatal; it ruins every file" — this package exists to exercise every layer
+// that now disagrees.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bridge/internal/disk"
+	"bridge/internal/msg"
+	"bridge/internal/stats"
+	"bridge/internal/trace"
+)
+
+// ErrInjected is the base error of every injected disk fault, so callers
+// (and tests) can distinguish chaos from genuine corruption.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// MsgFaults describes message-layer misbehavior inside a window.
+type MsgFaults struct {
+	// DropProb is the per-message probability of silent loss.
+	DropProb float64
+	// DupProb is the per-message probability of one duplicate delivery.
+	DupProb float64
+	// DelayProb is the per-message probability of extra delay, drawn
+	// uniformly from (0, DelayMax].
+	DelayProb float64
+	DelayMax  time.Duration
+}
+
+// DiskFaults describes device-layer misbehavior inside a window.
+type DiskFaults struct {
+	// ReadErrProb and WriteErrProb are per-access probabilities of a
+	// transient error (the access is charged but fails).
+	ReadErrProb  float64
+	WriteErrProb float64
+	// ExtraLatency is added to every access: a limping device.
+	ExtraLatency time.Duration
+}
+
+type window struct{ from, to time.Duration }
+
+func (w window) contains(now time.Duration) bool { return now >= w.from && now < w.to }
+
+type msgRule struct {
+	window
+	f MsgFaults
+}
+
+type partition struct {
+	window
+	a, b msg.NodeID
+}
+
+type diskRule struct {
+	window
+	label string // "" matches every disk
+	f     DiskFaults
+}
+
+type diskBlock struct {
+	label string
+	bn    int
+}
+
+// Injector implements msg.FaultHook and disk.FaultHook. Configure it fully
+// before the simulation starts; the hook methods themselves are safe for
+// concurrent use.
+type Injector struct {
+	seed   int64
+	tracer *trace.Tracer
+	stats  *stats.Counters
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	msgRules   []msgRule
+	partitions []partition
+	diskRules  []diskRule
+	badBlocks  map[diskBlock]bool
+	schedule   []NodeEvent
+}
+
+// New creates an injector with the given seed. Two injectors with the same
+// seed and configuration behave identically on identical simulations.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:      seed,
+		stats:     stats.New(),
+		rng:       rand.New(rand.NewSource(seed)),
+		badBlocks: make(map[diskBlock]bool),
+	}
+}
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Stats returns the injector's counters: faults injected by kind.
+func (in *Injector) Stats() *stats.Counters { return in.stats }
+
+// SetTracer emits an event for every injected fault (nil disables).
+func (in *Injector) SetTracer(t *trace.Tracer) { in.tracer = t }
+
+// MsgWindow injects message faults between virtual times from and to.
+func (in *Injector) MsgWindow(from, to time.Duration, f MsgFaults) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.msgRules = append(in.msgRules, msgRule{window{from, to}, f})
+}
+
+// Partition drops every message between nodes a and b (both directions)
+// inside the window, modeling a split interconnect.
+func (in *Injector) Partition(from, to time.Duration, a, b msg.NodeID) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.partitions = append(in.partitions, partition{window{from, to}, a, b})
+}
+
+// DiskWindow injects device faults between virtual times from and to on the
+// disk with the given label ("" matches all disks).
+func (in *Injector) DiskWindow(from, to time.Duration, label string, f DiskFaults) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.diskRules = append(in.diskRules, diskRule{window{from, to}, label, f})
+}
+
+// BadBlock plants a latent fault: reads of block bn on the labeled disk
+// fail until the block is next written (the rewrite "reallocates" it).
+func (in *Injector) BadBlock(label string, bn int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.badBlocks[diskBlock{label, bn}] = true
+}
+
+// AttachNetwork installs the injector as net's fault hook.
+func (in *Injector) AttachNetwork(net *msg.Network) { net.SetFault(in) }
+
+// AttachDisk installs the injector as d's fault hook under the given label.
+func (in *Injector) AttachDisk(d *disk.Disk, label string) { d.SetFault(in, label) }
+
+// Deliver implements msg.FaultHook.
+func (in *Injector) Deliver(now time.Duration, from msg.NodeID, to msg.Addr, m *msg.Message) msg.Fate {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, p := range in.partitions {
+		if p.contains(now) && ((p.a == from && p.b == to.Node) || (p.b == from && p.a == to.Node)) {
+			in.stats.Add("fault.msg_partitioned", 1)
+			in.emit(now, "fault.partition", "n%d -/- %v", from, to)
+			return msg.Fate{Drop: true}
+		}
+	}
+	var fate msg.Fate
+	for _, r := range in.msgRules {
+		if !r.contains(now) {
+			continue
+		}
+		// Draw in a fixed order so the consumed randomness per message is
+		// schedule-independent.
+		drop := in.rng.Float64() < r.f.DropProb
+		dup := in.rng.Float64() < r.f.DupProb
+		delay := in.rng.Float64() < r.f.DelayProb
+		if drop {
+			in.stats.Add("fault.msg_dropped", 1)
+			in.emit(now, "fault.drop", "n%d -> %v %T", from, to, m.Body)
+			return msg.Fate{Drop: true}
+		}
+		if dup {
+			fate.Duplicates++
+			in.stats.Add("fault.msg_duplicated", 1)
+			in.emit(now, "fault.dup", "n%d -> %v %T", from, to, m.Body)
+		}
+		if delay && r.f.DelayMax > 0 {
+			d := time.Duration(in.rng.Int63n(int64(r.f.DelayMax))) + 1
+			fate.ExtraDelay += d
+			in.stats.Add("fault.msg_delayed", 1)
+			in.emit(now, "fault.delay", "n%d -> %v %T +%v", from, to, m.Body, d)
+		}
+	}
+	return fate
+}
+
+// BeforeOp implements disk.FaultHook.
+func (in *Injector) BeforeOp(now time.Duration, label string, op disk.Op, bn int) (time.Duration, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := diskBlock{label, bn}
+	if in.badBlocks[key] {
+		if op == disk.OpWrite {
+			// The rewrite clears the latent fault.
+			delete(in.badBlocks, key)
+		} else {
+			in.stats.Add("fault.disk_bad_block", 1)
+			in.emit(now, "fault.badblock", "%s block %d", label, bn)
+			return 0, fmt.Errorf("%w: latent bad block %d on %s", ErrInjected, bn, label)
+		}
+	}
+	var extra time.Duration
+	for _, r := range in.diskRules {
+		if !r.contains(now) || (r.label != "" && r.label != label) {
+			continue
+		}
+		extra += r.f.ExtraLatency
+		prob := r.f.ReadErrProb
+		if op == disk.OpWrite {
+			prob = r.f.WriteErrProb
+		}
+		if in.rng.Float64() < prob {
+			in.stats.Add("fault.disk_transient", 1)
+			in.emit(now, "fault.diskerr", "%s block %d", label, bn)
+			return extra, fmt.Errorf("%w: transient %s error on %s block %d", ErrInjected, opName(op), label, bn)
+		}
+	}
+	if extra > 0 {
+		in.stats.Add("fault.disk_limped", 1)
+	}
+	return extra, nil
+}
+
+func opName(op disk.Op) string {
+	if op == disk.OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// emit records a fault event; callers hold in.mu.
+func (in *Injector) emit(now time.Duration, kind, format string, args ...any) {
+	if in.tracer != nil {
+		in.tracer.Emitf(now, kind, format, args...)
+	}
+}

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bridge/internal/disk"
+	"bridge/internal/msg"
+)
+
+func TestMsgFaultsDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.MsgWindow(0, time.Hour, MsgFaults{DropProb: 0.3})
+		var drops []bool
+		for i := 0; i < 200; i++ {
+			fate := in.Deliver(time.Duration(i)*time.Millisecond, 1, msg.Addr{Node: 2, Port: "p"}, &msg.Message{})
+			drops = append(drops, fate.Drop)
+		}
+		return drops
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical drop sequences")
+	}
+	dropped := 0
+	for _, d := range a {
+		if d {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Errorf("drop count %d of %d not plausible for p=0.3", dropped, len(a))
+	}
+}
+
+func TestWindowBoundsRespected(t *testing.T) {
+	in := New(1)
+	in.MsgWindow(time.Second, 2*time.Second, MsgFaults{DropProb: 1})
+	to := msg.Addr{Node: 2, Port: "p"}
+	if in.Deliver(500*time.Millisecond, 1, to, &msg.Message{}).Drop {
+		t.Error("dropped before window")
+	}
+	if !in.Deliver(1500*time.Millisecond, 1, to, &msg.Message{}).Drop {
+		t.Error("did not drop inside window")
+	}
+	if in.Deliver(2500*time.Millisecond, 1, to, &msg.Message{}).Drop {
+		t.Error("dropped after window")
+	}
+}
+
+func TestPartitionIsBidirectionalAndScoped(t *testing.T) {
+	in := New(1)
+	in.Partition(0, time.Second, 1, 3)
+	if !in.Deliver(0, 1, msg.Addr{Node: 3}, &msg.Message{}).Drop {
+		t.Error("1->3 not dropped")
+	}
+	if !in.Deliver(0, 3, msg.Addr{Node: 1}, &msg.Message{}).Drop {
+		t.Error("3->1 not dropped")
+	}
+	if in.Deliver(0, 1, msg.Addr{Node: 2}, &msg.Message{}).Drop {
+		t.Error("1->2 dropped despite not being partitioned")
+	}
+}
+
+func TestBadBlockClearsOnRewrite(t *testing.T) {
+	in := New(1)
+	in.BadBlock("d0", 7)
+	if _, err := in.BeforeOp(0, "d0", disk.OpRead, 7); !errors.Is(err, ErrInjected) {
+		t.Fatalf("bad block read err = %v, want ErrInjected", err)
+	}
+	if _, err := in.BeforeOp(0, "d0", disk.OpRead, 8); err != nil {
+		t.Fatalf("healthy block read err = %v", err)
+	}
+	if _, err := in.BeforeOp(0, "d0", disk.OpWrite, 7); err != nil {
+		t.Fatalf("rewrite err = %v", err)
+	}
+	if _, err := in.BeforeOp(0, "d0", disk.OpRead, 7); err != nil {
+		t.Fatalf("read after rewrite err = %v, want nil", err)
+	}
+}
+
+func TestDiskWindowLimpAndLabelScope(t *testing.T) {
+	in := New(1)
+	in.DiskWindow(0, time.Second, "d1", DiskFaults{ExtraLatency: 5 * time.Millisecond})
+	if extra, err := in.BeforeOp(0, "d1", disk.OpRead, 0); err != nil || extra != 5*time.Millisecond {
+		t.Errorf("limping disk: extra=%v err=%v", extra, err)
+	}
+	if extra, _ := in.BeforeOp(0, "d2", disk.OpRead, 0); extra != 0 {
+		t.Errorf("unlabeled disk limped: %v", extra)
+	}
+	if extra, _ := in.BeforeOp(2*time.Second, "d1", disk.OpRead, 0); extra != 0 {
+		t.Errorf("limped outside window: %v", extra)
+	}
+}

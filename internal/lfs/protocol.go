@@ -146,12 +146,15 @@ type (
 	}
 
 	// WriteReq writes one logical block (append when BlockNum equals the
-	// file size).
+	// file size). A non-zero OpID enables dedup of retransmitted or
+	// duplicated copies: without it, a delayed duplicate arriving after a
+	// newer write to the same block would silently revert the data.
 	WriteReq struct {
 		FileID   uint32
 		BlockNum uint32
 		Data     []byte
 		Hint     int32
+		OpID     uint64
 	}
 	// WriteResp returns the written block's disk address.
 	WriteResp struct {
@@ -181,6 +184,11 @@ type (
 		Status      Status
 	}
 
+	// PingReq is the health monitor's heartbeat; it touches nothing.
+	PingReq struct{}
+	// PingResp acknowledges a PingReq.
+	PingResp struct{ Status Status }
+
 	// CheckReq runs the volume consistency checker (fsck); Repair also
 	// rebuilds the allocation bitmap from the chains.
 	CheckReq struct{ Repair bool }
@@ -205,11 +213,11 @@ func WireSize(body any) int {
 		return 16 + len(b.Data)
 	case WriteResp:
 		return 12
-	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq:
+	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq, PingReq:
 		return 8
 	case UsageResp:
 		return 16
-	case CreateResp, SyncResp:
+	case CreateResp, SyncResp, PingResp:
 		return 8
 	case CheckResp:
 		n := 16

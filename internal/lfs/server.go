@@ -46,7 +46,21 @@ type Node struct {
 
 	// fs is owned by the server process after boot.
 	fs *efs.FS
+
+	// Write dedup state, owned by the server process; reset on restart
+	// (in-memory state does not survive a crash).
+	dedup  map[writeKey]WriteResp
+	dedupQ []writeKey
 }
+
+// writeKey identifies one write operation for retransmission dedup.
+type writeKey struct {
+	from msg.Addr
+	op   uint64
+}
+
+// writeDedupCap bounds the write-reply cache (FIFO eviction).
+const writeDedupCap = 1024
 
 // StartNode boots a storage node on the runtime: it formats (or mounts) the
 // disk and starts the LFS server and agent processes. If existing is
@@ -89,6 +103,20 @@ func (n *Node) Fail() {
 	n.agent.port.Close()
 }
 
+// Restart power-cycles a failed node: the disk comes back with its
+// surviving blocks and the services restart by mounting the volume. The
+// mounted metadata is whatever the node last synced — files registered
+// after that sync are gone here even though their data blocks survive;
+// core's RepairNode plus replica-layer repair restore them.
+func (n *Node) Restart(rt sim.Runtime) {
+	n.Disk.Restore()
+	n.port = n.net.NewPort(msg.Addr{Node: n.ID, Port: PortName})
+	n.agent = startAgent(rt, n.net, n.ID)
+	rt.Go(n.port.Addr().String(), func(p sim.Proc) {
+		n.serve(p, true)
+	})
+}
+
 // Stop closes the node's ports so its processes exit at the next receive.
 func (n *Node) Stop() {
 	n.port.Close()
@@ -108,6 +136,8 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 		n.port.Close()
 		return
 	}
+	n.dedup = make(map[writeKey]WriteResp)
+	n.dedupQ = nil
 	for {
 		req, ok := n.port.Recv(p)
 		if !ok {
@@ -116,7 +146,7 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 		if n.cfg.OpCPU > 0 {
 			p.Sleep(n.cfg.OpCPU)
 		}
-		body := n.handle(p, req.Body)
+		body := n.handle(p, req)
 		// Replies to dead clients drop silently.
 		_ = n.net.Send(p, n.ID, req.From, &msg.Message{
 			From:  n.port.Addr(),
@@ -128,8 +158,8 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 }
 
 // handle executes one EFS operation.
-func (n *Node) handle(p sim.Proc, body any) any {
-	switch r := body.(type) {
+func (n *Node) handle(p sim.Proc, req *msg.Message) any {
+	switch r := req.Body.(type) {
 	case CreateReq:
 		return CreateResp{Status: statusFor(n.fs.Create(p, r.FileID))}
 	case DeleteReq:
@@ -139,8 +169,25 @@ func (n *Node) handle(p sim.Proc, body any) any {
 		data, addr, err := n.fs.ReadBlock(p, r.FileID, r.BlockNum, r.Hint)
 		return ReadResp{Data: data, Addr: addr, Status: statusFor(err)}
 	case WriteReq:
+		key := writeKey{from: req.From, op: r.OpID}
+		if r.OpID != 0 {
+			if resp, hit := n.dedup[key]; hit {
+				return resp
+			}
+		}
 		addr, err := n.fs.WriteBlock(p, r.FileID, r.BlockNum, r.Data, r.Hint)
-		return WriteResp{Addr: addr, Status: statusFor(err)}
+		resp := WriteResp{Addr: addr, Status: statusFor(err)}
+		if r.OpID != 0 && err == nil {
+			if len(n.dedupQ) >= writeDedupCap {
+				delete(n.dedup, n.dedupQ[0])
+				n.dedupQ = n.dedupQ[1:]
+			}
+			n.dedup[key] = resp
+			n.dedupQ = append(n.dedupQ, key)
+		}
+		return resp
+	case PingReq:
+		return PingResp{}
 	case StatReq:
 		info, err := n.fs.Stat(p, r.FileID)
 		return StatResp{Info: info, Status: statusFor(err)}

@@ -81,12 +81,33 @@ func DefaultConfig() Config {
 // network: the caller discovers the failure by timeout.
 var ErrNoPort = errors.New("msg: no such port")
 
+// Fate is a fault hook's verdict on one message transmission.
+type Fate struct {
+	// Drop discards the message silently; the sender cannot tell (as on a
+	// lossy network).
+	Drop bool
+	// ExtraDelay is added to the modeled transfer delay.
+	ExtraDelay time.Duration
+	// Duplicates is the number of extra copies delivered (retransmission
+	// artifacts); receivers must be prepared to dedup.
+	Duplicates int
+}
+
+// FaultHook is consulted on every Send when installed with SetFault. It
+// decides the fate of each message from the current simulated time and the
+// endpoints; implementations must be deterministic under the virtual clock
+// for chaos runs to replay exactly.
+type FaultHook interface {
+	Deliver(now time.Duration, from NodeID, to Addr, m *Message) Fate
+}
+
 // Network connects ports and applies the cost model.
 type Network struct {
 	rt     sim.Runtime
 	cfg    Config
 	stats  *stats.Counters
 	tracer *trace.Tracer // nil = tracing off
+	fault  FaultHook     // nil = no fault injection
 
 	mu    sync.Mutex
 	ports map[Addr]*Port
@@ -112,12 +133,22 @@ func (n *Network) Stats() *stats.Counters { return n.stats }
 // before the simulation starts.
 func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
 
+// Tracer returns the installed tracer (nil when tracing is off), so layers
+// built on the network can emit events onto the same timeline.
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
+
+// SetFault installs a fault hook consulted on every Send (nil removes it).
+// Set it before the simulation starts.
+func (n *Network) SetFault(h FaultHook) { n.fault = h }
+
 // NewPort registers a port at addr. It panics if the address is already
-// registered, since that is always a wiring bug.
+// registered and still open, since that is always a wiring bug. A closed
+// port (a failed node's service) may be re-registered: that is how a
+// restarted node comes back.
 func (n *Network) NewPort(addr Addr) *Port {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, dup := n.ports[addr]; dup {
+	if dup, ok := n.ports[addr]; ok && !dup.isClosed() {
 		panic(fmt.Sprintf("msg: duplicate port %v", addr))
 	}
 	p := &Port{net: n, addr: addr, q: n.rt.NewQueue(addr.String())}
@@ -167,7 +198,20 @@ func (n *Network) Send(p sim.Proc, fromNode NodeID, to Addr, m *Message) error {
 	if n.tracer != nil {
 		n.tracer.Emitf(n.rt.Now(), "msg.send", "n%d -> %v %T (%dB)", fromNode, to, m.Body, m.Size)
 	}
-	dst.q.SendDelayed(m, n.delay(fromNode, to.Node, m.Size))
+	d := n.delay(fromNode, to.Node, m.Size)
+	if n.fault != nil {
+		fate := n.fault.Deliver(n.rt.Now(), fromNode, to, m)
+		if fate.Drop {
+			n.stats.Add("msg.fault_dropped", 1)
+			return nil
+		}
+		d += fate.ExtraDelay
+		for i := 0; i < fate.Duplicates; i++ {
+			n.stats.Add("msg.fault_duplicated", 1)
+			dst.q.SendDelayed(m, d)
+		}
+	}
+	dst.q.SendDelayed(m, d)
 	return nil
 }
 
@@ -176,6 +220,16 @@ type Port struct {
 	net  *Network
 	addr Addr
 	q    sim.Queue
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// isClosed reports whether Close has been called on this port.
+func (p *Port) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // Addr returns the port's address.
@@ -220,4 +274,11 @@ func (p *Port) TryRecv(proc sim.Proc) (m *Message, ok bool) {
 
 // Close closes the port; pending receivers unblock and future sends to it
 // are dropped. Used by the failure injector to "kill" a node's services.
-func (p *Port) Close() { p.q.Close() }
+// A closed port's address may be re-registered with NewPort, which is how
+// a restarted node brings its services back.
+func (p *Port) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.q.Close()
+}

@@ -1,0 +1,250 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"bridge/internal/core"
+	"bridge/internal/disk"
+	"bridge/internal/lfs"
+	"bridge/internal/sim"
+)
+
+// withRobustCluster boots a cluster with health monitoring and LFS retries —
+// the configuration degraded writes require (the degrade trigger is the
+// monitor's ErrNodeDown fast-fail).
+func withRobustCluster(t *testing.T, p int, fn func(proc sim.Proc, cl *core.Cluster, c *core.Client)) {
+	t.Helper()
+	rt := sim.NewVirtual()
+	cl, err := core.StartCluster(rt, core.ClusterConfig{
+		P:    p,
+		Node: lfs.Config{DiskBlocks: 2048, Timing: disk.FixedTiming{}},
+		Server: core.Config{
+			LFSTimeout: 2 * time.Second,
+			LFSRetry:   &core.RetryPolicy{Seed: 7},
+			Health:     &core.HealthConfig{},
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	rt.Go("replica-test", func(proc sim.Proc) {
+		defer cl.Stop()
+		c := cl.NewClient(proc, 0, "replica-cli")
+		defer c.Close()
+		c.SetTimeout(30 * time.Second)
+		fn(proc, cl, c)
+	})
+	if err := rt.Wait(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+// detect sleeps long enough for the health monitor to notice a change
+// (default config: 1s heartbeats, Dead after 3 consecutive misses).
+func detect(proc sim.Proc) { proc.Sleep(6 * time.Second) }
+
+func TestMirrorDegradedAppendAndResilver(t *testing.T) {
+	withRobustCluster(t, 4, func(proc sim.Proc, cl *core.Cluster, c *core.Client) {
+		m, err := CreateMirror(proc, c, "f", 4)
+		if err != nil {
+			t.Errorf("CreateMirror: %v", err)
+			return
+		}
+		const n = 16
+		for i := 0; i < n/2; i++ {
+			if err := m.Append(fullPayload(i)); err != nil {
+				t.Errorf("Append %d: %v", i, err)
+				return
+			}
+		}
+		cl.FailNode(1)
+		detect(proc)
+		// Appends keep working: the copies blocked by the dead node divert
+		// into overflow files on the survivors.
+		for i := n / 2; i < n; i++ {
+			if err := m.Append(fullPayload(i)); err != nil {
+				t.Errorf("degraded Append %d: %v", i, err)
+				return
+			}
+		}
+		if !m.Degraded() {
+			t.Error("mirror not degraded after appends past a dead node")
+		}
+		// Every block stays readable while degraded.
+		for i := int64(0); i < n; i++ {
+			data, err := m.Read(i)
+			if err != nil || !bytes.Equal(data, fullPayload(int(i))) {
+				t.Errorf("degraded Read %d: %v", i, err)
+				return
+			}
+		}
+		// Recovery: restart, re-register the node's files, resilver.
+		cl.RestartNode(1)
+		detect(proc)
+		if _, err := c.RepairNode(1); err != nil {
+			t.Errorf("RepairNode: %v", err)
+			return
+		}
+		repaired, err := m.Resilver()
+		if err != nil {
+			t.Errorf("Resilver: %v", err)
+			return
+		}
+		if repaired == 0 {
+			t.Error("Resilver repaired nothing")
+		}
+		if m.Degraded() {
+			t.Error("mirror still degraded after Resilver")
+		}
+		// Full redundancy is back: every block must survive the loss of a
+		// DIFFERENT node, which requires both copies to be intact.
+		cl.FailNode(2)
+		detect(proc)
+		for i := int64(0); i < n; i++ {
+			data, err := m.Read(i)
+			if err != nil || !bytes.Equal(data, fullPayload(int(i))) {
+				t.Errorf("post-resilver Read %d with node 2 dead: %v", i, err)
+				return
+			}
+		}
+	})
+}
+
+func TestMirrorFastFailover(t *testing.T) {
+	// With health monitoring, reads touching a dead node fast-fail with
+	// ErrNodeDown and fall over to the surviving copy instead of waiting
+	// out the 60s LFS timeout.
+	withRobustCluster(t, 4, func(proc sim.Proc, cl *core.Cluster, c *core.Client) {
+		m, err := CreateMirror(proc, c, "f", 4)
+		if err != nil {
+			t.Errorf("CreateMirror: %v", err)
+			return
+		}
+		const n = 8
+		for i := 0; i < n; i++ {
+			m.Append(fullPayload(i))
+		}
+		cl.FailNode(1)
+		detect(proc)
+		start := proc.Now()
+		for i := int64(0); i < n; i++ {
+			if _, err := m.Read(i); err != nil {
+				t.Errorf("failover Read %d: %v", i, err)
+				return
+			}
+		}
+		if elapsed := proc.Now() - start; elapsed > 10*time.Second {
+			t.Errorf("failover reads took %v, want well under the 60s timeout", elapsed)
+		}
+	})
+}
+
+func TestParityDegradedAppendAndRebuild(t *testing.T) {
+	withRobustCluster(t, 4, func(proc sim.Proc, cl *core.Cluster, c *core.Client) {
+		pf, err := CreateParity(proc, c, "f", 4)
+		if err != nil {
+			t.Errorf("CreateParity: %v", err)
+			return
+		}
+		for i := 0; i < 6; i++ {
+			if err := pf.Append(fullPayload(i)); err != nil {
+				t.Errorf("Append %d: %v", i, err)
+				return
+			}
+		}
+		// Kill the parity node; the next append's data lands but its
+		// parity update cannot — the typed degraded-write error.
+		cl.FailNode(3)
+		detect(proc)
+		err = pf.Append(fullPayload(6))
+		if !errors.Is(err, ErrDegradedWrite) {
+			t.Errorf("degraded Append = %v, want ErrDegradedWrite", err)
+			return
+		}
+		if !pf.Degraded() {
+			t.Error("parity file not degraded")
+		}
+		// The data block itself is durable and readable.
+		if data, err := pf.Read(6); err != nil || !bytes.Equal(data, fullPayload(6)) {
+			t.Errorf("Read of degraded-written block: %v", err)
+			return
+		}
+		// Its stripe has no redundancy: reconstruction must refuse rather
+		// than hand back garbage from stale parity.
+		if _, err := pf.Reconstruct(6); !errors.Is(err, ErrTooManyFailures) {
+			t.Errorf("Reconstruct of dirty stripe = %v, want ErrTooManyFailures", err)
+		}
+		// Recovery: restart the parity node, re-register, rebuild.
+		cl.RestartNode(3)
+		detect(proc)
+		if _, err := c.RepairNode(3); err != nil {
+			t.Errorf("RepairNode: %v", err)
+			return
+		}
+		rebuilt, err := pf.Rebuild()
+		if err != nil {
+			t.Errorf("Rebuild: %v", err)
+			return
+		}
+		if rebuilt == 0 {
+			t.Error("Rebuild repaired nothing")
+		}
+		if pf.Degraded() {
+			t.Error("parity file still degraded after Rebuild")
+		}
+		// Full redundancy is back: every block (including the one written
+		// degraded) must survive the loss of a data node.
+		cl.FailNode(0)
+		detect(proc)
+		for i := int64(0); i < 7; i++ {
+			data, err := pf.Read(i)
+			if err != nil || !bytes.Equal(data, fullPayload(int(i))) {
+				t.Errorf("post-rebuild Read %d with node 0 dead: %v", i, err)
+				return
+			}
+		}
+	})
+}
+
+func TestParityReconstructAtStripeBoundaries(t *testing.T) {
+	// p=5: stripes are 4 data blocks wide; 9 blocks leave the final stripe
+	// partial (one block). Reconstruction must be exact at the first and
+	// last block of a stripe and within the partial final stripe.
+	withCluster(t, 5, func(proc sim.Proc, cl *core.Cluster, c *core.Client) {
+		pf, err := CreateParity(proc, c, "f", 5)
+		if err != nil {
+			t.Errorf("CreateParity: %v", err)
+			return
+		}
+		const n = 9
+		for i := 0; i < n; i++ {
+			if err := pf.Append(fullPayload(i)); err != nil {
+				t.Errorf("Append %d: %v", i, err)
+				return
+			}
+		}
+		for _, b := range []int64{0, 3, 4, 7, 8} {
+			rec, err := pf.Reconstruct(b)
+			if err != nil {
+				t.Errorf("Reconstruct %d: %v", b, err)
+				return
+			}
+			if !bytes.Equal(rec, fullPayload(int(b))) {
+				t.Errorf("reconstructed boundary block %d differs", b)
+			}
+		}
+		if _, err := pf.Reconstruct(int64(n)); err == nil {
+			t.Error("Reconstruct past EOF succeeded")
+		}
+		// The partial final stripe reconstructs after a real failure too:
+		// block 8 lives on data node index 0 (8 % 4 == 0).
+		cl.FailNode(0)
+		data, err := pf.Read(8)
+		if err != nil || !bytes.Equal(data, fullPayload(8)) {
+			t.Errorf("partial-stripe failover Read: %v", err)
+		}
+	})
+}

@@ -37,12 +37,34 @@ var ErrBothCopiesLost = errors.New("replica: both copies unreadable")
 // one missing block.
 var ErrTooManyFailures = errors.New("replica: more than one constituent unreadable")
 
-// Mirror is a 2-way replicated Bridge file.
+// ErrDegradedWrite is returned by Parity.Append when the data block landed
+// but its parity update could not reach the parity node: the write is
+// durable, redundancy is not. The stale stripe is remembered and restored
+// by Rebuild.
+var ErrDegradedWrite = errors.New("replica: write landed without full redundancy")
+
+// Mirror is a 2-way replicated Bridge file. When a storage node dies,
+// appends degrade — the blocked copy diverts into an overflow file on the
+// surviving nodes — and reads fall back to whichever copy of the block is
+// reachable; Resilver folds the overflow back once the node returns.
 type Mirror struct {
 	c       *core.Client
 	name    string
 	primary core.Meta
 	shadow  core.Meta
+	p       int
+	blocks  int64 // logical length (both copies when healthy)
+	cp      [2]copyState
+}
+
+// copyState is one mirror copy's degraded-write bookkeeping. While a gap
+// is open, the copy's main file ends at gapStart and blocks gapStart..
+// gapStart+ovfLen-1 live in the overflow file, in order.
+type copyState struct {
+	name     string
+	gapStart int64 // first block diverted to overflow; -1 = none
+	ovfName  string
+	ovfLen   int64
 }
 
 func shadowName(name string) string { return name + ".mirror" }
@@ -61,7 +83,9 @@ func CreateMirror(pc sim.Proc, c *core.Client, name string, p int) (*Mirror, err
 	if err != nil {
 		return nil, fmt.Errorf("replica: creating shadow: %w", err)
 	}
-	return &Mirror{c: c, name: name, primary: primary, shadow: shadow}, nil
+	m := &Mirror{c: c, name: name, primary: primary, shadow: shadow, p: p}
+	m.initCopies()
+	return m, nil
 }
 
 // OpenMirror opens an existing mirrored pair.
@@ -74,28 +98,50 @@ func OpenMirror(pc sim.Proc, c *core.Client, name string) (*Mirror, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replica: opening shadow: %w", err)
 	}
-	return &Mirror{c: c, name: name, primary: primary, shadow: shadow}, nil
+	m := &Mirror{c: c, name: name, primary: primary, shadow: shadow, p: primary.Spec.P, blocks: primary.Blocks}
+	if shadow.Blocks > m.blocks {
+		m.blocks = shadow.Blocks
+	}
+	m.initCopies()
+	return m, nil
 }
 
-// Append writes the payload to both copies.
+func (m *Mirror) initCopies() {
+	m.cp[0] = copyState{name: m.name, gapStart: -1}
+	m.cp[1] = copyState{name: shadowName(m.name), gapStart: -1}
+}
+
+// Blocks returns the mirrored file's logical length.
+func (m *Mirror) Blocks() int64 { return m.blocks }
+
+// Degraded reports whether either copy currently has an open gap.
+func (m *Mirror) Degraded() bool {
+	return m.cp[0].gapStart >= 0 || m.cp[1].gapStart >= 0
+}
+
+// Append writes the payload to both copies. A copy whose next position
+// lands on a dead node degrades instead of failing: the block goes to an
+// overflow file on the surviving nodes, and Resilver folds it back later.
 func (m *Mirror) Append(payload []byte) error {
-	if err := m.c.SeqWrite(m.name, payload); err != nil {
+	n := m.blocks
+	if err := m.appendCopy(0, n, payload); err != nil {
 		return fmt.Errorf("replica: appending primary: %w", err)
 	}
-	if err := m.c.SeqWrite(shadowName(m.name), payload); err != nil {
+	if err := m.appendCopy(1, n, payload); err != nil {
 		return fmt.Errorf("replica: appending shadow: %w", err)
 	}
+	m.blocks++
 	return nil
 }
 
 // Read returns block n, falling back to the mirror copy if the primary's
-// node has failed.
+// copy of it is unreachable.
 func (m *Mirror) Read(n int64) ([]byte, error) {
-	data, err := m.c.ReadAt(m.name, n)
+	data, err := m.readCopy(0, n)
 	if err == nil {
 		return data, nil
 	}
-	data, err2 := m.c.ReadAt(shadowName(m.name), n)
+	data, err2 := m.readCopy(1, n)
 	if err2 == nil {
 		return data, nil
 	}
@@ -112,6 +158,9 @@ type Parity struct {
 	parity core.Meta
 	p      int   // total nodes including the parity node
 	blocks int64 // cached data block count
+	// dirty marks stripes whose parity block is stale after a degraded
+	// append; Rebuild recomputes them.
+	dirty map[int64]bool
 }
 
 func parityName(name string) string { return name + ".parity" }
@@ -157,7 +206,10 @@ func OpenParity(pc sim.Proc, c *core.Client, name string, p int) (*Parity, error
 func (pf *Parity) Blocks() int64 { return pf.blocks }
 
 // Append writes the payload as the next data block and folds it into the
-// stripe's parity block (read-modify-write).
+// stripe's parity block (read-modify-write). If the parity node is
+// unreachable the data write still counts: Append marks the stripe stale
+// and returns ErrDegradedWrite so the caller knows redundancy is reduced
+// until Rebuild runs.
 func (pf *Parity) Append(payload []byte) error {
 	if len(payload) != core.PayloadBytes {
 		return fmt.Errorf("replica: parity requires %d-byte payloads, got %d", core.PayloadBytes, len(payload))
@@ -173,18 +225,24 @@ func (pf *Parity) Append(payload []byte) error {
 	stripe := n / dataP
 	if n%dataP == 0 {
 		// New stripe: parity starts as a copy of the payload.
-		return pf.c.WriteAt(parityName(pf.name), stripe, payload)
+		if err := pf.c.WriteAt(parityName(pf.name), stripe, payload); err != nil {
+			return pf.degradeStripe(stripe, err)
+		}
+		return nil
 	}
 	old, err := pf.c.ReadAt(parityName(pf.name), stripe)
 	if err != nil {
-		return fmt.Errorf("replica: reading parity: %w", err)
+		return pf.degradeStripe(stripe, fmt.Errorf("reading parity: %w", err))
 	}
 	upd := make([]byte, core.PayloadBytes)
 	copy(upd, old)
 	for i, b := range payload {
 		upd[i] ^= b
 	}
-	return pf.c.WriteAt(parityName(pf.name), stripe, upd)
+	if err := pf.c.WriteAt(parityName(pf.name), stripe, upd); err != nil {
+		return pf.degradeStripe(stripe, err)
+	}
+	return nil
 }
 
 // Read returns data block n, reconstructing it from the rest of its stripe
@@ -205,6 +263,9 @@ func (pf *Parity) Reconstruct(n int64) ([]byte, error) {
 	}
 	dataP := int64(pf.p - 1)
 	stripe := n / dataP
+	if pf.dirty[stripe] {
+		return nil, fmt.Errorf("%w: parity stripe %d is stale", ErrTooManyFailures, stripe)
+	}
 	acc := make([]byte, core.PayloadBytes)
 	parityBlock, err := pf.c.ReadAt(parityName(pf.name), stripe)
 	if err != nil {
