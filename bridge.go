@@ -177,7 +177,8 @@ type Config struct {
 	// the session's server calls and the server's single-block LFS calls
 	// retransmit on timeout. Requests carry operation ids, so retransmitted
 	// writes are deduplicated, never applied twice. Use &RetryPolicy{} for
-	// the defaults.
+	// the defaults. With Fault set, the jitter seeds are derived from the
+	// injector's seed, so one seed determines the whole chaos run.
 	Retry *RetryPolicy
 	// LFSTimeout bounds each Bridge Server → LFS call (default 60s). Pair
 	// Retry with a short timeout (~1s) on lossy networks so a dropped
@@ -229,13 +230,21 @@ func (s *System) Run(fn func(*Session) error) error {
 	if s.cfg.Seek {
 		timing = disk.WrenSeekRotate()
 	}
+	// Thread the fault injector's seed into the retry jitter, so a chaos
+	// run is a pure function of one seed: retransmission timing replays
+	// exactly along with the injected faults.
+	retry := s.cfg.Retry
+	if retry != nil && s.cfg.Fault != nil {
+		p := retry.WithSeed(s.cfg.Fault.Seed(), "bridge.retry")
+		retry = &p
+	}
 	cl, err := core.StartCluster(rt, core.ClusterConfig{
 		P:       s.cfg.Nodes,
 		Node:    lfs.Config{DiskBlocks: s.cfg.DiskBlocks, Timing: timing},
 		Servers: s.cfg.Servers,
 		Server: core.Config{
 			LFSTimeout: s.cfg.LFSTimeout,
-			LFSRetry:   s.cfg.Retry,
+			LFSRetry:   retry,
 			Health:     s.cfg.Health,
 		},
 	})
@@ -269,8 +278,10 @@ func (s *System) Run(fn func(*Session) error) error {
 			c:      cl.NewClient(proc, 0, "session"),
 			tracer: tr,
 		}
-		if s.cfg.Retry != nil {
-			sess.c.SetRetry(*s.cfg.Retry)
+		if retry != nil {
+			// A distinct stream label keeps the session's jitter sequence
+			// independent of every server's.
+			sess.c.SetRetry(retry.WithSeed(0, "bridge.session"))
 		}
 		defer sess.c.Close()
 		fnErr = fn(sess)

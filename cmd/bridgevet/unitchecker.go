@@ -1,0 +1,179 @@
+package main
+
+// Vet-tool protocol: cmd/go invokes the tool as `bridgevet <file>.cfg`,
+// once per package unit, with a JSON config describing the unit's files
+// and the export data of its dependencies. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker on the standard library only.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/suite"
+)
+
+// vetConfig is the subset of cmd/go's vet config bridgevet consumes.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bridgevet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// cmd/go requires the facts output file to exist even though
+	// bridgevet's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("bridgevet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	src := make(map[string][]byte)
+	for _, name := range cfg.GoFiles {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+			return 1
+		}
+		f, err := parser.ParseFile(fset, name, b, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+		src[name] = b
+	}
+
+	pkg, info, typeErrs := typecheck(fset, files, &cfg)
+	if len(typeErrs) > 0 {
+		// Retry from source: export data the gc importer cannot read (or
+		// stale build cache) must not take the lint signal down with it.
+		if p2, i2, e2 := typecheckFromSource(fset, files, &cfg); len(e2) == 0 {
+			pkg, info, typeErrs = p2, i2, nil
+		} else if cfg.SucceedOnTypecheckFailure {
+			return 0
+		} else {
+			for _, e := range typeErrs {
+				fmt.Fprintf(os.Stderr, "bridgevet: %v\n", e)
+			}
+			return 1
+		}
+	}
+
+	apkg := &analysis.Package{
+		Path:  strings.TrimSuffix(cfg.ImportPath, ".test"),
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Src:   src,
+		Types: pkg,
+		Info:  info,
+	}
+	diags, err := analysis.Check(apkg, suite.All(), suite.Names())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typecheck resolves imports through the export data cmd/go supplied.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, []error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return check(fset, files, cfg, imp)
+}
+
+// typecheckFromSource resolves imports by type-checking dependency source,
+// using the module tree around cfg.Dir for local packages and GOROOT for
+// the standard library.
+func typecheckFromSource(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, []error) {
+	root, modpath, err := analysis.FindModuleRoot(cfg.Dir)
+	if err != nil {
+		return nil, nil, []error{err}
+	}
+	loader := analysis.NewLoaderAt(fset)
+	loader.ModuleRoot = root
+	loader.ModulePath = modpath
+	return check(fset, files, cfg, loader)
+}
+
+func check(fset *token.FileSet, files []*ast.File, cfg *vetConfig, imp types.Importer) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := newInfo()
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, errs
+}

@@ -1,0 +1,122 @@
+// Package analysis is a small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API, built on the standard library's
+// go/ast and go/types. It exists so the repository can machine-check the
+// sim determinism contract (see internal/sim/doc.go and DESIGN.md) without
+// pulling modules the build environment does not provide.
+//
+// The shape is deliberately the same as x/tools: an Analyzer has a Name, a
+// Doc string, and a Run function over a Pass; a Pass gives the analyzer one
+// type-checked package and a Report sink. Analyzers written here port to
+// the real framework by changing one import.
+//
+// Suppression: a diagnostic can be silenced at a single line with a
+// directive comment
+//
+//	//bridgevet:allow <analyzer> — reason
+//
+// A trailing directive applies to its own line; a directive on a line of
+// its own applies to the next line. Each directive names exactly one
+// analyzer; naming an unknown analyzer is itself reported (see
+// directive.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //bridgevet:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, and details.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. It returns an error only for internal
+	// failures, never for findings.
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Summary returns the first line of Doc.
+func (a *Analyzer) Summary() string {
+	if i := strings.IndexByte(a.Doc, '\n'); i >= 0 {
+		return a.Doc[:i]
+	}
+	return a.Doc
+}
+
+// Pass is the interface between one analyzer and one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset positions every syntax node in Files.
+	Fset *token.FileSet
+	// Files is the package's syntax, including any in-package test files
+	// when the loader was asked for them.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo maps syntax to types; Types, Defs, Uses and Selections
+	// are populated.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Analyzers normally use Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. Analyzer is filled in by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Callee resolves call to the function or method it invokes, or nil for
+// indirect calls through function values, conversions and built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn // method (possibly via interface)
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn // package-qualified function
+	}
+	return nil
+}
+
+// PkgPathBase returns the last segment of a package path, or "" for a nil
+// package (predeclared and builtin objects).
+func PkgPathBase(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	p := pkg.Path()
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,134 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/ (GOPATH layout). Each
+// expected diagnostic is declared by a trailing comment on its line:
+//
+//	time.Sleep(d) // want `time\.Sleep is wall-clock`
+//
+// Every quoted fragment is a regular expression that must match the
+// message of a distinct diagnostic reported on that line; diagnostics with
+// no matching want, and wants with no matching diagnostic, fail the test.
+// //bridgevet:allow directives are honored exactly as in bridgevet, so
+// fixtures can assert the escape hatch.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"bridge/internal/analysis"
+)
+
+var (
+	wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+	fragRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzers, and reports every mismatch between diagnostics and // want
+// comments through t.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	loader := analysis.NewLoader()
+	loader.SrcRoot = srcRoot
+	for _, path := range pkgpaths {
+		pkgs, err := loader.LoadDir(path, filepath.Join(srcRoot, filepath.FromSlash(path)))
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("fixture %s does not type-check: %v", path, terr)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				continue
+			}
+			checkPackage(t, pkg, analyzers)
+		}
+	}
+}
+
+func checkPackage(t *testing.T, pkg *analysis.Package, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	diags, err := analysis.Check(pkg, analyzers, nil)
+	if err != nil {
+		t.Fatalf("check %s: %v", pkg.Path, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		ws := wants[key]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// collectWants scans every comment in the package for want declarations,
+// keyed by "file:line".
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				addWants(t, pkg, c, wants)
+			}
+		}
+	}
+	return wants
+}
+
+func addWants(t *testing.T, pkg *analysis.Package, c *ast.Comment, wants map[string][]*want) {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	for _, frag := range fragRE.FindAllString(m[1], -1) {
+		var pat string
+		if frag[0] == '`' {
+			pat = frag[1 : len(frag)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(frag)
+			if err != nil {
+				t.Fatalf("%s: bad want fragment %s: %v", pos, frag, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+		}
+		wants[key] = append(wants[key], &want{re: re})
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// DirectiveName is the pseudo-analyzer under which problems with
+// //bridgevet:allow directives themselves are reported.
+const DirectiveName = "directive"
+
+var directiveRE = regexp.MustCompile(`^//bridgevet:allow\s+([^\s]+)`)
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// scanDirectives collects the package's //bridgevet:allow suppressions.
+// A trailing directive suppresses its own line; a directive alone on a
+// line suppresses the line below it. A directive naming an analyzer not in
+// known is reported as a diagnostic (analyzer "directive") instead of
+// being honored — a typo must never silently disable a check.
+func scanDirectives(pkg *Package, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name := m[1]
+				if !known[name] {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DirectiveName,
+						Message:  "//bridgevet:allow names unknown analyzer " + quote(name),
+					})
+					continue
+				}
+				line := pos.Line
+				if standalone(pkg.Src[pos.Filename], pos.Offset) {
+					line++
+				}
+				allows[allowKey{pos.Filename, line, name}] = true
+			}
+		}
+	}
+	return allows, diags
+}
+
+// standalone reports whether the comment starting at offset is the first
+// non-blank content on its line (so the directive targets the next line).
+func standalone(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case ' ', '\t':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// filterAllowed drops diagnostics whose (file, line, analyzer) is covered
+// by a suppression.
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows map[allowKey]bool) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if allows[allowKey{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Package errcmp flags ==/!= comparison against sentinel error variables.
+//
+// The retry layer, the fault injector and the replica layer all wrap
+// errors (fmt.Errorf with %w) to add context — ErrLFSFailed wraps the LFS
+// status, ErrInjected wraps the fault site, and so on. A direct
+// err == ErrNodeDown comparison is true only for the naked sentinel and
+// silently turns false the day a wrapping layer is inserted between
+// producer and consumer. errors.Is is the only comparison that survives
+// wrapping; switch statements over an error value are the same bug in
+// different syntax.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"bridge/internal/analysis"
+)
+
+// Analyzer is the errcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "flag ==/!= against sentinel errors instead of errors.Is\n\n" +
+		"Direct comparison breaks as soon as a retry or fault layer wraps " +
+		"the error; use errors.Is(err, ErrX).",
+	Run: run,
+}
+
+var sentinelName = regexp.MustCompile(`^Err[A-Z0-9]`)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNil(pass, n.X) || isNil(pass, n.Y) {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if v := sentinelVar(pass, side); v != nil {
+						pass.Reportf(n.OpPos,
+							"%s compared with %s: use errors.Is, which still matches once the retry/fault layers wrap the error",
+							n.Op, v.Name())
+						return true
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, c := range n.Body.List {
+					for _, e := range c.(*ast.CaseClause).List {
+						if v := sentinelVar(pass, e); v != nil {
+							pass.Reportf(e.Pos(),
+								"switch case compares with sentinel %s by ==: use if/else with errors.Is instead",
+								v.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// sentinelVar resolves e to a package-level `var ErrX = ...` of type error,
+// from any package, or nil.
+func sentinelVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !sentinelName.MatchString(v.Name()) {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if !types.AssignableTo(v.Type(), errType) {
+		return nil
+	}
+	return v
+}

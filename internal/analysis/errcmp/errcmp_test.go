@@ -1,0 +1,14 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{errcmp.Analyzer},
+		"errcmp_flag", "errcmp_clean")
+}

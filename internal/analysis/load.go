@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("bridge/internal/core", or the directory
+	// name relative to a testdata src root).
+	Path string
+	// Dir is the directory the files came from.
+	Dir  string
+	Fset *token.FileSet
+	// Files is the package syntax. For target packages it includes
+	// in-package _test.go files; external test packages (package foo_test)
+	// are returned as their own Package.
+	Files []*ast.File
+	// Src holds the raw source of every file, keyed by filename, for
+	// directive scanning.
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems. Analysis still runs on
+	// a partially checked package.
+	TypeErrors []error
+}
+
+// Loader loads packages for analysis, resolving imports without the go
+// command: local packages from a module tree or a testdata src root, and
+// the standard library through the compiler-source importer.
+type Loader struct {
+	// ModuleRoot/ModulePath resolve imports below the module ("bridge").
+	ModuleRoot string
+	ModulePath string
+	// SrcRoot, when set, resolves any import path to SrcRoot/<path>
+	// (GOPATH-style), which is how analysistest fixtures import helper
+	// packages. Local resolution is tried before the standard library.
+	SrcRoot string
+
+	fset *token.FileSet
+	std  types.Importer
+	deps map[string]*types.Package
+}
+
+// NewLoader creates a loader with a fresh FileSet.
+func NewLoader() *Loader {
+	return NewLoaderAt(token.NewFileSet())
+}
+
+// NewLoaderAt creates a loader that positions everything it parses in
+// fset, so its packages compose with syntax the caller parsed itself.
+func NewLoaderAt(fset *token.FileSet) *Loader {
+	return &Loader{
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		deps: make(map[string]*types.Package),
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// localDir maps an import path to a directory under this loader's roots,
+// or "" if the path is not local.
+func (l *Loader) localDir(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleRoot
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest))
+		}
+	}
+	if l.SrcRoot != "" {
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer: local packages (without test files)
+// from the loader's roots, everything else from the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	dir := l.localDir(path)
+	if dir == "" {
+		return l.std.Import(path)
+	}
+	p, err := l.load(path, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.TypeErrors) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in dependency %s: %v", path, p.TypeErrors[0])
+	}
+	l.deps[path] = p.Types
+	return p.Types, nil
+}
+
+func listGoFiles(dir string) (code, tests []string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			tests = append(tests, name)
+		} else {
+			code = append(code, name)
+		}
+	}
+	sort.Strings(code)
+	sort.Strings(tests)
+	return code, tests, nil
+}
+
+// load parses and type-checks the package in dir. withTests folds
+// in-package test files into the package; external test files are ignored
+// here (see LoadDir).
+func (l *Loader) load(path, dir string, withTests bool) (*Package, error) {
+	code, tests, err := listGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !withTests {
+		tests = nil
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Src: make(map[string][]byte)}
+	var pkgName string
+	for _, name := range append(append([]string(nil), code...), tests...) {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" && !strings.HasSuffix(name, "_test.go") {
+			pkgName = f.Name.Name
+		}
+		// Skip files of a different package in the same directory: the
+		// external test package (foo_test), loaded separately.
+		if f.Name.Name != pkgName && pkgName != "" {
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Src[full] = src
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	l.check(pkg)
+	return pkg, nil
+}
+
+// loadExternalTest builds the foo_test external test package for dir, or
+// returns nil if there is none.
+func (l *Loader) loadExternalTest(path, dir string) (*Package, error) {
+	_, tests, err := listGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path + "_test", Dir: dir, Fset: l.fset, Src: make(map[string][]byte)}
+	for _, name := range tests {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Src[full] = src
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	l.check(pkg)
+	return pkg, nil
+}
+
+func (l *Loader) check(pkg *Package) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(pkg.Path, l.fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// LoadDir loads the package in dir as an analysis target: the package
+// itself with in-package test files, plus the external _test package when
+// one exists.
+func (l *Loader) LoadDir(path, dir string) ([]*Package, error) {
+	p, err := l.load(path, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := []*Package{p}
+	if xt, err := l.loadExternalTest(path, dir); err != nil {
+		return nil, err
+	} else if xt != nil {
+		pkgs = append(pkgs, xt)
+	}
+	return pkgs, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod and returns the
+// root directory and module path.
+func FindModuleRoot(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule loads every package under the module rooted at root
+// (skipping testdata, vendor and hidden directories) as analysis targets.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	if l.ModuleRoot == "" {
+		r, mp, err := FindModuleRoot(root)
+		if err != nil {
+			return nil, err
+		}
+		l.ModuleRoot, l.ModulePath = r, mp
+	}
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		code, tests, err := listGoFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(code) == 0 && len(tests) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, p)
+		if err != nil {
+			return err
+		}
+		ipath := l.ModulePath
+		if rel != "." {
+			ipath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if len(code) == 0 {
+			// Test-only directory: just the external test package.
+			if xt, err := l.loadExternalTest(ipath, p); err != nil {
+				return err
+			} else if xt != nil {
+				pkgs = append(pkgs, xt)
+			}
+			return nil
+		}
+		loaded, err := l.LoadDir(ipath, p)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, loaded...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

@@ -1,0 +1,234 @@
+// Package lockedblock flags blocking sim primitives called while a sync
+// mutex is held.
+//
+// Under the virtual clock, a process that blocks on Proc.Sleep, Queue.Recv,
+// Queue.RecvTimeout or an msg RPC hands control to the scheduler. If the
+// process still holds a sync.Mutex at that point, any other process that
+// needs the mutex blocks on a primitive the scheduler cannot observe — the
+// classic hidden-edge deadlock that Runtime.Wait then reports (at best) as
+// a global stall. The rule: release locks before calling anything that can
+// suspend the process.
+//
+// The scan is a conservative linear walk of each function body: it tracks
+// Lock/RLock/Unlock/RUnlock calls on sync.Mutex/RWMutex values (a deferred
+// unlock keeps the mutex held for the rest of the body) and reports any
+// blocking sim/msg call made while at least one mutex is held. Function
+// literals are scanned independently with an empty lock set.
+//
+// Exempt: internal/sim itself, whose scheduler internals are the one place
+// that may juggle its own locks around blocking.
+package lockedblock
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bridge/internal/analysis"
+)
+
+// Analyzer is the lockedblock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedblock",
+	Doc: "flag blocking sim primitives called with a mutex held\n\n" +
+		"Blocking the scheduler while holding a sync.Mutex deadlocks every " +
+		"process that needs the mutex; unlock before Sleep/Recv/Call.",
+	Run: run,
+}
+
+// blocking maps package-path base → the primitives that suspend a process.
+var blocking = map[string]map[string]bool{
+	"sim": {"Sleep": true, "Recv": true, "RecvTimeout": true, "Wait": true, "Run": true},
+	"msg": {"Recv": true, "RecvTimeout": true, "Call": true, "CallTimeout": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || strings.HasSuffix(pass.Pkg.Path(), "internal/sim") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanBlock(pass, n.Body.List, map[string]bool{})
+				}
+				return true
+			case *ast.FuncLit:
+				scanBlock(pass, n.Body.List, map[string]bool{})
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockCall classifies call as a sync.Mutex/RWMutex (un)lock and returns
+// the rendered receiver expression ("s.mu") and whether it acquires.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (recv string, acquire, isLock bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, true
+}
+
+// blockingCall reports whether call suspends the calling process.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	base := analysis.PkgPathBase(fn.Pkg())
+	if names, ok := blocking[base]; ok && names[fn.Name()] {
+		return base + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// scanBlock walks stmts in order, threading the set of held mutexes.
+// Nested control-flow blocks are scanned with the same (shared) set: the
+// scan is an approximation that follows source order, which matches how
+// lock regions are written in practice.
+func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, locked map[string]bool) {
+	for _, s := range stmts {
+		scanStmt(pass, s, locked)
+	}
+}
+
+func scanStmt(pass *analysis.Pass, s ast.Stmt, locked map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, acquire, isLock := lockCall(pass, call); isLock {
+				if acquire {
+					locked[recv] = true
+				} else {
+					delete(locked, recv)
+				}
+				return
+			}
+		}
+		checkExpr(pass, s.X, locked)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() does not release until return: the mutex
+		// stays held for the remainder of the scan, which is the point.
+		if _, _, isLock := lockCall(pass, s.Call); !isLock {
+			checkExpr(pass, s.Call, locked)
+		}
+	case *ast.BlockStmt:
+		scanBlock(pass, s.List, locked)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, locked)
+		}
+		checkExpr(pass, s.Cond, locked)
+		scanBlock(pass, s.Body.List, locked)
+		if s.Else != nil {
+			scanStmt(pass, s.Else, locked)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, locked)
+		}
+		if s.Cond != nil {
+			checkExpr(pass, s.Cond, locked)
+		}
+		scanBlock(pass, s.Body.List, locked)
+		if s.Post != nil {
+			scanStmt(pass, s.Post, locked)
+		}
+	case *ast.RangeStmt:
+		checkExpr(pass, s.X, locked)
+		scanBlock(pass, s.Body.List, locked)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, locked)
+		}
+		if s.Tag != nil {
+			checkExpr(pass, s.Tag, locked)
+		}
+		for _, c := range s.Body.List {
+			scanBlock(pass, c.(*ast.CaseClause).Body, locked)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			scanBlock(pass, c.(*ast.CaseClause).Body, locked)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			scanBlock(pass, c.(*ast.CommClause).Body, locked)
+		}
+	case *ast.LabeledStmt:
+		scanStmt(pass, s.Stmt, locked)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			checkExpr(pass, e, locked)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			checkExpr(pass, e, locked)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs on its own stack with no locks held.
+	default:
+		if s != nil {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					checkExpr(pass, e, locked)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkExpr reports blocking calls inside e while any mutex is held,
+// without descending into function literals (they run later, lock-free).
+func checkExpr(pass *analysis.Pass, e ast.Expr, locked map[string]bool) {
+	if len(locked) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := blockingCall(pass, call); ok {
+			pass.Reportf(call.Pos(),
+				"%s called while %s held: blocking a sim process under a mutex deadlocks the scheduler; unlock first",
+				name, heldList(locked))
+		}
+		return true
+	})
+}
+
+func heldList(locked map[string]bool) string {
+	names := make([]string, 0, len(locked))
+	for n := range locked {
+		names = append(names, n)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic output for multiple held locks.
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,14 @@
+package lockedblock_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/lockedblock"
+)
+
+func TestLockedblock(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{lockedblock.Analyzer},
+		"lockedblock_flag", "lockedblock_clean")
+}

@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{maporder.Analyzer},
+		"maporder_flag", "maporder_clean")
+}

@@ -1,0 +1,17 @@
+package rawgoroutine_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/rawgoroutine"
+)
+
+func TestRawgoroutine(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{rawgoroutine.Analyzer},
+		"rawgoroutine_flag",          // flagged, plus allow directive and _test.go exemption
+		"bridge/internal/sim",        // the runtime itself may spawn goroutines
+		"bridge/internal/msg/tcpnet", // so may the real transport
+	)
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Check runs the analyzers over one package and returns the surviving
+// diagnostics: per-analyzer findings minus //bridgevet:allow suppressions,
+// plus reports for malformed directives, sorted by position. known lists
+// every analyzer name a directive may legally reference; when nil, the
+// names of the analyzers being run are used.
+func Check(pkg *Package, analyzers []*Analyzer, known []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	knownSet := make(map[string]bool)
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	for _, a := range analyzers {
+		knownSet[a.Name] = true
+	}
+	allows, dirDiags := scanDirectives(pkg, knownSet)
+	diags = filterAllowed(pkg.Fset, diags, allows)
+	diags = append(diags, dirDiags...)
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

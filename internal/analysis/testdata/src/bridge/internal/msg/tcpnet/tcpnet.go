@@ -1,0 +1,13 @@
+// Package tcpnet stands in for the real-network transport, which is exempt
+// from both simdeterminism and rawgoroutine: it talks to actual sockets on
+// the host.
+package tcpnet
+
+import "time"
+
+func Deadline() time.Time {
+	go pump()
+	return time.Now().Add(time.Second)
+}
+
+func pump() { time.Sleep(time.Millisecond) }

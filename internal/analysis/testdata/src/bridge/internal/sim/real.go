@@ -1,0 +1,10 @@
+package sim
+
+import "time"
+
+// The wall-clock runtime file is exempt from simdeterminism: host time is
+// the point here.
+func hostNow() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

@@ -1,0 +1,23 @@
+// Package sim is a stub of the repository's sim runtime, used by fixtures
+// that need sim-typed values. Its import path also proves the path-based
+// exemptions: internal/sim may spawn raw goroutines.
+package sim
+
+type Proc struct{}
+
+func (Proc) Sleep(d int64) {}
+func (Proc) Now() int64    { return 0 }
+func (Proc) Name() string  { return "stub" }
+
+type Queue struct{}
+
+func (Queue) Send(v any) bool                               { return true }
+func (Queue) SendDelayed(v any, d int64) bool               { return true }
+func (Queue) Recv(p Proc) (any, bool)                       { return nil, false }
+func (Queue) RecvTimeout(p Proc, d int64) (any, bool, bool) { return nil, false, false }
+func (Queue) Close()                                        {}
+
+// Spawn uses a raw goroutine: allowed here, the runtime is made of them.
+func Spawn(fn func()) {
+	go fn()
+}

@@ -1,0 +1,36 @@
+// Package directive proves the //bridgevet:allow escape hatch suppresses
+// exactly one analyzer on exactly one line, and that naming an unknown
+// analyzer is itself a finding. The test runs the full suite over it.
+package directive
+
+import (
+	"math/rand"
+	"time"
+)
+
+// A trailing directive silences its own line — and only that line.
+func OneLine() {
+	time.Sleep(time.Millisecond) //bridgevet:allow simdeterminism — warmup outside the measured run
+	time.Sleep(time.Millisecond) // want `time\.Sleep is wall-clock`
+}
+
+// A standalone directive silences the next line.
+func NextLine() int64 {
+	//bridgevet:allow simdeterminism — host-side log stamp
+	return time.Now().UnixNano()
+}
+
+// A directive names exactly one analyzer: the other analyzer's finding on
+// the same line is still reported.
+func TwoAnalyzers() {
+	//bridgevet:allow rawgoroutine — joined before the sim starts
+	go use(rand.Intn(5)) // want `rand\.Intn draws from the global`
+}
+
+func use(n int) {}
+
+// Naming an analyzer that does not exist must be reported, never silently
+// honored.
+func Unknown() {
+	time.Sleep(time.Millisecond) //bridgevet:allow nosuchcheck — typo // want `time\.Sleep is wall-clock` `unknown analyzer "nosuchcheck"`
+}

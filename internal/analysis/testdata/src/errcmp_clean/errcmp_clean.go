@@ -1,0 +1,21 @@
+// Package errcmp_clean holds the error-comparison idioms errcmp must
+// accept.
+package errcmp_clean
+
+import "errors"
+
+var ErrNodeDown = errors.New("node down")
+
+// errors.Is survives wrapping: the approved comparison.
+func Check(err error) bool {
+	if errors.Is(err, ErrNodeDown) {
+		return true
+	}
+	return err == nil // nil comparison is not a sentinel comparison
+}
+
+// Unexported, non-Err-pattern error values are somebody's local protocol,
+// not a wrapped sentinel.
+var errLocal = errors.New("local")
+
+func Local(err error) bool { return err == errLocal }

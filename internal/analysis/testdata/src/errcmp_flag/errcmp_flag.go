@@ -1,0 +1,26 @@
+// Package errcmp_flag exercises every errcmp finding.
+package errcmp_flag
+
+import "errors"
+
+var (
+	ErrNodeDown      = errors.New("node down")
+	ErrDegradedWrite = errors.New("degraded write")
+)
+
+func Check(err error) bool {
+	if err == ErrNodeDown { // want `== compared with ErrNodeDown`
+		return true
+	}
+	return err != ErrDegradedWrite // want `!= compared with ErrDegradedWrite`
+}
+
+func Classify(err error) int {
+	switch err {
+	case ErrNodeDown: // want `switch case compares with sentinel ErrNodeDown`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}

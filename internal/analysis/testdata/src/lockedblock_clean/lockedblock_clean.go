@@ -1,0 +1,47 @@
+// Package lockedblock_clean holds the locking idioms lockedblock must
+// accept.
+package lockedblock_clean
+
+import (
+	"sync"
+
+	"bridge/internal/sim"
+)
+
+type server struct {
+	mu sync.Mutex
+	q  sim.Queue
+	n  int
+}
+
+// Release the mutex before blocking.
+func (s *server) Good(p sim.Proc) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	p.Sleep(5)
+}
+
+// Non-blocking work under the lock is what mutexes are for.
+func (s *server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// A function literal built under the lock runs later, with no locks held.
+func (s *server) Later(p sim.Proc) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { p.Sleep(5) }
+}
+
+// Blocking again after the unlock in the same body is fine.
+func (s *server) Phases(p sim.Proc) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	if v, ok := s.q.Recv(p); ok {
+		_ = v
+	}
+}

@@ -1,0 +1,38 @@
+// Package lockedblock_flag exercises every lockedblock finding.
+package lockedblock_flag
+
+import (
+	"sync"
+
+	"bridge/internal/sim"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	q  sim.Queue
+	n  int
+}
+
+func (s *server) Bad(p sim.Proc) {
+	s.mu.Lock()
+	p.Sleep(5) // want `sim\.Sleep called while s\.mu held`
+	s.mu.Unlock()
+}
+
+func (s *server) BadDefer(p sim.Proc) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.q.Recv(p) // want `sim\.Recv called while s\.mu held`
+	return v, ok
+}
+
+func (s *server) BadNested(p sim.Proc) {
+	s.rw.RLock()
+	for i := 0; i < 3; i++ {
+		if i == 1 {
+			_, _, _ = s.q.RecvTimeout(p, 10) // want `sim\.RecvTimeout called while s\.rw held`
+		}
+	}
+	s.rw.RUnlock()
+}

@@ -1,0 +1,33 @@
+// Package maporder_flag exercises every maporder finding.
+package maporder_flag
+
+import (
+	"bridge/internal/sim"
+)
+
+func SendInOrder(q sim.Queue, m map[int]string) {
+	for _, v := range m { // want `map iteration order reaches sim\.Send`
+		q.Send(v)
+	}
+}
+
+func EscapingAppend(m map[string]int) []string {
+	var names []string
+	for name := range m { // want `escapes the loop unsorted`
+		names = append(names, name)
+	}
+	return names
+}
+
+func ChannelSend(m map[int]int, ch chan int) {
+	for _, v := range m { // want `reaches a channel send`
+		ch <- v
+	}
+}
+
+// Closing queues unblocks their receivers in iteration order: observable.
+func CloseInOrder(qs map[int]sim.Queue) {
+	for _, q := range qs { // want `map iteration order reaches sim\.Close`
+		q.Close()
+	}
+}

@@ -1,0 +1,6 @@
+package rawgoroutine_flag
+
+// Test files may spawn goroutines freely: harnesses pump the host side.
+func pumpForTest(fn func()) {
+	go fn()
+}

@@ -1,0 +1,17 @@
+// Package rawgoroutine_flag exercises the rawgoroutine finding and its
+// escape hatch.
+package rawgoroutine_flag
+
+func Spawn(fn func()) {
+	go fn() // want `raw go statement in process code`
+}
+
+func SpawnClosure(n int) {
+	go func() { // want `raw go statement in process code`
+		_ = n * 2
+	}()
+}
+
+func Allowed(fn func()) {
+	go fn() //bridgevet:allow rawgoroutine — host-side pump, joined before the sim starts
+}

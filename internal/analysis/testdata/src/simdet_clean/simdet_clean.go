@@ -1,0 +1,30 @@
+// Package simdet_clean holds the deterministic idioms simdeterminism must
+// accept.
+package simdet_clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// A seeded source and method calls on it are the contract-approved way to
+// draw randomness.
+func Seeded(seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	d := time.Duration(rng.Intn(100)) * time.Millisecond
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Duration arithmetic and formatting never touch the host clock.
+func Format(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// The escape hatch: a justified wall-clock read is allowed on exactly this
+// line.
+func Escape() int64 {
+	return time.Now().UnixNano() //bridgevet:allow simdeterminism — host-side log stamp, not sim state
+}

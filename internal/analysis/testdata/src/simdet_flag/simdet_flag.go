@@ -1,0 +1,22 @@
+// Package simdet_flag exercises every simdeterminism finding.
+package simdet_flag
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall() time.Duration {
+	t0 := time.Now()             // want `time\.Now is wall-clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep is wall-clock`
+	<-time.After(time.Second)    // want `time\.After is wall-clock`
+	return time.Since(t0)        // want `time\.Since is wall-clock`
+}
+
+func GlobalRand() int {
+	if rand.Float64() < 0.5 { // want `rand\.Float64 draws from the global`
+		return rand.Intn(10) // want `rand\.Intn draws from the global`
+	}
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the global`
+	return 0
+}

@@ -28,6 +28,36 @@ type RetryPolicy struct {
 	Seed int64
 }
 
+// DeriveSeed maps a base seed and a stream label to an independent seed,
+// so every jitter source in a run draws its own deterministic sequence
+// from one session seed. FNV-1a folds the label into the base; a
+// splitmix64 finalizer scatters nearby bases across the seed space.
+func DeriveSeed(base int64, stream string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= fnvPrime
+	}
+	z := h ^ uint64(base)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// WithSeed returns the policy with its jitter seed derived from base and a
+// stream label. Any explicit Seed is folded in rather than replaced, so
+// two retriers sharing one policy but labeled differently (the session
+// client vs. each server's LFS path) replay independent jitter sequences
+// that are all functions of the session seed.
+func (rp RetryPolicy) WithSeed(base int64, stream string) RetryPolicy {
+	rp.Seed = DeriveSeed(base^rp.Seed, stream)
+	return rp
+}
+
 func (rp RetryPolicy) applyDefaults() RetryPolicy {
 	if rp.Attempts == 0 {
 		rp.Attempts = 4

@@ -131,8 +131,13 @@ type DirSnapshot struct {
 // and its state must not be read while it runs.
 func (s *Server) Snapshot() DirSnapshot {
 	snap := DirSnapshot{NextID: s.nextID, NextJob: s.nextJob}
-	for _, ent := range s.dir {
-		snap.Files = append(snap.Files, ent.meta)
+	names := make([]string, 0, len(s.dir))
+	for name := range s.dir {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap.Files = append(snap.Files, s.dir[name].meta)
 	}
 	return snap
 }
@@ -162,7 +167,10 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 		dedup:   make(map[dedupKey]any),
 	}
 	if cfg.LFSRetry != nil {
-		s.retry = newRetrier(*cfg.LFSRetry)
+		// Fold the port name into the jitter seed so the servers of a
+		// distributed cluster, which share one policy, do not retransmit
+		// in lockstep.
+		s.retry = newRetrier(cfg.LFSRetry.WithSeed(0, cfg.PortName))
 	}
 	if cfg.Health != nil {
 		s.health = newHealthTracker(*cfg.Health)
@@ -189,8 +197,15 @@ func (s *Server) run(p sim.Proc) {
 	for {
 		req, ok := s.port.Recv(p)
 		if !ok {
-			for _, j := range s.jobs {
-				j.port.Close()
+			// Close job ports in job-id order: closing unblocks their
+			// workers, and that order is observable virtual-time state.
+			ids := make([]uint64, 0, len(s.jobs))
+			for id := range s.jobs {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				s.jobs[id].port.Close()
 			}
 			s.lc.Close()
 			return

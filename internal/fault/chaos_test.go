@@ -53,12 +53,15 @@ func runChaos(t *testing.T, seed int64) (string, [][]byte) {
 		fault.NodeEvent{At: 7 * time.Second, Node: 2, Kind: fault.Crash},
 		fault.NodeEvent{At: 16 * time.Second, Node: 2, Kind: fault.Restart},
 	)
+	// Retry jitter seeds derive from the scenario seed, as bridge.Run does:
+	// one seed determines faults and retransmission timing alike.
+	lfsRetry := core.RetryPolicy{Attempts: 5}.WithSeed(inj.Seed(), "chaos.lfs")
 	cl, err := core.StartCluster(rt, core.ClusterConfig{
 		P:    p,
 		Node: lfs.Config{DiskBlocks: 2048, Timing: disk.FixedTiming{Latency: time.Millisecond}},
 		Server: core.Config{
 			LFSTimeout: time.Second,
-			LFSRetry:   &core.RetryPolicy{Attempts: 5, Seed: seed + 1},
+			LFSRetry:   &lfsRetry,
 			Health:     &core.HealthConfig{},
 		},
 	})
@@ -77,7 +80,7 @@ func runChaos(t *testing.T, seed int64) (string, [][]byte) {
 		c := cl.NewClient(proc, 0, "chaos")
 		defer c.Close()
 		c.SetTimeout(2 * time.Second)
-		c.SetRetry(core.RetryPolicy{Attempts: 6, Seed: seed + 2})
+		c.SetRetry(core.RetryPolicy{Attempts: 6}.WithSeed(inj.Seed(), "chaos.client"))
 		m, err := replica.CreateMirror(proc, c, "f", p)
 		if err != nil {
 			t.Errorf("CreateMirror: %v", err)
@@ -144,6 +147,10 @@ func runChaos(t *testing.T, seed int64) (string, [][]byte) {
 	}
 	if cl.Net.Stats().Get("replica.overflow_blocks") == 0 {
 		t.Error("no degraded appends — the crash never bit")
+	}
+	retries := cl.Net.Stats().Get("bridge.client_retries") + cl.Net.Stats().Get("bridge.lfs_retries")
+	if retries == 0 {
+		t.Error("no retransmissions — the retry (and jitter) path never bit")
 	}
 	var sb strings.Builder
 	if _, err := tr.WriteTo(&sb); err != nil {

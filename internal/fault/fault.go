@@ -81,11 +81,15 @@ type diskBlock struct {
 // before the simulation starts; the hook methods themselves are safe for
 // concurrent use.
 type Injector struct {
-	seed   int64
-	tracer *trace.Tracer
-	stats  *stats.Counters
+	seed  int64
+	stats *stats.Counters
 
+	// mu guards everything below, including the rng: the hook methods run
+	// on whichever simulated process consults the injector, and a shared
+	// unlocked rand.Rand would corrupt its own state — and with it the
+	// determinism contract. Never use global math/rand here.
 	mu         sync.Mutex
+	tracer     *trace.Tracer
 	rng        *rand.Rand
 	msgRules   []msgRule
 	partitions []partition
@@ -111,8 +115,13 @@ func (in *Injector) Seed() int64 { return in.seed }
 // Stats returns the injector's counters: faults injected by kind.
 func (in *Injector) Stats() *stats.Counters { return in.stats }
 
-// SetTracer emits an event for every injected fault (nil disables).
-func (in *Injector) SetTracer(t *trace.Tracer) { in.tracer = t }
+// SetTracer emits an event for every injected fault (nil disables). The
+// hooks read the tracer under in.mu, so installation must hold it too.
+func (in *Injector) SetTracer(t *trace.Tracer) {
+	in.mu.Lock()
+	in.tracer = t
+	in.mu.Unlock()
+}
 
 // MsgWindow injects message faults between virtual times from and to.
 func (in *Injector) MsgWindow(from, to time.Duration, f MsgFaults) {

@@ -1,6 +1,7 @@
 package msg
 
 import (
+	"sort"
 	"testing"
 
 	"bridge/internal/sim"
@@ -71,13 +72,15 @@ func BenchmarkScatterGather(b *testing.B) {
 		for _, a := range addrs {
 			_ = a
 		}
-		// Close all server ports so they exit.
+		// Close all server ports so they exit, in address order: close
+		// order decides the order their processes unblock.
 		net.mu.Lock()
 		ports := make([]*Port, 0, len(net.ports))
 		for _, pt := range net.ports {
 			ports = append(ports, pt)
 		}
 		net.mu.Unlock()
+		sort.Slice(ports, func(i, j int) bool { return ports[i].Addr().String() < ports[j].Addr().String() })
 		for _, pt := range ports {
 			if pt.Addr().Port == "srv" {
 				pt.Close()

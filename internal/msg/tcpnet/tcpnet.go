@@ -287,7 +287,7 @@ func (p *Peer) Close() error {
 	p.conns = map[string]*outConn{}
 	ports := p.ports
 	inbound := make([]net.Conn, 0, len(p.inbound))
-	for c := range p.inbound {
+	for c := range p.inbound { //bridgevet:allow maporder — real-network teardown; socket close order is not simulation state
 		inbound = append(inbound, c)
 	}
 	p.mu.Unlock()
