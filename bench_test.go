@@ -138,8 +138,9 @@ func BenchmarkToolVsNaive(b *testing.B) {
 		}
 		reportSim(b, "seqfs", rows[0].Time)
 		reportSim(b, "naive", rows[1].Time)
-		reportSim(b, "job", rows[2].Time)
-		reportSim(b, "tool", rows[3].Time)
+		reportSim(b, "naive_batched", rows[2].Time)
+		reportSim(b, "job", rows[3].Time)
+		reportSim(b, "tool", rows[4].Time)
 	}
 }
 
@@ -197,5 +198,20 @@ func BenchmarkNaiveSequentialRead(b *testing.B) {
 			b.Fatal(err)
 		}
 		reportSim(b, "read_blk", res.Points[0].ReadPerBlock)
+	}
+}
+
+// BenchmarkNaiveBatchedRead is the same sequential read through the
+// batched naive interface (SeqReadN + server read-ahead) at p=8; compare
+// its read_blk_sim_ms with BenchmarkNaiveSequentialRead's.
+func BenchmarkNaiveBatchedRead(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Ps = []int{8}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSim(b, "read_blk", res.Points[0].ReadBatchPerBlock)
 	}
 }

@@ -184,6 +184,12 @@ type Config struct {
 	// Retry with a short timeout (~1s) on lossy networks so a dropped
 	// reply stalls the server briefly, not for a minute.
 	LFSTimeout time.Duration
+	// ReadAhead enables the Bridge Server's sequential read-ahead cache:
+	// naive reads are served from per-(client, file) windows of ReadAhead
+	// stripes (ReadAhead×Nodes blocks) while the next window prefetches
+	// asynchronously. 0 (the default) keeps the paper's measured
+	// one-block-per-round-trip behavior.
+	ReadAhead int
 	// Fault, if non-nil, attaches this deterministic fault injector to the
 	// network and every disk, and drives its node crash/restart schedule
 	// against the cluster. Scheduled events only fire while the session
@@ -246,6 +252,7 @@ func (s *System) Run(fn func(*Session) error) error {
 			LFSTimeout: s.cfg.LFSTimeout,
 			LFSRetry:   retry,
 			Health:     s.cfg.Health,
+			ReadAhead:  s.cfg.ReadAhead,
 		},
 	})
 	if err != nil {
@@ -355,12 +362,45 @@ func (s *Session) Read(name string) ([]byte, error) {
 	return data, nil
 }
 
+// ReadN returns up to max blocks at this session's cursor in one request —
+// the batched naive read, fanned out by the server across all constituent
+// disks at once. Io-style, it returns ErrEOF once the cursor is at end of
+// file.
+func (s *Session) ReadN(name string, max int) ([][]byte, error) {
+	blocks, eof, err := s.c.SeqReadN(name, max)
+	if err != nil {
+		return nil, err
+	}
+	if eof && len(blocks) == 0 {
+		return nil, ErrEOF
+	}
+	return blocks, nil
+}
+
 // ReadAt reads block n.
 func (s *Session) ReadAt(name string, n int64) ([]byte, error) { return s.c.ReadAt(name, n) }
+
+// ReadAtN reads up to count consecutive blocks starting at block n in one
+// request.
+func (s *Session) ReadAtN(name string, n int64, count int) ([][]byte, error) {
+	return s.c.ReadAtN(name, n, count)
+}
 
 // WriteAt writes block n (n == size appends).
 func (s *Session) WriteAt(name string, n int64, payload []byte) error {
 	return s.c.WriteAt(name, n, payload)
+}
+
+// WriteAtN writes the payloads as consecutive blocks starting at block n
+// (-1 appends), returning how many landed; on partial failure the file
+// covers exactly the returned contiguous prefix.
+func (s *Session) WriteAtN(name string, n int64, payloads [][]byte) (int, error) {
+	return s.c.WriteAtN(name, n, payloads)
+}
+
+// AppendN appends the payloads as consecutive blocks in one request.
+func (s *Session) AppendN(name string, payloads [][]byte) (int, error) {
+	return s.c.AppendN(name, payloads)
 }
 
 // ReadAll reads the whole file from the beginning.

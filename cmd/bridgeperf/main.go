@@ -1,0 +1,149 @@
+// Command bridgeperf is the CI perf-regression gate: it runs the
+// quick-scale naive-read and copy experiments under the deterministic
+// virtual clock, writes their simulated-time metrics as JSON, and fails
+// if the batched read path loses its headline speedup or if any metric
+// regresses against a committed baseline.
+//
+// Usage:
+//
+//	bridgeperf [-out BENCH_pr3.json] [-check BENCH_pr3.json] [-tolerance 0.10]
+//
+// Because every metric is simulated time, runs are exactly reproducible:
+// the committed baseline only changes when the code's performance does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bridge/internal/experiments"
+)
+
+// Report is the BENCH_pr3.json schema. All *SimMs fields are simulated
+// milliseconds (lower is better); RecPerSec is simulated throughput
+// (higher is better).
+type Report struct {
+	PR    int    `json:"pr"`
+	Scale string `json:"scale"`
+	P     int    `json:"p"`
+
+	NaiveReadBlkSimMs   float64 `json:"naive_read_blk_sim_ms"`
+	BatchedReadBlkSimMs float64 `json:"batched_read_blk_sim_ms"`
+	BatchedReadSpeedup  float64 `json:"batched_read_speedup"`
+
+	CopyToolSimMs  float64 `json:"copy_tool_sim_ms"`
+	CopyRecPerSec  float64 `json:"copy_rec_per_sec"`
+	WriteBlkSimMs  float64 `json:"write_blk_sim_ms"`
+	CreateSimMs    float64 `json:"create_sim_ms"`
+	DeleteTotSimMs float64 `json:"delete_total_sim_ms"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bridgeperf:", err)
+		os.Exit(1)
+	}
+}
+
+func simMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func run() error {
+	var (
+		out       = flag.String("out", "BENCH_pr3.json", "where to write the metrics report")
+		check     = flag.String("check", "", "baseline report to compare against (empty = no comparison)")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression per metric")
+	)
+	flag.Parse()
+
+	const p = 8
+	cfg := experiments.QuickScale()
+	cfg.Ps = []int{p}
+
+	t2, err := experiments.Table2(cfg)
+	if err != nil {
+		return fmt.Errorf("table2: %w", err)
+	}
+	pt := t2.Points[0]
+	copyRows, err := experiments.Table3Copy(cfg)
+	if err != nil {
+		return fmt.Errorf("table3: %w", err)
+	}
+	cp := copyRows[0]
+
+	rep := Report{
+		PR:                  3,
+		Scale:               "quick",
+		P:                   p,
+		NaiveReadBlkSimMs:   simMs(pt.ReadPerBlock),
+		BatchedReadBlkSimMs: simMs(pt.ReadBatchPerBlock),
+		CopyToolSimMs:       simMs(cp.Time),
+		CopyRecPerSec:       cp.RecPerSec,
+		WriteBlkSimMs:       simMs(pt.WritePerBlock),
+		CreateSimMs:         simMs(pt.CreateTime),
+		DeleteTotSimMs:      simMs(pt.DeleteTotal),
+	}
+	if rep.BatchedReadBlkSimMs > 0 {
+		rep.BatchedReadSpeedup = rep.NaiveReadBlkSimMs / rep.BatchedReadBlkSimMs
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
+		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup, rep.CopyToolSimMs, rep.CopyRecPerSec, *out)
+
+	// Headline gate: the batched naive read must stay >= 3x cheaper per
+	// block than the per-block naive read at p=8.
+	if rep.BatchedReadSpeedup < 3.0 {
+		return fmt.Errorf("batched read speedup %.2fx fell below the required 3x", rep.BatchedReadSpeedup)
+	}
+	if *check == "" {
+		return nil
+	}
+
+	baseData, err := os.ReadFile(*check)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	// lower-is-better metrics: regression = grew past tolerance.
+	lower := []struct {
+		name      string
+		got, want float64
+	}{
+		{"naive_read_blk_sim_ms", rep.NaiveReadBlkSimMs, base.NaiveReadBlkSimMs},
+		{"batched_read_blk_sim_ms", rep.BatchedReadBlkSimMs, base.BatchedReadBlkSimMs},
+		{"copy_tool_sim_ms", rep.CopyToolSimMs, base.CopyToolSimMs},
+		{"write_blk_sim_ms", rep.WriteBlkSimMs, base.WriteBlkSimMs},
+		{"create_sim_ms", rep.CreateSimMs, base.CreateSimMs},
+		{"delete_total_sim_ms", rep.DeleteTotSimMs, base.DeleteTotSimMs},
+	}
+	var failed bool
+	for _, m := range lower {
+		if m.want > 0 && m.got > m.want*(1+*tolerance) {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.3f -> %.3f (+%.1f%%, tolerance %.0f%%)\n",
+				m.name, m.want, m.got, 100*(m.got/m.want-1), 100**tolerance)
+			failed = true
+		}
+	}
+	if base.CopyRecPerSec > 0 && rep.CopyRecPerSec < base.CopyRecPerSec*(1-*tolerance) {
+		fmt.Fprintf(os.Stderr, "REGRESSION copy_rec_per_sec: %.1f -> %.1f\n", base.CopyRecPerSec, rep.CopyRecPerSec)
+		failed = true
+	}
+	if failed {
+		return fmt.Errorf("simulated-time metrics regressed vs %s (regenerate the baseline only with an explanation)", *check)
+	}
+	fmt.Printf("no regressions vs %s\n", *check)
+	return nil
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bridge/internal/distrib"
+	"bridge/internal/lfs"
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// Scatter-gather I/O: the batched counterpart of lfsRead/lfsWrite. A run of
+// consecutive global blocks is split by the file's layout into one vectored
+// LFS call per constituent node, all calls are started before any reply is
+// awaited (so all p disks seek concurrently), and replies are gathered in
+// node-index order for determinism. Per-node timeouts compose with the
+// health fast-fail and LFSRetry exactly like the single-block path: a
+// retransmitted vector reuses its body verbatim, so the per-op OpID dedup
+// still holds.
+
+// maxBatchBlocks bounds one batched request, keeping reply messages (and
+// the server's working set per request) within reason.
+const maxBatchBlocks = 1024
+
+// vecRun is the slice of a global block range that lands on one node.
+type vecRun struct {
+	nodeIdx int
+	node    msg.NodeID
+	locals  []uint32
+	globals []int64
+}
+
+// splitRange partitions [start, start+count) by layout into per-node runs,
+// returned in node-index order. Global block numbers ascend within each run.
+func splitRange(ent *dirent, l distrib.Layout, start int64, count int) []vecRun {
+	byNode := make([]vecRun, len(ent.meta.Nodes))
+	for b := start; b < start+int64(count); b++ {
+		idx := l.NodeFor(b)
+		r := &byNode[idx]
+		if r.locals == nil {
+			r.nodeIdx = idx
+			r.node = ent.meta.Nodes[idx]
+		}
+		r.locals = append(r.locals, uint32(l.LocalFor(b)))
+		r.globals = append(r.globals, b)
+	}
+	runs := make([]vecRun, 0, len(byNode))
+	for _, r := range byNode {
+		if r.locals != nil {
+			runs = append(runs, r)
+		}
+	}
+	return runs
+}
+
+// vecCall is one started vectored LFS call awaiting its reply.
+type vecCall struct {
+	run  vecRun
+	id   uint64
+	body any
+	size int
+}
+
+// startVec health-checks the node and starts a vectored call on it.
+func (s *Server) startVec(run vecRun, body any, size int) (vecCall, error) {
+	if s.health != nil && s.health.get(run.node) == Dead {
+		return vecCall{}, fmt.Errorf("%w: n%d", ErrNodeDown, run.node)
+	}
+	id, err := s.lc.Start(msg.Addr{Node: run.node, Port: lfs.PortName}, body, size)
+	if err != nil {
+		return vecCall{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	return vecCall{run: run, id: id, body: body, size: size}, nil
+}
+
+// awaitVec collects one vectored call's reply, retransmitting timeouts
+// under the configured retry policy (the body — and so any OpID in it — is
+// reused verbatim) and reporting full timeouts to the health tracker. The
+// original call's id is discarded before each retransmission so a late
+// reply to it cannot be mistaken for the retry's.
+func (s *Server) awaitVec(p sim.Proc, c vecCall) (*msg.Message, error) {
+	m, err := s.lc.AwaitTimeout(c.id, s.cfg.LFSTimeout)
+	if s.retry != nil {
+		to := msg.Addr{Node: c.run.node, Port: lfs.PortName}
+		for retry := 1; retry < s.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
+			s.lc.Discard(c.id)
+			p.Sleep(s.retry.backoff(retry))
+			s.net.Stats().Add("bridge.lfs_retries", 1)
+			if s.health != nil && s.health.get(c.run.node) == Dead {
+				return nil, fmt.Errorf("%w: n%d", ErrNodeDown, c.run.node)
+			}
+			c.id, err = s.lc.Start(to, c.body, c.size)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			m, err = s.lc.AwaitTimeout(c.id, s.cfg.LFSTimeout)
+		}
+	}
+	if errors.Is(err, msg.ErrTimeout) {
+		s.lc.Discard(c.id)
+		s.reportProbe(p.Now(), c.run.node, false)
+	}
+	return m, err
+}
+
+// startReadVec scatters a read of count consecutive global blocks from
+// start: one vectored call per node, all started before any is awaited.
+// The calls return in node-index order for gatherReadVec.
+func (s *Server) startReadVec(ent *dirent, start int64, count int) ([]vecCall, error) {
+	l, err := ent.meta.Layout()
+	if err != nil {
+		return nil, err
+	}
+	runs := splitRange(ent, l, start, count)
+	calls := make([]vecCall, 0, len(runs))
+	for _, run := range runs {
+		req := lfs.ReadVecReq{FileID: ent.meta.LFSFileID, Blocks: run.locals, Hint: ent.hintFor(run.node)}
+		c, err := s.startVec(run, req, lfs.WireSize(req))
+		if err != nil {
+			for _, started := range calls {
+				s.lc.Discard(started.id)
+			}
+			return nil, err
+		}
+		calls = append(calls, c)
+	}
+	return calls, nil
+}
+
+// gatherReadVec collects the replies of a startReadVec in node-index
+// order and returns the payloads in global block order. The whole read
+// fails on the first per-block failure (in node-index, then block order),
+// with outstanding replies discarded.
+func (s *Server) gatherReadVec(p sim.Proc, ent *dirent, calls []vecCall, start int64, count int) ([][]byte, error) {
+	out := make([][]byte, count)
+	for i, c := range calls {
+		m, err := s.awaitVec(p, c)
+		if err != nil {
+			if !errors.Is(err, ErrNodeDown) {
+				err = fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			return nil, abortAfter(s, calls, i, err)
+		}
+		resp := m.Body.(lfs.ReadVecResp)
+		if err := resp.Status.Err(); err != nil {
+			return nil, abortAfter(s, calls, i, fmt.Errorf("%w: %v", ErrLFSFailed, err))
+		}
+		if len(resp.Blocks) != len(c.run.globals) {
+			return nil, abortAfter(s, calls, i, fmt.Errorf("%w: vectored read returned %d of %d blocks",
+				ErrLFSFailed, len(resp.Blocks), len(c.run.globals)))
+		}
+		for j, v := range resp.Blocks {
+			if err := v.Status.Err(); err != nil {
+				return nil, abortAfter(s, calls, i, fmt.Errorf("%w: block %d: %v", ErrLFSFailed, c.run.globals[j], err))
+			}
+			ent.hints[c.run.node] = v.Addr
+			_, payload, err := DecodeBlock(v.Data)
+			if err != nil {
+				return nil, abortAfter(s, calls, i, err)
+			}
+			out[c.run.globals[j]-start] = payload
+		}
+	}
+	return out, nil
+}
+
+// lfsReadN fetches count consecutive global blocks starting at start with
+// one vectored LFS call per node, so all the constituent disks seek
+// concurrently. Payloads return in global block order.
+func (s *Server) lfsReadN(p sim.Proc, ent *dirent, start int64, count int) ([][]byte, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	calls, err := s.startReadVec(ent, start, count)
+	if err != nil {
+		return nil, err
+	}
+	return s.gatherReadVec(p, ent, calls, start, count)
+}
+
+// abortAfter discards the replies not yet awaited (calls after index i).
+func abortAfter(s *Server, calls []vecCall, i int, err error) error {
+	for _, c := range calls[i+1:] {
+		s.lc.Discard(c.id)
+	}
+	return err
+}
+
+// lfsWriteN stores consecutive global blocks starting at start, one
+// vectored LFS call per node, each carrying its own OpID for dedup. All
+// replies are gathered (no early abort: later nodes' writes may have
+// landed and their hints matter); the return value counts the contiguous
+// prefix of global blocks that succeeded, with the first failure — in
+// global block order — as the error.
+func (s *Server) lfsWriteN(p sim.Proc, ent *dirent, start int64, payloads [][]byte) (int, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	l, err := ent.meta.Layout()
+	if err != nil {
+		return 0, err
+	}
+	runs := splitRange(ent, l, start, len(payloads))
+	calls := make([]vecCall, 0, len(runs))
+	for _, run := range runs {
+		vw := make([]lfs.VecWrite, len(run.locals))
+		for j, local := range run.locals {
+			g := run.globals[j]
+			vw[j] = lfs.VecWrite{BlockNum: local, Data: EncodeBlock(BlockHeader{
+				FileID:      ent.meta.FileID,
+				GlobalBlock: g,
+				P:           uint16(ent.meta.Spec.P),
+				Start:       uint16(ent.meta.Spec.Start),
+			}, payloads[g-start])}
+		}
+		s.nextLFSOp++
+		req := lfs.WriteVecReq{FileID: ent.meta.LFSFileID, Blocks: vw, Hint: ent.hintFor(run.node), OpID: s.nextLFSOp}
+		c, err := s.startVec(run, req, lfs.WireSize(req))
+		if err != nil {
+			for _, started := range calls {
+				s.lc.Discard(started.id)
+			}
+			return 0, err
+		}
+		calls = append(calls, c)
+	}
+	okBlock := make([]bool, len(payloads))
+	blockErr := make([]error, len(payloads))
+	var callErr error
+	for _, c := range calls {
+		m, err := s.awaitVec(p, c)
+		if err != nil {
+			if !errors.Is(err, ErrNodeDown) {
+				err = fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			}
+			for _, g := range c.run.globals {
+				blockErr[g-start] = err
+			}
+			if callErr == nil {
+				callErr = err
+			}
+			continue
+		}
+		resp := m.Body.(lfs.WriteVecResp)
+		if err := resp.Status.Err(); err != nil || len(resp.Blocks) != len(c.run.globals) {
+			if err == nil {
+				err = fmt.Errorf("vectored write returned %d of %d blocks", len(resp.Blocks), len(c.run.globals))
+			}
+			wrapped := fmt.Errorf("%w: %v", ErrLFSFailed, err)
+			for _, g := range c.run.globals {
+				blockErr[g-start] = wrapped
+			}
+			if callErr == nil {
+				callErr = wrapped
+			}
+			continue
+		}
+		for j, v := range resp.Blocks {
+			g := c.run.globals[j]
+			if err := v.Status.Err(); err != nil {
+				blockErr[g-start] = fmt.Errorf("%w: block %d: %v", ErrLFSFailed, g, err)
+				continue
+			}
+			okBlock[g-start] = true
+			ent.hints[c.run.node] = v.Addr
+		}
+	}
+	prefix := 0
+	for prefix < len(okBlock) && okBlock[prefix] {
+		prefix++
+	}
+	if prefix == len(okBlock) {
+		return prefix, nil
+	}
+	// First failure in global order wins; a node-level error may have
+	// claimed a later block than a per-block failure did.
+	if err := blockErr[prefix]; err != nil {
+		return prefix, err
+	}
+	if callErr != nil {
+		return prefix, callErr
+	}
+	return prefix, fmt.Errorf("%w: block %d failed", ErrLFSFailed, start+int64(prefix))
+}
+
+// seqReadN reads up to max blocks at the client's cursor — the batched
+// naive path. Formulaic files go through the read-ahead cache when one is
+// configured, or a direct scatter-gather read; disordered files follow
+// their chain (inherently one block at a time, but still one client RPC).
+func (s *Server) seqReadN(p sim.Proc, client msg.Addr, name string, max int) ([][]byte, bool, error) {
+	if max <= 0 {
+		return nil, false, fmt.Errorf("%w: batch of %d blocks", ErrBadArg, max)
+	}
+	if max > maxBatchBlocks {
+		max = maxBatchBlocks
+	}
+	ent, ok := s.dir[name]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	key := cursorKey{client: client, name: name}
+	cur, ok := s.cursors[key]
+	if !ok {
+		if err := s.refreshSize(p, ent); err != nil {
+			return nil, false, err
+		}
+		cur = &cursor{}
+		s.cursors[key] = cur
+	}
+	if cur.readPos >= ent.meta.Blocks {
+		return nil, true, nil
+	}
+	count := max
+	if remain := ent.meta.Blocks - cur.readPos; int64(count) > remain {
+		count = int(remain)
+	}
+	var (
+		blocks [][]byte
+		err    error
+	)
+	if ent.meta.Spec.Kind == distrib.Disordered {
+		blocks, err = s.readChainN(p, ent, cur, count)
+	} else if s.ra != nil {
+		blocks, err = s.ra.read(p, s, ent, client, cur.readPos, count)
+	} else {
+		blocks, err = s.lfsReadN(p, ent, cur.readPos, count)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	cur.readPos += int64(len(blocks))
+	return blocks, cur.readPos >= ent.meta.Blocks, nil
+}
+
+// readChainN follows a disordered chain for count blocks, using (and
+// updating) the cursor's chain position.
+func (s *Server) readChainN(p sim.Proc, ent *dirent, cur *cursor, count int) ([][]byte, error) {
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		var (
+			payload []byte
+			next    chainLoc
+			hasNext bool
+			err     error
+		)
+		if cur.chainValid {
+			payload, next, hasNext, err = s.readChainBlock(p, ent, cur.chain)
+		} else {
+			payload, next, hasNext, err = s.readChainAt(p, ent, cur.readPos+int64(i))
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur.chain, cur.chainValid = next, hasNext
+		out = append(out, payload)
+	}
+	return out, nil
+}
+
+// readAtN reads count blocks starting at blockNum — the batched random
+// read. It bypasses the read-ahead cache (which is a sequential-reader
+// optimization) and goes straight to scatter-gather.
+func (s *Server) readAtN(p sim.Proc, name string, blockNum int64, count int) ([][]byte, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("%w: batch of %d blocks", ErrBadArg, count)
+	}
+	if count > maxBatchBlocks {
+		count = maxBatchBlocks
+	}
+	ent, ok := s.dir[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if blockNum < 0 || blockNum >= ent.meta.Blocks {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrEOF, blockNum, ent.meta.Blocks)
+	}
+	if remain := ent.meta.Blocks - blockNum; int64(count) > remain {
+		count = int(remain)
+	}
+	if ent.meta.Spec.Kind == distrib.Disordered {
+		out := make([][]byte, 0, count)
+		payload, next, hasNext, err := s.readChainAt(p, ent, blockNum)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, payload)
+		for len(out) < count && hasNext {
+			payload, next, hasNext, err = s.readChainBlock(p, ent, next)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, payload)
+		}
+		return out, nil
+	}
+	return s.lfsReadN(p, ent, blockNum, count)
+}
+
+// writeAtN writes len(payloads) consecutive blocks starting at blockNum
+// (append when blockNum is -1 or equals the size; a run may overwrite the
+// tail and extend past it). It returns how many blocks from the front of
+// the run landed; on partial failure the file size covers exactly the
+// contiguous prefix, so a retry of the same run is safe.
+func (s *Server) writeAtN(p sim.Proc, name string, blockNum int64, payloads [][]byte) (int, error) {
+	ent, ok := s.dir[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	for _, payload := range payloads {
+		if len(payload) > PayloadBytes {
+			return 0, fmt.Errorf("%w: payload %d exceeds %d", ErrBadArg, len(payload), PayloadBytes)
+		}
+	}
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	if len(payloads) > maxBatchBlocks {
+		return 0, fmt.Errorf("%w: batch of %d exceeds %d blocks", ErrBadArg, len(payloads), maxBatchBlocks)
+	}
+	if blockNum < 0 {
+		blockNum = ent.meta.Blocks
+	}
+	if blockNum > ent.meta.Blocks {
+		return 0, fmt.Errorf("%w: block %d beyond size %d", ErrBadArg, blockNum, ent.meta.Blocks)
+	}
+	s.raInvalidate(name)
+	if ent.meta.Spec.Kind == distrib.Disordered {
+		return s.writeAtNDisordered(p, ent, blockNum, payloads)
+	}
+	written, err := s.lfsWriteN(p, ent, blockNum, payloads)
+	if end := blockNum + int64(written); end > ent.meta.Blocks {
+		ent.meta.Blocks = end
+	}
+	return written, err
+}
+
+// writeAtNDisordered applies a batched write to a chain file one block at
+// a time (the chain serializes placement), preserving prefix semantics.
+func (s *Server) writeAtNDisordered(p sim.Proc, ent *dirent, blockNum int64, payloads [][]byte) (int, error) {
+	for i, payload := range payloads {
+		b := blockNum + int64(i)
+		var err error
+		if b == ent.meta.Blocks {
+			err = s.appendDisordered(p, ent, payload)
+		} else {
+			err = s.overwriteDisordered(p, ent, b, payload)
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(payloads), nil
+}

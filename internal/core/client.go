@@ -73,11 +73,17 @@ func nameOf(body any) (string, bool) {
 		return b.Name, true
 	case SeqReadReq:
 		return b.Name, true
+	case SeqReadNReq:
+		return b.Name, true
 	case SeqWriteReq:
 		return b.Name, true
 	case RandReadReq:
 		return b.Name, true
+	case RandReadNReq:
+		return b.Name, true
 	case RandWriteReq:
+		return b.Name, true
+	case RandWriteNReq:
 		return b.Name, true
 	case ParallelOpenReq:
 		return b.Name, true
@@ -148,15 +154,30 @@ var sentinels = []error{
 }
 
 // decodeErr rebuilds a sentinel-wrapped error from its transported string
-// so callers can use errors.Is across the message boundary.
+// so callers can use errors.Is across the message boundary. The sentinel
+// whose text appears earliest in the string wins (ties go to the longest
+// text), so an error whose detail merely mentions another sentinel — e.g.
+// an LFS failure complaining about a "file not found" block — is
+// classified by its own prefix, not by whichever sentinel happens to come
+// first in the table.
 func decodeErr(s string) error {
 	if s == "" {
 		return nil
 	}
+	var best error
+	bestPos := -1
 	for _, base := range sentinels {
-		if strings.Contains(s, base.Error()) {
-			return fmt.Errorf("%w (%s)", base, s)
+		pos := strings.Index(s, base.Error())
+		if pos < 0 {
+			continue
 		}
+		if bestPos < 0 || pos < bestPos ||
+			(pos == bestPos && len(base.Error()) > len(best.Error())) {
+			best, bestPos = base, pos
+		}
+	}
+	if best != nil {
+		return fmt.Errorf("%w (%s)", best, s)
 	}
 	return errors.New(s)
 }
@@ -240,6 +261,19 @@ func (c *Client) SeqRead(name string) (data []byte, eof bool, err error) {
 	return r.Data, r.EOF, decodeErr(r.Err)
 }
 
+// SeqReadN returns up to max blocks at this client's cursor in one call —
+// the batched naive read, served by the server with one scatter-gather
+// across the constituent nodes (and its read-ahead cache, when enabled).
+// eof is true once the cursor has reached end of file.
+func (c *Client) SeqReadN(name string, max int) (blocks [][]byte, eof bool, err error) {
+	m, err := c.call(SeqReadNReq{Name: name, Max: max, OpID: c.opID()})
+	if err != nil {
+		return nil, false, err
+	}
+	r := m.Body.(SeqReadNResp)
+	return r.Blocks, r.EOF, decodeErr(r.Err)
+}
+
 // SeqWrite appends one block (payload up to PayloadBytes).
 func (c *Client) SeqWrite(name string, payload []byte) error {
 	m, err := c.call(SeqWriteReq{Name: name, Data: payload, OpID: c.opID()})
@@ -259,6 +293,17 @@ func (c *Client) ReadAt(name string, blockNum int64) ([]byte, error) {
 	return r.Data, decodeErr(r.Err)
 }
 
+// ReadAtN reads up to count consecutive blocks starting at blockNum with
+// one request; the server fans the range out across its nodes.
+func (c *Client) ReadAtN(name string, blockNum int64, count int) ([][]byte, error) {
+	m, err := c.call(RandReadNReq{Name: name, BlockNum: blockNum, Count: count})
+	if err != nil {
+		return nil, err
+	}
+	r := m.Body.(RandReadNResp)
+	return r.Blocks, decodeErr(r.Err)
+}
+
 // WriteAt writes block blockNum; blockNum equal to the file size appends.
 func (c *Client) WriteAt(name string, blockNum int64, payload []byte) error {
 	m, err := c.call(RandWriteReq{Name: name, BlockNum: blockNum, Data: payload, OpID: c.opID()})
@@ -266,6 +311,25 @@ func (c *Client) WriteAt(name string, blockNum int64, payload []byte) error {
 		return err
 	}
 	return decodeErr(m.Body.(RandWriteResp).Err)
+}
+
+// WriteAtN writes the payloads as consecutive blocks starting at blockNum
+// (-1 appends); the run may overwrite the tail and extend past it. It
+// returns how many blocks from the front of the run landed — on partial
+// failure the file covers exactly that contiguous prefix, so retrying the
+// remainder is safe.
+func (c *Client) WriteAtN(name string, blockNum int64, payloads [][]byte) (int, error) {
+	m, err := c.call(RandWriteNReq{Name: name, BlockNum: blockNum, Blocks: payloads, OpID: c.opID()})
+	if err != nil {
+		return 0, err
+	}
+	r := m.Body.(RandWriteNResp)
+	return r.Written, decodeErr(r.Err)
+}
+
+// AppendN appends the payloads as consecutive blocks in one call.
+func (c *Client) AppendN(name string, payloads [][]byte) (int, error) {
+	return c.WriteAtN(name, -1, payloads)
 }
 
 // List returns every file name in the Bridge directory, sorted; with a
@@ -287,15 +351,36 @@ func (c *Client) List() ([]string, error) {
 	return all, nil
 }
 
-// Health returns the server's view of every storage node. Without a
-// health monitor configured every node reports Healthy.
+// Health returns the cluster's view of every storage node, aggregated
+// across all servers: each server runs its own monitor, so for a node they
+// disagree on, the worst reported state wins (a server that cannot reach
+// the node knows something the others don't). Without health monitors
+// configured every node reports Healthy.
 func (c *Client) Health() ([]NodeHealth, error) {
-	m, err := c.callAt(c.servers[0], HealthReq{})
-	if err != nil {
-		return nil, err
+	var out []NodeHealth
+	idx := make(map[msg.NodeID]int)
+	for _, srv := range c.servers {
+		m, err := c.callAt(srv, HealthReq{})
+		if err != nil {
+			return nil, err
+		}
+		r := m.Body.(HealthResp)
+		if err := decodeErr(r.Err); err != nil {
+			return nil, err
+		}
+		for _, st := range r.States {
+			i, seen := idx[st.Node]
+			if !seen {
+				idx[st.Node] = len(out)
+				out = append(out, st)
+				continue
+			}
+			if st.State > out[i].State {
+				out[i].State = st.State
+			}
+		}
 	}
-	r := m.Body.(HealthResp)
-	return r.States, decodeErr(r.Err)
+	return out, nil
 }
 
 // RepairNode re-registers every Bridge file's LFS file on restarted

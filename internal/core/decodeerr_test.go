@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bridge/internal/distrib"
+)
+
+// Every sentinel must survive the errString → decodeErr round trip, even
+// when the transported detail text mentions another sentinel — the common
+// case being ErrLFSFailed wrapping an EFS complaint, or a detail string
+// that embeds a path or message containing another sentinel's words.
+func TestDecodeErrRoundTripsEverySentinel(t *testing.T) {
+	for _, base := range sentinels {
+		// Bare sentinel.
+		got := decodeErr(errString(base))
+		if !errors.Is(got, base) {
+			t.Errorf("decodeErr(%q) = %v; want errors.Is %v", base.Error(), got, base)
+		}
+		// Sentinel wrapped with detail, as the server produces them.
+		wrapped := fmt.Errorf("%w: while reading block 17 of file q", base)
+		got = decodeErr(errString(wrapped))
+		if !errors.Is(got, base) {
+			t.Errorf("decodeErr(%q) = %v; want errors.Is %v", wrapped.Error(), got, base)
+		}
+		// Sentinel whose detail text embeds every other sentinel's text
+		// after it: the leading sentinel must still win.
+		for _, other := range sentinels {
+			if other == base {
+				continue
+			}
+			tangled := fmt.Errorf("%w: upstream said %q", base, other.Error())
+			got = decodeErr(errString(tangled))
+			if !errors.Is(got, base) {
+				t.Errorf("decodeErr(%q) = %v; want errors.Is %v, not %v",
+					tangled.Error(), got, base, other)
+			}
+			if errors.Is(got, other) {
+				t.Errorf("decodeErr(%q) also matches %v; want only %v",
+					tangled.Error(), other, base)
+			}
+		}
+	}
+}
+
+// The regression that motivated the earliest-position rule: an LFS failure
+// whose detail mentions "file not found" must decode as ErrLFSFailed, not
+// ErrNotFound, regardless of the sentinels' order in the table.
+func TestDecodeErrPrefersEarliestSentinel(t *testing.T) {
+	s := fmt.Errorf("%w: node 3 replied %q", ErrLFSFailed, ErrNotFound.Error()).Error()
+	got := decodeErr(s)
+	if !errors.Is(got, ErrLFSFailed) {
+		t.Fatalf("decodeErr(%q) = %v; want ErrLFSFailed", s, got)
+	}
+	if errors.Is(got, ErrNotFound) {
+		t.Fatalf("decodeErr(%q) matched ErrNotFound; the embedded mention won", s)
+	}
+
+	// And symmetrically: a not-found whose detail mentions the LFS text.
+	s = fmt.Errorf("%w: repair hint: %s", ErrNotFound, ErrLFSFailed.Error()).Error()
+	got = decodeErr(s)
+	if !errors.Is(got, ErrNotFound) {
+		t.Fatalf("decodeErr(%q) = %v; want ErrNotFound", s, got)
+	}
+
+	// distrib.ErrNeedSize crosses package prefixes ("distrib:" vs
+	// "bridge:") and must still round-trip.
+	s = fmt.Errorf("create failed: %v", distrib.ErrNeedSize).Error()
+	if got := decodeErr(s); !errors.Is(got, distrib.ErrNeedSize) {
+		t.Fatalf("decodeErr(%q) = %v; want ErrNeedSize", s, got)
+	}
+
+	// Unknown text stays an opaque error, not nil.
+	if got := decodeErr("weird failure"); got == nil || got.Error() != "weird failure" {
+		t.Fatalf("decodeErr(unknown) = %v", got)
+	}
+	if got := decodeErr(""); got != nil {
+		t.Fatalf("decodeErr(\"\") = %v; want nil", got)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"bridge/internal/msg"
+	"bridge/internal/sim"
+)
+
+// A distributed server collection runs one health monitor per server, and
+// they can disagree (a partition may cut one server off from a node while
+// another still reaches it). Client.Health must aggregate across all
+// servers with the worst state winning per node — the regression was
+// asking only servers[0].
+func TestHealthAggregatesWorstAcrossServers(t *testing.T) {
+	rt := sim.NewVirtual()
+	net := msg.NewNetwork(rt, msg.Config{})
+
+	// Two fake servers with conflicting views of nodes 1..3.
+	views := [][]NodeHealth{
+		{{Node: 1, State: Healthy}, {Node: 2, State: Suspect}, {Node: 3, State: Healthy}},
+		{{Node: 1, State: Dead}, {Node: 2, State: Healthy}, {Node: 3, State: Suspect}},
+	}
+	addrs := make([]msg.Addr, len(views))
+	ports := make([]*msg.Port, len(views))
+	for i, v := range views {
+		v := v
+		addr := msg.Addr{Node: 0, Port: "fake-srv" + string(rune('a'+i))}
+		addrs[i] = addr
+		port := net.NewPort(addr)
+		ports[i] = port
+		rt.Go(addr.Port, func(p sim.Proc) {
+			msg.Serve(p, net, 0, port, func(proc sim.Proc, req *msg.Message) (any, int) {
+				if _, ok := req.Body.(HealthReq); !ok {
+					t.Errorf("fake server got %T", req.Body)
+				}
+				resp := HealthResp{States: v}
+				return resp, WireSize(resp)
+			})
+		})
+	}
+
+	var got []NodeHealth
+	var err error
+	rt.Go("health-client", func(p sim.Proc) {
+		c := NewMultiClient(p, net, 0, "health-cli", addrs)
+		defer c.Close()
+		got, err = c.Health()
+		for _, port := range ports {
+			port.Close()
+		}
+	})
+	if werr := rt.Wait(); werr != nil {
+		t.Fatalf("sim: %v", werr)
+	}
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	want := map[msg.NodeID]HealthState{1: Dead, 2: Suspect, 3: Suspect}
+	if len(got) != len(want) {
+		t.Fatalf("Health returned %d states, want %d: %+v", len(got), len(want), got)
+	}
+	for _, st := range got {
+		if st.State != want[st.Node] {
+			t.Errorf("node %d = %v, want %v (worst across servers)", st.Node, st.State, want[st.Node])
+		}
+	}
+}

@@ -265,6 +265,54 @@ type (
 	// SeqWriteResp acknowledges an append.
 	SeqWriteResp struct{ Err string }
 
+	// SeqReadNReq reads up to Max blocks at the caller's cursor in one
+	// request — the batched naive path. The server splits the run by the
+	// file's layout and issues one vectored LFS call per node, so all p
+	// disks seek concurrently. It carries an OpID because it advances the
+	// cursor: a retransmitted batch must replay the cached blocks, not
+	// advance twice.
+	SeqReadNReq struct {
+		Name string
+		Max  int
+		OpID uint64
+	}
+	// SeqReadNResp returns the payloads in file order; EOF is set when
+	// the cursor reached the end of the file.
+	SeqReadNResp struct {
+		Blocks [][]byte
+		EOF    bool
+		Err    string
+	}
+
+	// RandReadNReq reads Count blocks starting at BlockNum in one
+	// scatter-gather request.
+	RandReadNReq struct {
+		Name     string
+		BlockNum int64
+		Count    int
+	}
+	// RandReadNResp returns the payloads in file order.
+	RandReadNResp struct {
+		Blocks [][]byte
+		Err    string
+	}
+
+	// RandWriteNReq writes len(Blocks) consecutive blocks starting at
+	// BlockNum (append when BlockNum is -1 or equals the size) in one
+	// scatter-gather request. The OpID makes a retried batch safe.
+	RandWriteNReq struct {
+		Name     string
+		BlockNum int64
+		Blocks   [][]byte
+		OpID     uint64
+	}
+	// RandWriteNResp reports how many blocks from the front of the run
+	// landed; on partial failure Written counts the contiguous prefix.
+	RandWriteNResp struct {
+		Written int
+		Err     string
+	}
+
 	// RandReadReq reads block BlockNum.
 	RandReadReq struct {
 		Name     string
@@ -405,6 +453,30 @@ func WireSize(body any) int {
 		return 16 + len(b.Name) + len(b.Data)
 	case RandWriteReq:
 		return 24 + len(b.Name) + len(b.Data)
+	case SeqReadNReq:
+		return 24 + len(b.Name)
+	case SeqReadNResp:
+		n := 16
+		for _, blk := range b.Blocks {
+			n += 8 + len(blk)
+		}
+		return n
+	case RandReadNReq:
+		return 32 + len(b.Name)
+	case RandReadNResp:
+		n := 16
+		for _, blk := range b.Blocks {
+			n += 8 + len(blk)
+		}
+		return n
+	case RandWriteNReq:
+		n := 32 + len(b.Name)
+		for _, blk := range b.Blocks {
+			n += 8 + len(blk)
+		}
+		return n
+	case RandWriteNResp:
+		return 16
 	case WorkerData:
 		return 24 + len(b.Data)
 	case WorkerBlock:

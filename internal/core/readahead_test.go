@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bridge/internal/sim"
+)
+
+// raCfg is a fast cluster with the server read-ahead cache on.
+func raCfg(p, stripes int) ClusterConfig {
+	cfg := fastCfg(p)
+	cfg.Server = Config{ReadAhead: stripes}
+	return cfg
+}
+
+// A second client's writes and deletes must never let the first client's
+// read-ahead buffer serve stale data: every mutation invalidates the
+// file's windows (buffered and in-flight) before any block changes.
+func TestReadAheadNeverServesStaleData(t *testing.T) {
+	withCluster(t, raCfg(4, 2), func(p sim.Proc, cl *Cluster, a *Client) {
+		b := cl.NewClient(p, 0, "ra-cli-b")
+		defer b.Close()
+		const n = 40
+		if _, err := a.Create("f"); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			if err := a.SeqWrite("f", payload(i)); err != nil {
+				t.Fatalf("SeqWrite %d: %v", i, err)
+			}
+		}
+
+		// A warms its window (blocks 0..7 buffered, 8..15 prefetching).
+		if _, err := a.Open("f"); err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for i := 0; i < 4; i++ {
+			data, eof, err := a.SeqRead("f")
+			if err != nil || eof || !bytes.Equal(data, payload(i)) {
+				t.Fatalf("warm read %d: eof=%v err=%v", i, eof, err)
+			}
+		}
+
+		// B overwrites a block in A's buffered window, one in its
+		// in-flight prefetch, and one beyond both.
+		fresh := map[int]int{5: 105, 10: 110, 20: 120}
+		for _, blk := range []int{5, 10, 20} {
+			if err := b.WriteAt("f", int64(blk), payload(fresh[blk])); err != nil {
+				t.Fatalf("WriteAt %d: %v", blk, err)
+			}
+		}
+
+		// A's remaining reads must all reflect B's writes.
+		for i := 4; i < n; i++ {
+			want := payload(i)
+			if pay, hit := fresh[i]; hit {
+				want = payload(pay)
+			}
+			data, eof, err := a.SeqRead("f")
+			if err != nil || eof {
+				t.Fatalf("read %d: eof=%v err=%v", i, eof, err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("block %d: read-ahead served stale data", i)
+			}
+		}
+
+		// Batched path: A re-opens and reads a batch (rewarming the
+		// cache), B overwrites mid-stream, A's next batch must be fresh.
+		if _, err := a.Open("f"); err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		got, _, err := a.SeqReadN("f", 8)
+		if err != nil || len(got) != 8 {
+			t.Fatalf("SeqReadN warm: %d blocks, %v", len(got), err)
+		}
+		if err := b.WriteAt("f", 12, payload(212)); err != nil {
+			t.Fatalf("WriteAt 12: %v", err)
+		}
+		fresh[12] = 212
+		pos := 8
+		for pos < n {
+			batch, eof, err := a.SeqReadN("f", 8)
+			if err != nil {
+				t.Fatalf("SeqReadN at %d: %v", pos, err)
+			}
+			for _, data := range batch {
+				want := payload(pos)
+				if pay, hit := fresh[pos]; hit {
+					want = payload(pay)
+				}
+				if !bytes.Equal(data, want) {
+					t.Fatalf("batched block %d: stale data", pos)
+				}
+				pos++
+			}
+			if eof {
+				break
+			}
+		}
+		if pos != n {
+			t.Fatalf("batched read covered %d of %d blocks", pos, n)
+		}
+
+		// Delete + recreate under a warmed cache: A must see the new
+		// file's content, never the old one's.
+		if _, err := a.Open("f"); err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if _, _, err := a.SeqRead("f"); err != nil {
+			t.Fatalf("rewarm: %v", err)
+		}
+		if _, err := b.Delete("f"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if _, err := b.Create("f"); err != nil {
+			t.Fatalf("recreate: %v", err)
+		}
+		const m = 6
+		for i := 0; i < m; i++ {
+			if err := b.SeqWrite("f", payload(1000+i)); err != nil {
+				t.Fatalf("rewrite %d: %v", i, err)
+			}
+		}
+		if _, err := a.Open("f"); err != nil {
+			t.Fatalf("open new f: %v", err)
+		}
+		for i := 0; i < m; i++ {
+			data, eof, err := a.SeqRead("f")
+			if err != nil || eof {
+				t.Fatalf("new read %d: eof=%v err=%v", i, eof, err)
+			}
+			if !bytes.Equal(data, payload(1000+i)) {
+				t.Fatalf("block %d of recreated file: stale data", i)
+			}
+		}
+
+		// The cache must actually have been engaged for this test to
+		// mean anything.
+		stats := cl.Net.Stats()
+		if stats.Get("bridge.ra_hits") == 0 {
+			t.Error("no read-ahead hits recorded; cache never engaged")
+		}
+		if stats.Get("bridge.ra_invalidations") == 0 {
+			t.Error("no read-ahead invalidations recorded")
+		}
+	})
+}
+
+// Sequential reads through the cache must also work with several files and
+// interleaved cursors, and the stats must show the windows doing the work.
+func TestReadAheadBatchedRoundTrip(t *testing.T) {
+	withCluster(t, raCfg(4, 2), func(p sim.Proc, cl *Cluster, c *Client) {
+		const n = 30
+		for f := 0; f < 2; f++ {
+			name := fmt.Sprintf("g%d", f)
+			if _, err := c.Create(name); err != nil {
+				t.Fatalf("Create %s: %v", name, err)
+			}
+			for i := 0; i < n; i++ {
+				if err := c.SeqWrite(name, payload(f*100+i)); err != nil {
+					t.Fatalf("SeqWrite: %v", err)
+				}
+			}
+		}
+		// Interleave batched reads of the two files.
+		pos := [2]int{}
+		for pos[0] < n || pos[1] < n {
+			for f := 0; f < 2; f++ {
+				if pos[f] >= n {
+					continue
+				}
+				name := fmt.Sprintf("g%d", f)
+				blocks, _, err := c.SeqReadN(name, 5)
+				if err != nil {
+					t.Fatalf("SeqReadN %s at %d: %v", name, pos[f], err)
+				}
+				for _, data := range blocks {
+					if !bytes.Equal(data, payload(f*100+pos[f])) {
+						t.Fatalf("%s block %d corrupt", name, pos[f])
+					}
+					pos[f]++
+				}
+			}
+		}
+		if hits := cl.Net.Stats().Get("bridge.ra_hits"); hits == 0 {
+			t.Error("interleaved batched reads recorded no read-ahead hits")
+		}
+	})
+}

@@ -41,6 +41,11 @@ type Config struct {
 	// Health, when set, runs a heartbeat monitor over the storage nodes
 	// and fast-fails calls to nodes it has declared dead. Off by default.
 	Health *HealthConfig
+	// ReadAhead, when positive, buffers sequential reads in windows of
+	// ReadAhead stripes (ReadAhead×p blocks) per (client, file) and
+	// prefetches the next window asynchronously. Off by default so the
+	// naive per-block path keeps the paper's measured behavior.
+	ReadAhead int
 }
 
 func (c *Config) applyDefaults() {
@@ -75,6 +80,7 @@ type Server struct {
 
 	retry     *retrier       // nil = no LFS retransmission
 	health    *healthTracker // nil = no monitoring
+	ra        *raCache       // nil = no read-ahead
 	monStop   *msg.Port
 	nextLFSOp uint64
 	dedup     map[dedupKey]any
@@ -176,6 +182,9 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 		s.health = newHealthTracker(*cfg.Health)
 		s.startMonitor(rt)
 	}
+	if cfg.ReadAhead > 0 {
+		s.ra = newRACache(cfg.ReadAhead)
+	}
 	rt.Go(s.port.Addr().String(), func(p sim.Proc) { s.run(p) })
 	return s
 }
@@ -232,9 +241,13 @@ func opIDOf(body any) (uint64, bool) {
 		return b.OpID, true
 	case SeqReadReq:
 		return b.OpID, true
+	case SeqReadNReq:
+		return b.OpID, true
 	case SeqWriteReq:
 		return b.OpID, true
 	case RandWriteReq:
+		return b.OpID, true
+	case RandWriteNReq:
 		return b.OpID, true
 	case RepairNodeReq:
 		return b.OpID, true
@@ -252,9 +265,13 @@ func respErr(body any) string {
 		return b.Err
 	case SeqReadResp:
 		return b.Err
+	case SeqReadNResp:
+		return b.Err
 	case SeqWriteResp:
 		return b.Err
 	case RandWriteResp:
+		return b.Err
+	case RandWriteNResp:
 		return b.Err
 	case RepairNodeResp:
 		return b.Err
@@ -306,15 +323,24 @@ func (s *Server) handle(p sim.Proc, req *msg.Message) any {
 	case SeqReadReq:
 		data, eof, err := s.seqRead(p, req.From, r.Name)
 		return SeqReadResp{Data: data, EOF: eof, Err: errString(err)}
+	case SeqReadNReq:
+		blocks, eof, err := s.seqReadN(p, req.From, r.Name, r.Max)
+		return SeqReadNResp{Blocks: blocks, EOF: eof, Err: errString(err)}
 	case SeqWriteReq:
 		err := s.writeAt(p, r.Name, -1, r.Data)
 		return SeqWriteResp{Err: errString(err)}
 	case RandReadReq:
 		data, err := s.readAt(p, r.Name, r.BlockNum)
 		return RandReadResp{Data: data, Err: errString(err)}
+	case RandReadNReq:
+		blocks, err := s.readAtN(p, r.Name, r.BlockNum, r.Count)
+		return RandReadNResp{Blocks: blocks, Err: errString(err)}
 	case RandWriteReq:
 		err := s.writeAt(p, r.Name, r.BlockNum, r.Data)
 		return RandWriteResp{Err: errString(err)}
+	case RandWriteNReq:
+		written, err := s.writeAtN(p, r.Name, r.BlockNum, r.Blocks)
+		return RandWriteNResp{Written: written, Err: errString(err)}
 	case ParallelOpenReq:
 		return s.parallelOpen(p, r)
 	case ParallelReadReq:
@@ -456,6 +482,7 @@ func (s *Server) delete(p sim.Proc, name string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
+	s.raInvalidate(name)
 	op := lfs.DeleteReq{FileID: ent.meta.LFSFileID}
 	ids := make([]uint64, 0, len(ent.meta.Nodes))
 	for _, n := range ent.meta.Nodes {
@@ -665,6 +692,10 @@ func (s *Server) repairNode(p sim.Proc, idx int) (int, error) {
 		return 0, fmt.Errorf("%w: node index %d of %d", ErrBadArg, idx, len(s.nodes))
 	}
 	node := s.nodes[idx]
+	if s.ra != nil {
+		// Any buffered or in-flight block might predate the crash.
+		s.ra.invalidateAll(s)
+	}
 	names := make([]string, 0, len(s.dir))
 	for name := range s.dir {
 		names = append(names, name)
@@ -737,7 +768,19 @@ func (s *Server) seqRead(p sim.Proc, client msg.Addr, name string) ([]byte, bool
 		cur.readPos++
 		return payload, false, nil
 	}
-	data, err := s.lfsRead(p, ent, cur.readPos)
+	var (
+		data []byte
+		err  error
+	)
+	if s.ra != nil {
+		var blocks [][]byte
+		blocks, err = s.ra.read(p, s, ent, client, cur.readPos, 1)
+		if err == nil {
+			data = blocks[0]
+		}
+	} else {
+		data, err = s.lfsRead(p, ent, cur.readPos)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -752,6 +795,7 @@ func (s *Server) writeAt(p sim.Proc, name string, blockNum int64, payload []byte
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
+	s.raInvalidate(name)
 	if blockNum < 0 || blockNum == ent.meta.Blocks {
 		if ent.meta.Spec.Kind == distrib.Disordered {
 			return s.appendDisordered(p, ent, payload)
@@ -897,6 +941,7 @@ func (s *Server) parallelWrite(p sim.Proc, jobID uint64) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, j.name)
 	}
+	s.raInvalidate(j.name)
 	t := len(j.workers)
 	pWidth := ent.meta.Spec.P
 	written := 0

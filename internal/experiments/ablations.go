@@ -259,6 +259,52 @@ func ToolVsNaive(cfg Config, p int) ([]AccessMethodRow, error) {
 	}
 	rows = append(rows, AccessMethodRow{Method: "naive interface", P: p, Time: naiveTime, RecPerSec: recPerSec(cfg.Records, naiveTime)})
 
+	// Batched naive interface: the same sequential client, but moving
+	// runs of blocks per request (SeqReadN/AppendN) with server
+	// read-ahead, so every round trip drives all p disks.
+	var batchedTime time.Duration
+	bcfg := cfg
+	bcfg.ReadAhead = raStripes
+	err = runSim(p, bcfg, func(proc sim.Proc, cl *core.Cluster, c *core.Client) error {
+		if err := fill(proc, c, cfg, "src"); err != nil {
+			return err
+		}
+		if _, err := c.Create("dst"); err != nil {
+			return err
+		}
+		if _, err := c.Open("src"); err != nil {
+			return err
+		}
+		batch := 4 * p
+		start := proc.Now()
+		moved := 0
+		for {
+			blocks, eof, err := c.SeqReadN("src", batch)
+			if err != nil {
+				return err
+			}
+			if len(blocks) > 0 {
+				n, err := c.AppendN("dst", blocks)
+				if err != nil {
+					return err
+				}
+				moved += n
+			}
+			if eof {
+				break
+			}
+		}
+		if moved != cfg.Records {
+			return fmt.Errorf("batched copy moved %d, want %d", moved, cfg.Records)
+		}
+		batchedTime = proc.Now() - start
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("batched naive copy: %w", err)
+	}
+	rows = append(rows, AccessMethodRow{Method: "naive batched (vec)", P: p, Time: batchedTime, RecPerSec: recPerSec(cfg.Records, batchedTime)})
+
 	// Parallel-open job of width p: read rounds feed write rounds.
 	var jobTime time.Duration
 	err = runSim(p, cfg, func(proc sim.Proc, cl *core.Cluster, c *core.Client) error {

@@ -51,7 +51,16 @@ type Config struct {
 	// default (1h) dwarfs the longest legitimate full-scale operation;
 	// the fault experiment shortens it so failover is responsive.
 	LFSTimeout time.Duration
+	// ReadAhead enables the Bridge Server's sequential read-ahead cache
+	// (windows of ReadAhead stripes). 0 — the default, used by the
+	// paper-fidelity experiments — keeps the measured per-block behavior.
+	ReadAhead int
 }
+
+// raStripes is the read-ahead depth the batched-naive experiments use: two
+// stripes buffered per reader, so one window serves while the next
+// prefetches.
+const raStripes = 2
 
 func (c *Config) applyDefaults() {
 	if len(c.Ps) == 0 {
@@ -108,7 +117,7 @@ func clusterFor(rt sim.Runtime, p int, cfg Config) (*core.Cluster, error) {
 		},
 		// A full-scale delete legitimately takes minutes of simulated
 		// time at small p; the failure-detection timeout must dwarf it.
-		Server: core.Config{LFSTimeout: cfg.LFSTimeout},
+		Server: core.Config{LFSTimeout: cfg.LFSTimeout, ReadAhead: cfg.ReadAhead},
 	})
 }
 

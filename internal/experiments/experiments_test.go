@@ -180,15 +180,22 @@ func TestToolVsNaiveAblation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ToolVsNaive: %v", err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
 	}
-	// The tool must win; the naive p-node run should not beat it.
-	tool := rows[3]
-	for _, r := range rows[:3] {
+	// The tool must win against the paper's three methods. The batched
+	// naive row (rows[2]) is exempt: at tiny scale the tool's startup
+	// broadcast dominates and batching legitimately edges it out.
+	tool := rows[4]
+	for _, r := range []AccessMethodRow{rows[0], rows[1], rows[3]} {
 		if tool.Time >= r.Time {
 			t.Errorf("tool copy (%v) not faster than %s (%v)", tool.Time, r.Method, r.Time)
 		}
+	}
+	// Batching the naive interface must clearly beat the per-block one.
+	naive, batched := rows[1], rows[2]
+	if batched.Time*2 >= naive.Time {
+		t.Errorf("batched naive copy (%v) not ≥2x faster than per-block naive (%v)", batched.Time, naive.Time)
 	}
 	var buf bytes.Buffer
 	RenderAccessMethods(&buf, rows, cfg.Records)

@@ -26,6 +26,13 @@ type Table2Point struct {
 	// ReadSmallPerBlock is the amortized read cost on a file a quarter
 	// the size, exposing the startup term of Read = a + b*p/n.
 	ReadSmallPerBlock time.Duration
+	// ReadBatchPerBlock is the amortized sequential cost through the
+	// batched naive read (SeqReadN with server read-ahead): the same
+	// interface shape, but each request scatter-gathers a run of blocks
+	// across all p disks while the next window prefetches. Measured on a
+	// separate cluster so the per-block columns keep the paper's
+	// one-block-per-round-trip behavior.
+	ReadBatchPerBlock time.Duration
 }
 
 // Table2Result reproduces Table 2 of the paper.
@@ -66,6 +73,9 @@ func Table2(cfg Config) (*Table2Result, error) {
 		pt := Table2Point{P: p}
 		if err := measureTable2(p, cfg, &pt); err != nil {
 			return nil, fmt.Errorf("table2 p=%d: %w", p, err)
+		}
+		if err := measureTable2Batched(p, cfg, &pt); err != nil {
+			return nil, fmt.Errorf("table2 batched p=%d: %w", p, err)
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -212,6 +222,41 @@ func measureTable2(p int, cfg Config, pt *Table2Point) error {
 		}
 		pt.DeleteTotal = proc.Now() - start
 		pt.DeleteCoeff = float64(pt.DeleteTotal) / float64(time.Millisecond) * float64(p) / float64(n)
+		return nil
+	})
+}
+
+// measureTable2Batched reads the standard file through SeqReadN on a
+// cluster with read-ahead enabled — the batched-naive column. A separate
+// simulation keeps the cache from perturbing the per-block measurements.
+func measureTable2Batched(p int, cfg Config, pt *Table2Point) error {
+	bcfg := cfg
+	bcfg.ReadAhead = raStripes
+	return runSim(p, bcfg, func(proc sim.Proc, cl *core.Cluster, c *core.Client) error {
+		n := cfg.Records
+		if err := fill(proc, c, cfg, "f"); err != nil {
+			return err
+		}
+		if _, err := c.Open("f"); err != nil {
+			return err
+		}
+		batch := 4 * p
+		start := proc.Now()
+		got := 0
+		for {
+			blocks, eof, err := c.SeqReadN("f", batch)
+			if err != nil {
+				return err
+			}
+			got += len(blocks)
+			if eof {
+				break
+			}
+		}
+		if got != n {
+			return fmt.Errorf("batched read returned %d blocks, want %d", got, n)
+		}
+		pt.ReadBatchPerBlock = (proc.Now() - start) / time.Duration(n)
 		return nil
 	})
 }

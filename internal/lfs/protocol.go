@@ -162,6 +162,57 @@ type (
 		Status Status
 	}
 
+	// ReadVecReq reads a run of logical blocks in one request — the
+	// vectored read the Bridge Server uses for scatter-gather I/O. Blocks
+	// are read in order with the disk-address hint chained from block to
+	// block (the first uses Hint). Failures are reported per block, so a
+	// hole in the middle of a run does not hide the blocks after it.
+	ReadVecReq struct {
+		FileID uint32
+		Blocks []uint32
+		Hint   int32
+	}
+	// VecRead is one block's result within a ReadVecResp.
+	VecRead struct {
+		Data   []byte
+		Addr   int32
+		Status Status
+	}
+	// ReadVecResp returns one VecRead per requested block, in request
+	// order. Status covers the request as a whole (bad file id, unknown
+	// request); per-block failures live in the entries.
+	ReadVecResp struct {
+		Blocks []VecRead
+		Status Status
+	}
+
+	// VecWrite is one block of a WriteVecReq.
+	VecWrite struct {
+		BlockNum uint32
+		Data     []byte
+	}
+	// WriteVecReq writes a run of logical blocks in one request (appends
+	// when each BlockNum equals the file size as the run lands). A
+	// non-zero OpID dedups the whole vector exactly like WriteReq: a
+	// retransmitted copy that already executed replays the cached reply
+	// instead of re-running the writes.
+	WriteVecReq struct {
+		FileID uint32
+		Blocks []VecWrite
+		Hint   int32
+		OpID   uint64
+	}
+	// VecWritten is one block's result within a WriteVecResp.
+	VecWritten struct {
+		Addr   int32
+		Status Status
+	}
+	// WriteVecResp returns one VecWritten per block, in request order.
+	WriteVecResp struct {
+		Blocks []VecWritten
+		Status Status
+	}
+
 	// StatReq asks for a file's directory information.
 	StatReq struct{ FileID uint32 }
 	// StatResp returns it.
@@ -213,6 +264,22 @@ func WireSize(body any) int {
 		return 16 + len(b.Data)
 	case WriteResp:
 		return 12
+	case ReadVecReq:
+		return 16 + 4*len(b.Blocks)
+	case ReadVecResp:
+		n := 8
+		for _, v := range b.Blocks {
+			n += 8 + len(v.Data)
+		}
+		return n
+	case WriteVecReq:
+		n := 24
+		for _, v := range b.Blocks {
+			n += 8 + len(v.Data)
+		}
+		return n
+	case WriteVecResp:
+		return 8 + 8*len(b.Blocks)
 	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq, PingReq:
 		return 8
 	case UsageResp:

@@ -48,8 +48,9 @@ type Node struct {
 	fs *efs.FS
 
 	// Write dedup state, owned by the server process; reset on restart
-	// (in-memory state does not survive a crash).
-	dedup  map[writeKey]WriteResp
+	// (in-memory state does not survive a crash). Values are WriteResp or
+	// WriteVecResp.
+	dedup  map[writeKey]any
 	dedupQ []writeKey
 }
 
@@ -136,7 +137,7 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 		n.port.Close()
 		return
 	}
-	n.dedup = make(map[writeKey]WriteResp)
+	n.dedup = make(map[writeKey]any)
 	n.dedupQ = nil
 	for {
 		req, ok := n.port.Recv(p)
@@ -155,6 +156,16 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 			Size:  WireSize(body),
 		})
 	}
+}
+
+// dedupPut caches a successful write reply under the FIFO capacity bound.
+func (n *Node) dedupPut(key writeKey, resp any) {
+	if len(n.dedupQ) >= writeDedupCap {
+		delete(n.dedup, n.dedupQ[0])
+		n.dedupQ = n.dedupQ[1:]
+	}
+	n.dedup[key] = resp
+	n.dedupQ = append(n.dedupQ, key)
 }
 
 // handle executes one EFS operation.
@@ -178,12 +189,43 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 		addr, err := n.fs.WriteBlock(p, r.FileID, r.BlockNum, r.Data, r.Hint)
 		resp := WriteResp{Addr: addr, Status: statusFor(err)}
 		if r.OpID != 0 && err == nil {
-			if len(n.dedupQ) >= writeDedupCap {
-				delete(n.dedup, n.dedupQ[0])
-				n.dedupQ = n.dedupQ[1:]
+			n.dedupPut(key, resp)
+		}
+		return resp
+	case ReadVecReq:
+		resp := ReadVecResp{Blocks: make([]VecRead, len(r.Blocks))}
+		hint := r.Hint
+		for i, bn := range r.Blocks {
+			data, addr, err := n.fs.ReadBlock(p, r.FileID, bn, hint)
+			resp.Blocks[i] = VecRead{Data: data, Addr: addr, Status: statusFor(err)}
+			if err == nil {
+				// Chain the returned address as the next block's hint:
+				// consecutive local blocks usually sit near each other.
+				hint = addr
 			}
-			n.dedup[key] = resp
-			n.dedupQ = append(n.dedupQ, key)
+		}
+		return resp
+	case WriteVecReq:
+		key := writeKey{from: req.From, op: r.OpID}
+		if r.OpID != 0 {
+			if resp, hit := n.dedup[key]; hit {
+				return resp
+			}
+		}
+		resp := WriteVecResp{Blocks: make([]VecWritten, len(r.Blocks))}
+		hint := r.Hint
+		allOK := true
+		for i, w := range r.Blocks {
+			addr, err := n.fs.WriteBlock(p, r.FileID, w.BlockNum, w.Data, hint)
+			resp.Blocks[i] = VecWritten{Addr: addr, Status: statusFor(err)}
+			if err == nil {
+				hint = addr
+			} else {
+				allOK = false
+			}
+		}
+		if r.OpID != 0 && allOK {
+			n.dedupPut(key, resp)
 		}
 		return resp
 	case PingReq:
@@ -264,6 +306,30 @@ func (c *Client) Write(node msg.NodeID, fileID, blockNum uint32, data []byte, hi
 	}
 	r := m.Body.(WriteResp)
 	return r.Addr, r.Status.Err()
+}
+
+// ReadVec reads a run of blocks in one request; results come back per
+// block, in request order.
+func (c *Client) ReadVec(node msg.NodeID, fileID uint32, blocks []uint32, hint int32) ([]VecRead, error) {
+	req := ReadVecReq{FileID: fileID, Blocks: blocks, Hint: hint}
+	m, err := c.C.Call(lfsAddr(node), req, WireSize(req))
+	if err != nil {
+		return nil, err
+	}
+	r := m.Body.(ReadVecResp)
+	return r.Blocks, r.Status.Err()
+}
+
+// WriteVec writes a run of blocks in one request; results come back per
+// block, in request order.
+func (c *Client) WriteVec(node msg.NodeID, fileID uint32, blocks []VecWrite, hint int32) ([]VecWritten, error) {
+	req := WriteVecReq{FileID: fileID, Blocks: blocks, Hint: hint}
+	m, err := c.C.Call(lfsAddr(node), req, WireSize(req))
+	if err != nil {
+		return nil, err
+	}
+	r := m.Body.(WriteVecResp)
+	return r.Blocks, r.Status.Err()
 }
 
 // Stat returns a file's directory information.

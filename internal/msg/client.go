@@ -27,6 +27,9 @@ type Client struct {
 	proc    sim.Proc
 	nextReq uint64
 	pending map[uint64]*Message
+	// discard holds correlation ids the caller abandoned with Discard;
+	// their replies are dropped on receipt instead of parked in pending.
+	discard map[uint64]struct{}
 }
 
 // NewClient creates a client for proc, homed on the given node. The name
@@ -71,6 +74,32 @@ func (c *Client) Start(to Addr, body any, size int) (uint64, error) {
 	return id, nil
 }
 
+// Discard abandons an outstanding request started with Start: a reply
+// already parked in the pending set is dropped, and a future reply is
+// dropped on receipt. Callers that start requests they may never await
+// (an invalidated read-ahead prefetch, a retransmitted call's original)
+// must discard them so stale replies cannot accumulate or be mistaken
+// for current ones.
+func (c *Client) Discard(id uint64) {
+	if _, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		return
+	}
+	if c.discard == nil {
+		c.discard = make(map[uint64]struct{})
+	}
+	c.discard[id] = struct{}{}
+}
+
+// park stores a reply for a later Await, unless its id was discarded.
+func (c *Client) park(m *Message) {
+	if _, dead := c.discard[m.ReqID]; dead {
+		delete(c.discard, m.ReqID)
+		return
+	}
+	c.pending[m.ReqID] = m
+}
+
 // Await blocks until the reply with the given correlation id arrives.
 func (c *Client) Await(id uint64) (*Message, error) {
 	if m, ok := c.pending[id]; ok {
@@ -85,7 +114,7 @@ func (c *Client) Await(id uint64) (*Message, error) {
 		if m.ReqID == id {
 			return m, nil
 		}
-		c.pending[m.ReqID] = m
+		c.park(m)
 	}
 }
 
@@ -111,7 +140,7 @@ func (c *Client) AwaitTimeout(id uint64, d time.Duration) (*Message, error) {
 		if m.ReqID == id {
 			return m, nil
 		}
-		c.pending[m.ReqID] = m
+		c.park(m)
 	}
 }
 
