@@ -334,8 +334,12 @@ func (s *Server) seqReadN(p sim.Proc, client msg.Addr, name string, max int) ([]
 }
 
 // readChainN follows a disordered chain for count blocks, using (and
-// updating) the cursor's chain position.
+// updating) the cursor's chain position. A mid-batch error discards the
+// partial result, so the cursor's chain state is restored to its entry
+// value: the caller leaves readPos unchanged on error, and the invariant
+// that chain points at block readPos must hold for the retry.
 func (s *Server) readChainN(p sim.Proc, ent *dirent, cur *cursor, count int) ([][]byte, error) {
+	savedChain, savedValid := cur.chain, cur.chainValid
 	out := make([][]byte, 0, count)
 	for i := 0; i < count; i++ {
 		var (
@@ -350,6 +354,7 @@ func (s *Server) readChainN(p sim.Proc, ent *dirent, cur *cursor, count int) ([]
 			payload, next, hasNext, err = s.readChainAt(p, ent, cur.readPos+int64(i))
 		}
 		if err != nil {
+			cur.chain, cur.chainValid = savedChain, savedValid
 			return nil, err
 		}
 		cur.chain, cur.chainValid = next, hasNext

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"bridge/internal/efs"
+	"bridge/internal/fault"
+	"bridge/internal/sim"
+)
+
+// TestSeqReadNChainCursorSurvivesMidBatchError regresses a cursor
+// corruption: readChainN advanced the cursor's chain position per block but
+// discarded every block on a mid-batch error, so after a transient failure
+// on a disordered file the next sequential read silently served block
+// readPos+i as block readPos. One subtest per faulted node — wherever in
+// the chain the fault lands, a retry after it clears must resume at the
+// cursor with the right bytes.
+func TestSeqReadNChainCursorSurvivesMidBatchError(t *testing.T) {
+	const n = 12
+	for victim := 0; victim < 3; victim++ {
+		t.Run(fmt.Sprintf("victim-n%d", victim+1), func(t *testing.T) {
+			rt := sim.NewVirtual()
+			cfg := fastCfg(3)
+			// A one-block EFS cache forces chain reads to the disk, where
+			// the injector can fail them.
+			cfg.Node.EFS = efs.Options{CacheBlocks: 1}
+			cl, err := StartCluster(rt, cfg)
+			if err != nil {
+				t.Fatalf("StartCluster: %v", err)
+			}
+			inj := fault.New(1)
+			inj.AttachDisk(cl.Nodes[victim].Disk, "victim")
+			rt.Go("test-client", func(p sim.Proc) {
+				defer cl.Stop()
+				c := cl.NewClient(p, 0, "test-cli")
+				defer c.Close()
+				c.CreateDisordered("d")
+				for i := 0; i < n; i++ {
+					if err := c.SeqWrite("d", payload(i)); err != nil {
+						t.Errorf("SeqWrite %d: %v", i, err)
+						return
+					}
+				}
+				if _, err := c.Open("d"); err != nil {
+					t.Errorf("Open: %v", err)
+					return
+				}
+				// Position the cursor mid-chain so the failing batch has a
+				// chain position to corrupt.
+				for i := 0; i < 2; i++ {
+					data, _, err := c.SeqRead("d")
+					if err != nil || !bytes.Equal(data, payload(i)) {
+						t.Errorf("SeqRead %d: %v", i, err)
+						return
+					}
+				}
+				// Every disk read on the victim fails inside the window, so
+				// the batch dies once the chain reaches one of its blocks.
+				from := p.Now()
+				inj.DiskWindow(from, from+10*time.Second, "victim", fault.DiskFaults{ReadErrProb: 1})
+				if blocks, _, err := c.SeqReadN("d", n); err == nil {
+					t.Errorf("SeqReadN with faulted n%d succeeded (%d blocks)", victim+1, len(blocks))
+					return
+				}
+				p.Sleep(11 * time.Second)
+				// The retry must resume at the cursor (block 2), not at
+				// wherever the failed batch abandoned the chain.
+				blocks, eof, err := c.SeqReadN("d", n)
+				if err != nil {
+					t.Errorf("SeqReadN after fault window: %v", err)
+					return
+				}
+				if !eof || len(blocks) != n-2 {
+					t.Errorf("retry returned %d blocks, eof=%v; want %d, true", len(blocks), eof, n-2)
+					return
+				}
+				for i, b := range blocks {
+					if !bytes.Equal(b, payload(2+i)) {
+						t.Errorf("retry block %d = %.10q, want payload(%d)", 2+i, b, 2+i)
+					}
+				}
+			})
+			if err := rt.Wait(); err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+		})
+	}
+}

@@ -67,9 +67,12 @@ func (c *raCache) window(ent *dirent) int {
 }
 
 // read serves count blocks at pos for one sequential reader, from the
-// buffer when possible (ra_hits), gathering a prefetch that covers pos, or
-// falling back to a synchronous window fetch (ra_misses). Callers
-// guarantee pos+count is within the file.
+// buffer when possible, gathering a prefetch that covers pos, or falling
+// back to a synchronous window fetch. Both bridge.ra_hits and
+// bridge.ra_misses count blocks served: a hit was already buffered (or
+// covered by an in-flight prefetch) when requested, a miss had to wait for
+// a synchronous fetch — so hits/(hits+misses) is the cache hit rate.
+// Callers guarantee pos+count is within the file.
 func (c *raCache) read(p sim.Proc, s *Server, ent *dirent, client msg.Addr, pos int64, count int) ([][]byte, error) {
 	key := raKey{client: client, name: ent.meta.Name}
 	e, ok := c.entries[key]
@@ -110,9 +113,20 @@ func (c *raCache) read(p sim.Proc, s *Server, ent *dirent, client msg.Addr, pos 
 		if err != nil {
 			return nil, err
 		}
-		s.net.Stats().Add("bridge.ra_misses", 1)
 		e.start, e.blocks = pos, blocks
 		c.prefetch(s, ent, e)
+		// The blocks this request takes from the fresh window had to wait
+		// for the fetch, so they count as misses (per block, matching the
+		// ra_hits unit); the window's remainder serves later requests as
+		// hits, which is the read-ahead payoff.
+		n := int64(len(blocks))
+		if int64(count) < n {
+			n = int64(count)
+		}
+		out = append(out, blocks[:n]...)
+		s.net.Stats().Add("bridge.ra_misses", n)
+		pos += n
+		count -= int(n)
 	}
 	return out, nil
 }

@@ -182,7 +182,12 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 	case WriteReq:
 		key := writeKey{from: req.From, op: r.OpID}
 		if r.OpID != 0 {
-			if resp, hit := n.dedup[key]; hit {
+			// A hit must be the same op kind; a cached WriteVecResp under
+			// this key means the key was reused across kinds (e.g. the
+			// core server's op counter reset across a restart while this
+			// node kept its cache), so re-execute rather than reply with
+			// a body the caller cannot type-assert.
+			if resp, hit := n.dedup[key].(WriteResp); hit {
 				return resp
 			}
 		}
@@ -208,7 +213,9 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 	case WriteVecReq:
 		key := writeKey{from: req.From, op: r.OpID}
 		if r.OpID != 0 {
-			if resp, hit := n.dedup[key]; hit {
+			// Kind-checked like WriteReq: a cached WriteResp under this
+			// key is a cross-kind key reuse, not a retransmission.
+			if resp, hit := n.dedup[key].(WriteVecResp); hit {
 				return resp
 			}
 		}

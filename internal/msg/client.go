@@ -29,8 +29,19 @@ type Client struct {
 	pending map[uint64]*Message
 	// discard holds correlation ids the caller abandoned with Discard;
 	// their replies are dropped on receipt instead of parked in pending.
-	discard map[uint64]struct{}
+	// Bounded by discardCap (FIFO eviction via discardQ) because an
+	// abandoned request's reply often never arrives at all — the request
+	// or reply was dropped by the network — and the entry would otherwise
+	// leak forever.
+	discard  map[uint64]struct{}
+	discardQ []uint64
 }
+
+// discardCap bounds the abandoned-request set. Evicting a live entry only
+// matters if its reply later arrives, which then parks in pending like any
+// other stale reply; the cap only needs to cover replies that may still be
+// in flight.
+const discardCap = 1024
 
 // NewClient creates a client for proc, homed on the given node. The name
 // must be unique on that node.
@@ -88,7 +99,29 @@ func (c *Client) Discard(id uint64) {
 	if c.discard == nil {
 		c.discard = make(map[uint64]struct{})
 	}
+	if _, ok := c.discard[id]; ok {
+		return
+	}
+	// Evict oldest-first past the cap; queue entries already resolved by a
+	// reply (removed from the map in park) are skipped for free.
+	for len(c.discard) >= discardCap && len(c.discardQ) > 0 {
+		old := c.discardQ[0]
+		c.discardQ = c.discardQ[1:]
+		delete(c.discard, old)
+	}
 	c.discard[id] = struct{}{}
+	c.discardQ = append(c.discardQ, id)
+	if len(c.discardQ) >= 2*discardCap {
+		// Compact queue slots whose entries a reply already resolved, so
+		// the queue stays O(discardCap) even when replies do arrive.
+		live := c.discardQ[:0]
+		for _, q := range c.discardQ {
+			if _, ok := c.discard[q]; ok {
+				live = append(live, q)
+			}
+		}
+		c.discardQ = live
+	}
 }
 
 // park stores a reply for a later Await, unless its id was discarded.
