@@ -42,6 +42,7 @@ import (
 	"bridge/internal/core"
 	"bridge/internal/disk"
 	"bridge/internal/distrib"
+	"bridge/internal/efs"
 	"bridge/internal/fault"
 	"bridge/internal/lfs"
 	"bridge/internal/msg"
@@ -91,6 +92,12 @@ type (
 	// FaultInjector deterministically injects message and disk faults and
 	// drives node crash/restart schedules; see NewFaultInjector.
 	FaultInjector = fault.Injector
+	// CheckReport is one node's fsck result.
+	CheckReport = efs.CheckReport
+	// ScrubReport is one node's scrub sweep result.
+	ScrubReport = efs.ScrubReport
+	// ScrubConfig tunes the per-node background scrubber; see Config.Scrub.
+	ScrubConfig = lfs.ScrubConfig
 )
 
 // Health states, re-exported.
@@ -134,6 +141,10 @@ var (
 	ErrTooManyFailures = replica.ErrTooManyFailures
 	// ErrInjected marks disk errors produced by a FaultInjector.
 	ErrInjected = fault.ErrInjected
+	// ErrCorrupt reports a block whose checksum did not verify. Mirrored
+	// and parity-protected files self-heal (read-repair); reads of
+	// unreplicated files fail with this error naming the node and block.
+	ErrCorrupt = core.ErrCorrupt
 )
 
 // NewFaultInjector creates a deterministic fault injector seeded for exact
@@ -195,6 +206,13 @@ type Config struct {
 	// against the cluster. Scheduled events only fire while the session
 	// runs — sleep past the last event inside Run if needed.
 	Fault *FaultInjector
+	// Scrub enables each node's background scrubber: whenever the LFS is
+	// idle for Scrub.Interval of simulated time it verifies a budgeted run
+	// of block checksums against the medium, in deterministic block order.
+	// Confirmed corruption is invalidated from the node's cache, so the
+	// next read surfaces ErrCorrupt and (for replicated files) read-repair.
+	// Use &ScrubConfig{} for the defaults.
+	Scrub *ScrubConfig
 }
 
 // System is a configured Bridge cluster, ready to Run.
@@ -246,7 +264,7 @@ func (s *System) Run(fn func(*Session) error) error {
 	}
 	cl, err := core.StartCluster(rt, core.ClusterConfig{
 		P:       s.cfg.Nodes,
-		Node:    lfs.Config{DiskBlocks: s.cfg.DiskBlocks, Timing: timing},
+		Node:    lfs.Config{DiskBlocks: s.cfg.DiskBlocks, Timing: timing, Scrub: s.cfg.Scrub},
 		Servers: s.cfg.Servers,
 		Server: core.Config{
 			LFSTimeout: s.cfg.LFSTimeout,
@@ -493,6 +511,22 @@ func (s *Session) RepairNode(i int) (int, error) { return s.c.RepairNode(i) }
 // Health returns the monitored state of every storage node (requires
 // Config.Health; without it all nodes report Healthy).
 func (s *Session) Health() ([]NodeHealth, error) { return s.c.Health() }
+
+// Fsck runs a full consistency check of storage node i's local file system
+// — superblock, directory, bitmap, chain invariants, and block checksums —
+// and returns the findings without modifying anything.
+func (s *Session) Fsck(i int) (CheckReport, error) { return s.c.Fsck(i) }
+
+// FsckRepair runs Fsck and repairs what it safely can (rebuilding the
+// allocation bitmap from the reachable chains), returning the report and
+// the number of fixes applied.
+func (s *Session) FsckRepair(i int) (CheckReport, int, error) { return s.c.FsckRepair(i) }
+
+// Scrub runs one full scrub sweep of storage node i synchronously and
+// returns what it found. Corrupt blocks are invalidated from the node's
+// cache so subsequent reads detect and (for replicated files) repair them;
+// the sweep itself does not rewrite data. Independent of Config.Scrub.
+func (s *Session) Scrub(i int) (ScrubReport, error) { return s.c.Scrub(i) }
 
 // OpenMirror reopens an existing mirrored file.
 func (s *Session) OpenMirror(name string) (*Mirror, error) {

@@ -33,7 +33,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table2, table3, table4, placement, createtree, popen, methods, disordered, servers, utilization, model, faults")
+		exp     = flag.String("exp", "all", "experiment: all, table2, table3, table4, placement, createtree, popen, methods, disordered, servers, utilization, model, faults, scrub, corruption")
 		records = flag.Int("records", 0, "records per workload file (0 = paper's 10240)")
 		inCore  = flag.Int("incore", 0, "sort tool in-core buffer in records (0 = paper's 512)")
 		psFlag  = flag.String("ps", "", "comma-separated processor sweep (default 2,4,8,16,32)")
@@ -182,6 +182,30 @@ func run() error {
 			return err
 		}
 		experiments.RenderFaults(w, rep)
+		done()
+	}
+	// The integrity experiments sweep p ∈ {2, 4, 8}: the recovery pipeline's
+	// shape is established well before the full paper sweep.
+	icfg := cfg
+	if *psFlag == "" {
+		icfg.Ps = []int{2, 4, 8}
+	}
+	if want("scrub") {
+		done := section("Integrity: scrub overhead on the batched naive read")
+		pts, err := experiments.ScrubOverhead(icfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderScrubOverhead(w, pts, icfg.Records)
+		done()
+	}
+	if want("corruption") {
+		done := section("Integrity: silent-corruption recovery")
+		pts, err := experiments.CorruptionRecovery(icfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderCorruption(w, pts)
 		done()
 	}
 	return nil

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bridgeperf [-out BENCH_pr3.json] [-check BENCH_pr3.json] [-tolerance 0.10]
+//	bridgeperf [-out BENCH_pr4.json] [-check BENCH_pr4.json] [-tolerance 0.10]
 //
 // Because every metric is simulated time, runs are exactly reproducible:
 // the committed baseline only changes when the code's performance does.
@@ -22,7 +22,7 @@ import (
 	"bridge/internal/experiments"
 )
 
-// Report is the BENCH_pr3.json schema. All *SimMs fields are simulated
+// Report is the BENCH_pr4.json schema. All *SimMs fields are simulated
 // milliseconds (lower is better); RecPerSec is simulated throughput
 // (higher is better).
 type Report struct {
@@ -39,6 +39,11 @@ type Report struct {
 	WriteBlkSimMs  float64 `json:"write_blk_sim_ms"`
 	CreateSimMs    float64 `json:"create_sim_ms"`
 	DeleteTotSimMs float64 `json:"delete_total_sim_ms"`
+
+	// Integrity costs: the same batched read with every node's idle-time
+	// scrubber running, and the fraction it adds over the plain run.
+	BatchedReadScrubBlkSimMs float64 `json:"batched_read_scrub_blk_sim_ms"`
+	ScrubOverheadFrac        float64 `json:"scrub_overhead_frac"`
 }
 
 func main() {
@@ -52,7 +57,7 @@ func simMs(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 func run() error {
 	var (
-		out       = flag.String("out", "BENCH_pr3.json", "where to write the metrics report")
+		out       = flag.String("out", "BENCH_pr4.json", "where to write the metrics report")
 		check     = flag.String("check", "", "baseline report to compare against (empty = no comparison)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression per metric")
 	)
@@ -72,9 +77,14 @@ func run() error {
 		return fmt.Errorf("table3: %w", err)
 	}
 	cp := copyRows[0]
+	scrub, err := experiments.ScrubOverhead(cfg)
+	if err != nil {
+		return fmt.Errorf("scrub overhead: %w", err)
+	}
+	so := scrub[0]
 
 	rep := Report{
-		PR:                  3,
+		PR:                  4,
 		Scale:               "quick",
 		P:                   p,
 		NaiveReadBlkSimMs:   simMs(pt.ReadPerBlock),
@@ -84,6 +94,9 @@ func run() error {
 		WriteBlkSimMs:       simMs(pt.WritePerBlock),
 		CreateSimMs:         simMs(pt.CreateTime),
 		DeleteTotSimMs:      simMs(pt.DeleteTotal),
+
+		BatchedReadScrubBlkSimMs: simMs(so.Scrubbed),
+		ScrubOverheadFrac:        so.Overhead(),
 	}
 	if rep.BatchedReadBlkSimMs > 0 {
 		rep.BatchedReadSpeedup = rep.NaiveReadBlkSimMs / rep.BatchedReadBlkSimMs
@@ -97,13 +110,19 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
-		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup, rep.CopyToolSimMs, rep.CopyRecPerSec, *out)
+	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
+		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup,
+		rep.BatchedReadScrubBlkSimMs, 100*rep.ScrubOverheadFrac, rep.CopyToolSimMs, rep.CopyRecPerSec, *out)
 
 	// Headline gate: the batched naive read must stay >= 3x cheaper per
 	// block than the per-block naive read at p=8.
 	if rep.BatchedReadSpeedup < 3.0 {
 		return fmt.Errorf("batched read speedup %.2fx fell below the required 3x", rep.BatchedReadSpeedup)
+	}
+	// Integrity gate: checksums + the idle-time scrubber may cost at most
+	// 5% on the batched naive read path at p=8.
+	if rep.ScrubOverheadFrac > 0.05 {
+		return fmt.Errorf("scrub overhead %.1f%% on the batched read exceeds the 5%% budget", 100*rep.ScrubOverheadFrac)
 	}
 	if *check == "" {
 		return nil
@@ -128,6 +147,7 @@ func run() error {
 		{"write_blk_sim_ms", rep.WriteBlkSimMs, base.WriteBlkSimMs},
 		{"create_sim_ms", rep.CreateSimMs, base.CreateSimMs},
 		{"delete_total_sim_ms", rep.DeleteTotSimMs, base.DeleteTotSimMs},
+		{"batched_read_scrub_blk_sim_ms", rep.BatchedReadScrubBlkSimMs, base.BatchedReadScrubBlkSimMs},
 	}
 	var failed bool
 	for _, m := range lower {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bridge/internal/distrib"
+	"bridge/internal/efs"
 	"bridge/internal/msg"
 	"bridge/internal/sim"
 )
@@ -150,7 +151,7 @@ func (c *Client) callOnce(to msg.Addr, body any) (*msg.Message, error) {
 // sentinels used to reconstruct typed errors from transported strings.
 var sentinels = []error{
 	ErrNotFound, ErrExists, ErrEOF, ErrBadBlock, ErrNoJob, ErrBadArg,
-	ErrNodeDown, ErrLFSFailed, distrib.ErrNeedSize,
+	ErrNodeDown, ErrLFSFailed, efs.ErrCorrupt, distrib.ErrNeedSize,
 }
 
 // decodeErr rebuilds a sentinel-wrapped error from its transported string
@@ -177,6 +178,13 @@ func decodeErr(s string) error {
 		}
 	}
 	if best != nil {
+		if errors.Is(best, ErrLFSFailed) && strings.Contains(s, efs.ErrCorrupt.Error()) {
+			// An LFS failure whose detail is the corrupt-volume status is
+			// genuinely both: the transport classification (ErrLFSFailed)
+			// and an integrity failure. Wrap both so errors.Is matches
+			// either — read-repair keys on the ErrCorrupt side.
+			return fmt.Errorf("%w: %w (%s)", best, efs.ErrCorrupt, s)
+		}
 		return fmt.Errorf("%w (%s)", best, s)
 	}
 	return errors.New(s)
@@ -401,6 +409,38 @@ func (c *Client) RepairNode(i int) (int, error) {
 		}
 	}
 	return total, nil
+}
+
+// Fsck runs the LFS-level consistency checker on storage node index i. The
+// request routes to the first server (any server can reach any node).
+func (c *Client) Fsck(i int) (efs.CheckReport, error) {
+	m, err := c.callAt(c.servers[0], FsckReq{Node: i})
+	if err != nil {
+		return efs.CheckReport{}, err
+	}
+	r := m.Body.(FsckResp)
+	return r.Report, decodeErr(r.Err)
+}
+
+// FsckRepair runs the checker with bitmap repair on storage node index i,
+// returning the post-repair report and the number of bitmap corrections.
+func (c *Client) FsckRepair(i int) (efs.CheckReport, int, error) {
+	m, err := c.callAt(c.servers[0], FsckReq{Node: i, Repair: true, OpID: c.opID()})
+	if err != nil {
+		return efs.CheckReport{}, 0, err
+	}
+	r := m.Body.(FsckResp)
+	return r.Report, r.Fixes, decodeErr(r.Err)
+}
+
+// Scrub runs a full checksum-verification sweep on storage node index i.
+func (c *Client) Scrub(i int) (efs.ScrubReport, error) {
+	m, err := c.callAt(c.servers[0], ScrubReq{Node: i})
+	if err != nil {
+		return efs.ScrubReport{}, err
+	}
+	r := m.Body.(ScrubResp)
+	return r.Report, decodeErr(r.Err)
 }
 
 // GetInfo returns the cluster structure: the entry point for tools.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"bridge/internal/distrib"
@@ -31,6 +32,13 @@ func TestDecodeErrRoundTripsEverySentinel(t *testing.T) {
 			if other == base {
 				continue
 			}
+			if errors.Is(base, ErrLFSFailed) && errors.Is(other, ErrCorrupt) {
+				// The one deliberate exception: an LFS failure whose
+				// detail carries the corrupt-volume status decodes as
+				// both, so read-repair can classify it (covered by
+				// TestDecodeErrCorruptDualWrap).
+				continue
+			}
 			tangled := fmt.Errorf("%w: upstream said %q", base, other.Error())
 			got = decodeErr(errString(tangled))
 			if !errors.Is(got, base) {
@@ -42,6 +50,41 @@ func TestDecodeErrRoundTripsEverySentinel(t *testing.T) {
 					tangled.Error(), other, base)
 			}
 		}
+	}
+}
+
+// An LFS failure whose detail is the LFS's own corrupt-volume status must
+// decode as BOTH ErrLFSFailed and ErrCorrupt — that mention is the
+// classification, not a quotation — with the wrapped detail text preserved.
+// Any other sentinel mentioning the corrupt text stays single-classified.
+func TestDecodeErrCorruptDualWrap(t *testing.T) {
+	// The shape lfsRead produces for an unreplicated corrupt block.
+	s := fmt.Errorf("%w: node 3 lfs file 9 local block 4 (global block 31): %v",
+		ErrLFSFailed, fmt.Errorf("%w: checksum mismatch at block 118", ErrCorrupt)).Error()
+	got := decodeErr(s)
+	if !errors.Is(got, ErrLFSFailed) {
+		t.Fatalf("decodeErr(%q) = %v; want ErrLFSFailed", s, got)
+	}
+	if !errors.Is(got, ErrCorrupt) {
+		t.Fatalf("decodeErr(%q) = %v; want ErrCorrupt too", s, got)
+	}
+	for _, detail := range []string{"node 3", "local block 4", "global block 31", "checksum mismatch at block 118"} {
+		if !strings.Contains(got.Error(), detail) {
+			t.Errorf("decoded error %q lost detail %q", got, detail)
+		}
+	}
+
+	// A bare corrupt status round-trips on its own.
+	s = fmt.Errorf("%w: checksum mismatch in directory bucket at block 2", ErrCorrupt).Error()
+	if got := decodeErr(s); !errors.Is(got, ErrCorrupt) || errors.Is(got, ErrLFSFailed) {
+		t.Fatalf("decodeErr(%q) = %v; want ErrCorrupt only", s, got)
+	}
+
+	// A non-LFS sentinel that merely quotes the corrupt text does NOT pick
+	// up the integrity classification.
+	s = fmt.Errorf("%w: upstream said %q", ErrNotFound, ErrCorrupt.Error()).Error()
+	if got := decodeErr(s); errors.Is(got, ErrCorrupt) {
+		t.Fatalf("decodeErr(%q) = %v; ErrNotFound mention must not dual-wrap", s, got)
 	}
 }
 

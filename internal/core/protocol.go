@@ -52,6 +52,12 @@ var (
 	ErrNodeDown = errors.New("bridge: node marked down")
 )
 
+// ErrCorrupt is efs.ErrCorrupt re-exported: a block failed checksum
+// verification somewhere beneath a Bridge operation. It survives transport
+// (decodeErr re-wraps it), so clients can classify integrity failures with
+// errors.Is even when another sentinel is the primary classification.
+var ErrCorrupt = efs.ErrCorrupt
+
 // BlockHeader is the 40-byte Bridge header at the front of every block's
 // data area. Because the stored pointers are (block-number, LFS-instance)
 // pairs rather than raw disk addresses, a tool that copies blocks verbatim
@@ -419,6 +425,31 @@ type (
 		Err   string
 	}
 
+	// FsckReq runs the LFS-level consistency checker on storage node
+	// index Node; Repair also rebuilds the node's allocation bitmap from
+	// its file chains.
+	FsckReq struct {
+		Node   int
+		Repair bool
+		OpID   uint64
+	}
+	// FsckResp returns the node's report and, after a repair, the number
+	// of bitmap corrections.
+	FsckResp struct {
+		Report efs.CheckReport
+		Fixes  int
+		Err    string
+	}
+
+	// ScrubReq runs a full checksum-verification sweep over every
+	// allocated block on storage node index Node.
+	ScrubReq struct{ Node int }
+	// ScrubResp returns the sweep report.
+	ScrubResp struct {
+		Report efs.ScrubReport
+		Err    string
+	}
+
 	// WorkerData is the one-way message a job read sends to a worker.
 	WorkerData struct {
 		JobID uint64
@@ -493,6 +524,14 @@ func WireSize(body any) int {
 		return 16 + len(b.Name) + 8*len(b.Workers)
 	case GetInfoResp:
 		return 64
+	case FsckResp:
+		n := 24
+		for _, p := range b.Report.Problems {
+			n += len(p)
+		}
+		return n
+	case ScrubResp:
+		return 24 + 12*len(b.Report.Errors)
 	default:
 		return 24
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"bridge/internal/sim"
@@ -139,6 +141,105 @@ func TestReadAheadNeverServesStaleData(t *testing.T) {
 
 		// The cache must actually have been engaged for this test to
 		// mean anything.
+		stats := cl.Net.Stats()
+		if stats.Get("bridge.ra_hits") == 0 {
+			t.Error("no read-ahead hits recorded; cache never engaged")
+		}
+		if stats.Get("bridge.ra_invalidations") == 0 {
+			t.Error("no read-ahead invalidations recorded")
+		}
+	})
+}
+
+// A read-ahead window prefetched before silent corruption lands must be
+// invalidated when read-repair rewrites the block: the repair write goes
+// through the ordinary writeAt path, whose invalidation covers buffered and
+// in-flight windows alike. The "repair" here is exactly what the replica
+// layer's read-repair does under the hood — a WriteAt of the recovered copy
+// — issued with distinct bytes so serving the stale window is observable.
+func TestReadAheadInvalidatedByReadRepair(t *testing.T) {
+	withCluster(t, raCfg(4, 2), func(p sim.Proc, cl *Cluster, a *Client) {
+		b := cl.NewClient(p, 0, "rr-cli-b")
+		defer b.Close()
+		const n = 24
+		if _, err := a.Create("f"); err != nil {
+			t.Errorf("Create: %v", err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if err := a.SeqWrite("f", payload(i)); err != nil {
+				t.Errorf("SeqWrite %d: %v", i, err)
+				return
+			}
+		}
+		// A warms its window: blocks 0..7 buffered, 8..15 prefetching.
+		if _, err := a.Open("f"); err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			data, eof, err := a.SeqRead("f")
+			if err != nil || eof || !bytes.Equal(data, payload(i)) {
+				t.Errorf("warm read %d: eof=%v err=%v", i, eof, err)
+				return
+			}
+		}
+		// Silent bitrot lands on the medium AFTER the window was prefetched:
+		// global block 5 is node 1's second data-region arrival (node 1
+		// receives blocks 1, 5, 9, ... in write order).
+		node := cl.Nodes[1]
+		phys := node.FS().DataStart() + 1
+		raw, err := node.Disk.ReadBlock(p, phys)
+		if err != nil {
+			t.Errorf("raw read: %v", err)
+			return
+		}
+		raw[200] ^= 0x04
+		if err := node.Disk.WriteBlock(p, phys, raw); err != nil {
+			t.Errorf("raw write: %v", err)
+			return
+		}
+		// A scrub sweep confirms the corruption and drops the node's cached
+		// (clean) copy, so reads now verify against the medium.
+		rep, err := b.Scrub(1)
+		if err != nil {
+			t.Errorf("Scrub: %v", err)
+			return
+		}
+		if len(rep.Errors) != 1 {
+			t.Errorf("scrub found %d errors, want 1: %+v", len(rep.Errors), rep.Errors)
+			return
+		}
+		// The unreplicated read fails fast, naming the node and block.
+		if _, err := b.ReadAt("f", 5); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("ReadAt corrupt block: %v; want ErrCorrupt", err)
+			return
+		} else if !strings.Contains(err.Error(), "node 1") || !strings.Contains(err.Error(), "global block 5") {
+			t.Errorf("corrupt read error %q does not name node and block", err)
+			return
+		}
+		// Read-repair rewrites the block in place.
+		if err := b.WriteAt("f", 5, payload(505)); err != nil {
+			t.Errorf("repair WriteAt: %v", err)
+			return
+		}
+		// A's remaining sequential reads must reflect the repair, even
+		// though block 5 sat in A's window before the corruption hit.
+		for i := 4; i < n; i++ {
+			want := payload(i)
+			if i == 5 {
+				want = payload(505)
+			}
+			data, eof, err := a.SeqRead("f")
+			if err != nil || eof {
+				t.Errorf("read %d: eof=%v err=%v", i, eof, err)
+				return
+			}
+			if !bytes.Equal(data, want) {
+				t.Errorf("block %d: read-ahead served the pre-repair window", i)
+				return
+			}
+		}
 		stats := cl.Net.Stats()
 		if stats.Get("bridge.ra_hits") == 0 {
 			t.Error("no read-ahead hits recorded; cache never engaged")

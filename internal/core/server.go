@@ -251,6 +251,8 @@ func opIDOf(body any) (uint64, bool) {
 		return b.OpID, true
 	case RepairNodeReq:
 		return b.OpID, true
+	case FsckReq:
+		return b.OpID, true
 	default:
 		return 0, false
 	}
@@ -274,6 +276,8 @@ func respErr(body any) string {
 	case RandWriteNResp:
 		return b.Err
 	case RepairNodeResp:
+		return b.Err
+	case FsckResp:
 		return b.Err
 	default:
 		return ""
@@ -381,6 +385,12 @@ func (s *Server) handle(p sim.Proc, req *msg.Message) any {
 	case RepairNodeReq:
 		files, err := s.repairNode(p, r.Node)
 		return RepairNodeResp{Files: files, Err: errString(err)}
+	case FsckReq:
+		rep, fixes, err := s.fsck(p, r)
+		return FsckResp{Report: rep, Fixes: fixes, Err: errString(err)}
+	case ScrubReq:
+		rep, err := s.scrub(p, r.Node)
+		return ScrubResp{Report: rep, Err: errString(err)}
 	default:
 		return CloseJobResp{Err: fmt.Sprintf("bridge: unknown request %T", req.Body)}
 	}
@@ -610,6 +620,17 @@ func (s *Server) lfsCall(p sim.Proc, node msg.NodeID, body any, size int) (*msg.
 	return m, err
 }
 
+// nodeIndex maps a storage node's network ID back to its 0-based cluster
+// index (its position in interleaving order), or -1 if unknown.
+func (s *Server) nodeIndex(id msg.NodeID) int {
+	for i, n := range s.nodes {
+		if n == id {
+			return i
+		}
+	}
+	return -1
+}
+
 // lfsRead fetches one global block through the right LFS and returns its
 // payload.
 func (s *Server) lfsRead(p sim.Proc, ent *dirent, blockNum int64) ([]byte, error) {
@@ -629,6 +650,15 @@ func (s *Server) lfsRead(p sim.Proc, ent *dirent, blockNum int64) ([]byte, error
 	}
 	resp := m.Body.(lfs.ReadResp)
 	if err := resp.Status.Err(); err != nil {
+		if errors.Is(err, efs.ErrCorrupt) {
+			// Integrity failures name the exact node and block: for an
+			// unreplicated file this is the fail-fast diagnostic; for a
+			// replicated one the replica layer uses it to repair. The node
+			// is named by its cluster index — the space Fsck, Scrub, and
+			// RepairNode operate in.
+			return nil, fmt.Errorf("%w: node %d lfs file %d local block %d (global block %d): %v",
+				ErrLFSFailed, s.nodeIndex(node), ent.meta.LFSFileID, local, blockNum, err)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrLFSFailed, err)
 	}
 	ent.hints[node] = resp.Addr
@@ -728,6 +758,34 @@ func (s *Server) repairNode(p sim.Proc, idx int) (int, error) {
 	}
 	s.net.Stats().Add("bridge.node_repairs", 1)
 	return repaired, nil
+}
+
+// fsck runs the LFS-level consistency checker on one storage node.
+func (s *Server) fsck(p sim.Proc, r FsckReq) (efs.CheckReport, int, error) {
+	if r.Node < 0 || r.Node >= len(s.nodes) {
+		return efs.CheckReport{}, 0, fmt.Errorf("%w: node index %d of %d", ErrBadArg, r.Node, len(s.nodes))
+	}
+	req := lfs.CheckReq{Repair: r.Repair}
+	m, err := s.lfsCall(p, s.nodes[r.Node], req, lfs.WireSize(req))
+	if err != nil {
+		return efs.CheckReport{}, 0, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	resp := m.Body.(lfs.CheckResp)
+	return resp.Report, resp.Fixes, resp.Status.Err()
+}
+
+// scrub runs a full checksum-verification sweep on one storage node.
+func (s *Server) scrub(p sim.Proc, idx int) (efs.ScrubReport, error) {
+	if idx < 0 || idx >= len(s.nodes) {
+		return efs.ScrubReport{}, fmt.Errorf("%w: node index %d of %d", ErrBadArg, idx, len(s.nodes))
+	}
+	req := lfs.ScrubReq{Full: true}
+	m, err := s.lfsCall(p, s.nodes[idx], req, lfs.WireSize(req))
+	if err != nil {
+		return efs.ScrubReport{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	resp := m.Body.(lfs.ScrubResp)
+	return resp.Report, resp.Status.Err()
 }
 
 func (s *Server) seqRead(p sim.Proc, client msg.Addr, name string) ([]byte, bool, error) {

@@ -36,6 +36,23 @@ type FaultHook interface {
 	BeforeOp(now time.Duration, label string, op Op, bn int) (extra time.Duration, err error)
 }
 
+// Corrupter is an optional extension of FaultHook for silent faults — the
+// ones BeforeOp cannot express because the access *succeeds*. If the hook
+// installed with SetFault also implements Corrupter, reads let it mutate the
+// stored bytes in place (bit rot: wrong contents, no error) and writes let
+// it redirect the destination block (a misdirected write: the data lands,
+// sealed for the wrong address, somewhere else). Implementations must be
+// deterministic under the virtual clock; d.mu is held across calls, so they
+// must not block.
+type Corrupter interface {
+	// CorruptBlock may flip bits of the stored image of block bn; data is
+	// the device's own buffer. Returns true if it mutated anything.
+	CorruptBlock(now time.Duration, label string, bn int, data []byte) bool
+	// RedirectWrite returns the block number the write should actually
+	// land on; returning bn (or an out-of-range value) leaves it alone.
+	RedirectWrite(now time.Duration, label string, bn int) int
+}
+
 // Op distinguishes access types for the timing model.
 type Op uint8
 
@@ -74,16 +91,17 @@ func (c *Config) applyDefaults() {
 // calling process; a Disk is safe for concurrent use but is normally owned
 // by a single LFS process, as in the paper.
 type Disk struct {
-	cfg    Config
-	stats  *stats.Counters
-	tracer *trace.Tracer // nil = tracing off
-	name   string
-	fault  FaultHook // nil = no fault injection
-	label  string    // device name passed to the fault hook
-	mu     sync.Mutex
-	blocks [][]byte // nil entry = never-written (zero) block
-	head   int      // last accessed block, for seek modeling
-	failed bool
+	cfg       Config
+	stats     *stats.Counters
+	tracer    *trace.Tracer // nil = tracing off
+	name      string
+	fault     FaultHook // nil = no fault injection
+	corrupter Corrupter // d.fault's Corrupter side, if it has one
+	label     string    // device name passed to the fault hook
+	mu        sync.Mutex
+	blocks    [][]byte // nil entry = never-written (zero) block
+	head      int      // last accessed block, for seek modeling
+	failed    bool
 }
 
 // New creates a device. It panics if NumBlocks is not positive, since that
@@ -119,6 +137,7 @@ func (d *Disk) SetTracer(t *trace.Tracer, name string) {
 func (d *Disk) SetFault(h FaultHook, label string) {
 	d.mu.Lock()
 	d.fault, d.label = h, label
+	d.corrupter, _ = h.(Corrupter)
 	d.mu.Unlock()
 }
 
@@ -227,6 +246,7 @@ func (d *Disk) ReadBlock(p sim.Proc, bn int) ([]byte, error) {
 		return nil, ferr
 	}
 	t := d.access(p, OpRead, bn, 1)
+	d.corrupt(p, bn)
 	out := d.copyOut(bn)
 	d.mu.Unlock()
 	charge(p, t+extra)
@@ -257,6 +277,8 @@ func (d *Disk) ReadTrack(p sim.Proc, bn int) (first int, blocks [][]byte, err er
 	t := d.access(p, OpRead, first, last-first)
 	blocks = make([][]byte, last-first)
 	for i := range blocks {
+		// Ascending block order keeps corruption application replayable.
+		d.corrupt(p, first+i)
 		blocks[i] = d.copyOut(first + i)
 	}
 	d.mu.Unlock()
@@ -283,12 +305,31 @@ func (d *Disk) WriteBlock(p sim.Proc, bn int, data []byte) error {
 		return ferr
 	}
 	t := d.access(p, OpWrite, bn, 1)
+	target := bn
+	if d.corrupter != nil {
+		if to := d.corrupter.RedirectWrite(p.Now(), d.label, bn); to >= 0 && to < d.cfg.NumBlocks {
+			// A misdirected write: the controller believes it wrote bn
+			// (timing and head position already accounted there), but the
+			// data silently lands on another block.
+			target = to
+		}
+	}
 	b := make([]byte, d.cfg.BlockSize)
 	copy(b, data)
-	d.blocks[bn] = b
+	d.blocks[target] = b
 	d.mu.Unlock()
 	charge(p, t+extra)
 	return nil
+}
+
+// corrupt lets an installed Corrupter rot the stored bytes of block bn
+// before they are served by a read. Never-written blocks have no stored
+// image to rot. Callers hold d.mu.
+func (d *Disk) corrupt(p sim.Proc, bn int) {
+	if d.corrupter == nil || d.blocks[bn] == nil {
+		return
+	}
+	d.corrupter.CorruptBlock(p.Now(), d.label, bn, d.blocks[bn])
 }
 
 // copyOut returns a copy of block bn; never-written blocks read as zeroes.

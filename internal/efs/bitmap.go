@@ -68,9 +68,10 @@ func (b *bitmap) scan(from, to int) int {
 // free returns the number of unallocated blocks.
 func (b *bitmap) free() int { return b.n - b.used }
 
-// encodeInto serializes bitmap words into the given block-sized buffers.
+// encodeInto serializes bitmap words into the given block-sized buffers,
+// leaving each block's checksum tail untouched for the caller to stamp.
 func (b *bitmap) encodeInto(blocks [][]byte) {
-	wordsPerBlock := BlockSize / 8
+	wordsPerBlock := bitmapWordsPerBlock
 	for bi, blk := range blocks {
 		for w := 0; w < wordsPerBlock; w++ {
 			idx := bi*wordsPerBlock + w
@@ -86,7 +87,7 @@ func (b *bitmap) encodeInto(blocks [][]byte) {
 // decodeFrom fills bitmap words from block-sized buffers and recomputes the
 // used count.
 func (b *bitmap) decodeFrom(blocks [][]byte) {
-	wordsPerBlock := BlockSize / 8
+	wordsPerBlock := bitmapWordsPerBlock
 	for bi, blk := range blocks {
 		for w := 0; w < wordsPerBlock; w++ {
 			idx := bi*wordsPerBlock + w

@@ -144,6 +144,11 @@ func (fs *FS) checkFile(p sim.Proc, rep *CheckReport, e dirEntry, owner map[int3
 			rep.problemf("file %d: reading block %d at %d: %v", e.FileID, n, addr, err)
 			return
 		}
+		if !sumOK(addr, raw, dataSumOff) {
+			// Report the checksum, then keep checking the header fields —
+			// they often pinpoint what the corruption hit.
+			rep.problemf("file %d: block %d at %d checksum mismatch", e.FileID, n, addr)
+		}
 		h := decodeHeader(raw)
 		if h.Flags&flagUsed == 0 {
 			rep.problemf("file %d: block %d at %d not marked used", e.FileID, n, addr)

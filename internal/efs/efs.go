@@ -68,7 +68,10 @@ type FS struct {
 		super  bool
 		bitmap bool
 	}
-	stats *stats.Counters
+	// scrubNext is the incremental scrubber's cursor (next block address to
+	// examine); see scrub.go.
+	scrubNext int32
+	stats     *stats.Counters
 }
 
 // bucketChain is a loaded directory bucket plus its overflow blocks.
@@ -89,7 +92,7 @@ func Format(p sim.Proc, d *disk.Disk, opts Options) (*FS, error) {
 	if d.Config().BlockSize != BlockSize {
 		return nil, fmt.Errorf("efs: disk block size %d, want %d", d.Config().BlockSize, BlockSize)
 	}
-	bitmapBlocks := (n + BlockSize*8 - 1) / (BlockSize * 8)
+	bitmapBlocks := (n + bitsPerBitmapBlock - 1) / bitsPerBitmapBlock
 	dataStart := 1 + opts.DirBuckets + bitmapBlocks
 	if dataStart >= n {
 		return nil, fmt.Errorf("efs: volume too small: %d blocks, %d needed for metadata", n, dataStart)
@@ -115,12 +118,16 @@ func Format(p sim.Proc, d *disk.Disk, opts Options) (*FS, error) {
 	// cache so Create on a fresh volume needs no directory reads.
 	buf := make([]byte, BlockSize)
 	encodeSuper(buf, fs.sb)
+	seal(0, buf, superSumOff)
 	if err := d.WriteBlock(p, 0, buf); err != nil {
 		return nil, fmt.Errorf("efs: formatting superblock: %w", err)
 	}
 	empty := make([]byte, BlockSize)
 	encodeBucket(empty, dirBucket{Overflow: nilAddr})
 	for i := 0; i < opts.DirBuckets; i++ {
+		// The checksum is seeded with the disk address, so each bucket
+		// needs its own sealed image.
+		seal(int32(1+i), empty, bucketSumOff)
 		if err := d.WriteBlock(p, 1+i, empty); err != nil {
 			return nil, fmt.Errorf("efs: formatting directory: %w", err)
 		}
@@ -145,6 +152,9 @@ func Mount(p sim.Proc, d *disk.Disk) (*FS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("efs: reading superblock: %w", err)
 	}
+	if !sumOK(0, raw, superSumOff) {
+		return nil, fmt.Errorf("%w: superblock checksum mismatch", ErrCorrupt)
+	}
 	sb, err := decodeSuper(raw)
 	if err != nil {
 		return nil, err
@@ -163,9 +173,13 @@ func Mount(p sim.Proc, d *disk.Disk) (*FS, error) {
 	}
 	bmBlocks := make([][]byte, sb.BitmapBlocks)
 	for i := range bmBlocks {
-		b, err := d.ReadBlock(p, 1+int(sb.DirBuckets)+i)
+		addr := 1 + int(sb.DirBuckets) + i
+		b, err := d.ReadBlock(p, addr)
 		if err != nil {
 			return nil, fmt.Errorf("efs: reading bitmap: %w", err)
+		}
+		if !sumOK(int32(addr), b, bitmapSumOff) {
+			return nil, fmt.Errorf("%w: bitmap checksum mismatch at block %d", ErrCorrupt, addr)
 		}
 		bmBlocks[i] = b
 	}
@@ -214,8 +228,10 @@ func (fs *FS) readCached(p sim.Proc, addr int32) ([]byte, error) {
 
 // writeThrough writes a block to disk and refreshes the cache. Data-block
 // writes in EFS are write-through; only directory and bitmap metadata are
-// written behind (flushed on Sync).
+// written behind (flushed on Sync). The block image is sealed here so every
+// data-block write path stamps a checksum.
 func (fs *FS) writeThrough(p sim.Proc, addr int32, data []byte) error {
+	seal(addr, data, dataSumOff)
 	if err := fs.d.WriteBlock(p, int(addr), data); err != nil {
 		return fmt.Errorf("efs: writing block %d: %w", addr, err)
 	}
@@ -263,6 +279,10 @@ func (fs *FS) loadChain(p sim.Proc, fileID uint32) (*bucketChain, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := verifyBucket(addr, raw); err != nil {
+			fs.invalidate(addr)
+			return nil, err
+		}
 		b, err := decodeBucket(raw)
 		if err != nil {
 			return nil, err
@@ -307,6 +327,7 @@ func (fs *FS) Sync(p sim.Proc) error {
 			}
 			buf := make([]byte, BlockSize)
 			encodeBucket(buf, bb.b)
+			seal(bb.addr, buf, bucketSumOff)
 			if err := fs.d.WriteBlock(p, int(bb.addr), buf); err != nil {
 				return fmt.Errorf("efs: flushing directory: %w", err)
 			}
@@ -322,6 +343,7 @@ func (fs *FS) Sync(p sim.Proc) error {
 	if fs.dirty.super {
 		buf := make([]byte, BlockSize)
 		encodeSuper(buf, fs.sb)
+		seal(0, buf, superSumOff)
 		if err := fs.d.WriteBlock(p, 0, buf); err != nil {
 			return fmt.Errorf("efs: flushing superblock: %w", err)
 		}
@@ -337,7 +359,9 @@ func (fs *FS) flushBitmap(p sim.Proc) error {
 	}
 	fs.bm.encodeInto(blocks)
 	for i, b := range blocks {
-		if err := fs.d.WriteBlock(p, 1+int(fs.sb.DirBuckets)+i, b); err != nil {
+		addr := 1 + int(fs.sb.DirBuckets) + i
+		seal(int32(addr), b, bitmapSumOff)
+		if err := fs.d.WriteBlock(p, addr, b); err != nil {
 			return fmt.Errorf("efs: flushing bitmap: %w", err)
 		}
 	}

@@ -25,7 +25,13 @@ const (
 	DataBytes      = BlockSize - HeaderBytes // 1000
 	dirEntryBytes  = 16
 	dirBlockHeader = 8
-	dirEntriesMax  = (BlockSize - dirBlockHeader) / dirEntryBytes // 63
+	// dirEntriesMax leaves the last 8 bytes of a bucket block free: 63
+	// entries end at byte 1016, and the block checksum sits at 1020.
+	dirEntriesMax = (BlockSize - dirBlockHeader - 8) / dirEntryBytes // 63
+	// Bitmap blocks reserve their tail for the checksum too: 127 words of
+	// allocation bits per block.
+	bitmapWordsPerBlock = (BlockSize - 8) / 8 // 127
+	bitsPerBitmapBlock  = bitmapWordsPerBlock * 64
 )
 
 // nilAddr marks an absent block pointer.
@@ -33,7 +39,9 @@ const nilAddr int32 = -1
 
 var superMagic = [8]byte{'E', 'F', 'S', 'B', 'R', 'D', 'G', '1'}
 
-const superVersion = 1
+// superVersion 2 added per-block checksums (data-block header bytes 20..23,
+// metadata-block tails); version-1 images lack them and will not mount.
+const superVersion = 2
 
 // Errors returned by EFS operations.
 var (
@@ -69,7 +77,8 @@ func encodeHeader(dst []byte, h blockHeader) {
 	binary.LittleEndian.PutUint32(dst[12:], uint32(h.Prev))
 	binary.LittleEndian.PutUint16(dst[16:], h.DataLen)
 	binary.LittleEndian.PutUint16(dst[18:], h.Flags)
-	// bytes 20..23 reserved
+	// bytes 20..23 hold the block checksum, stamped by writeThrough once
+	// the whole image (header plus data area) is final.
 	dst[20], dst[21], dst[22], dst[23] = 0, 0, 0, 0
 }
 

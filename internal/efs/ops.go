@@ -1,6 +1,7 @@
 package efs
 
 import (
+	"errors"
 	"fmt"
 
 	"bridge/internal/sim"
@@ -133,6 +134,10 @@ func (fs *FS) appendBlock(p sim.Proc, bb *bucketBlock, e *dirEntry, fileID uint3
 		if err != nil {
 			return nilAddr, err
 		}
+		if err := verifyData(e.Last, old); err != nil {
+			fs.invalidate(e.Last)
+			return nilAddr, fmt.Errorf("tail of file %d: %w", fileID, err)
+		}
 		oh := decodeHeader(old)
 		if oh.FileID != fileID || oh.Flags&flagUsed == 0 {
 			return nilAddr, fmt.Errorf("%w: tail of file %d at %d is not its block", ErrCorrupt, fileID, e.Last)
@@ -152,11 +157,17 @@ func (fs *FS) appendBlock(p sim.Proc, bb *bucketBlock, e *dirEntry, fileID uint3
 }
 
 // overwriteBlock rewrites an existing block's data in place, preserving its
-// links.
+// links. If the target block itself fails verification, the overwrite still
+// succeeds: the block is rebuilt from its verified chain neighbors — this is
+// what lets read-repair rewrite a rotted block through the ordinary write
+// path.
 func (fs *FS) overwriteBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, data []byte, hint int32) (int32, error) {
 	addr, raw, err := fs.findBlock(p, e, fileID, blockNum, hint)
 	if err != nil {
-		return nilAddr, err
+		if !errors.Is(err, ErrCorrupt) {
+			return nilAddr, err
+		}
+		return fs.rebuildBlock(p, e, fileID, blockNum, data)
 	}
 	h := decodeHeader(raw)
 	h.DataLen = uint16(len(data))
@@ -170,6 +181,137 @@ func (fs *FS) overwriteBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, d
 		return nilAddr, err
 	}
 	return addr, nil
+}
+
+// rebuildBlock rewrites logical block blockNum without trusting its current
+// contents: the disk address and link targets are recovered from verified
+// neighbors only (the predecessor's next pointer and the successor's
+// address), and the header is reconstructed from scratch.
+func (fs *FS) rebuildBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, data []byte) (int32, error) {
+	addr, next, prev, err := fs.locateForRewrite(p, e, fileID, blockNum)
+	if err != nil {
+		return nilAddr, err
+	}
+	h := blockHeader{
+		FileID:   fileID,
+		BlockNum: blockNum,
+		Next:     next,
+		Prev:     prev,
+		DataLen:  uint16(len(data)),
+		Flags:    flagUsed,
+	}
+	buf := make([]byte, BlockSize)
+	encodeHeader(buf, h)
+	copy(buf[HeaderBytes:], data)
+	if err := fs.writeThrough(p, addr, buf); err != nil {
+		return nilAddr, err
+	}
+	return addr, nil
+}
+
+// locateForRewrite finds the disk address and link targets of logical block
+// blockNum without trusting the block itself. The address and prev link come
+// from the chain walked forward from First; the next link comes from the
+// chain walked backward from Last (or wraps to the head for the tail). The
+// walks tolerate corrupt blocks along the way: a corrupt block's link
+// pointer is followed only when the block it names verifies and points back,
+// which confirms the link through the neighbor's own checksum.
+func (fs *FS) locateForRewrite(p sim.Proc, e *dirEntry, fileID, blockNum uint32) (addr, next, prev int32, err error) {
+	if blockNum == 0 {
+		// The head's prev points at itself by creation-time convention
+		// (appends never rewrite it; backward walks stop at block 0).
+		addr, prev = e.First, e.First
+	} else {
+		if prev, err = fs.walkEither(p, e, fileID, blockNum-1, true); err != nil {
+			return nilAddr, nilAddr, nilAddr, err
+		}
+		if addr, err = fs.walkEither(p, e, fileID, blockNum, true); err != nil {
+			return nilAddr, nilAddr, nilAddr, err
+		}
+	}
+	if blockNum == uint32(e.Blocks)-1 {
+		next = e.First // tail wraps to head
+	} else {
+		if next, err = fs.walkEither(p, e, fileID, blockNum+1, false); err != nil {
+			return nilAddr, nilAddr, nilAddr, err
+		}
+	}
+	return addr, next, prev, nil
+}
+
+// walkEither walks to logical block `to` in the preferred direction, falling
+// back to the opposite one when an unconfirmable corrupt block lies on the
+// preferred path — with more than one corrupt block in a chain, the two ends
+// reach different targets.
+func (fs *FS) walkEither(p sim.Proc, e *dirEntry, fileID, to uint32, forward bool) (int32, error) {
+	addr, err := fs.walkRepair(p, e, fileID, to, forward)
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		return addr, err
+	}
+	if alt, altErr := fs.walkRepair(p, e, fileID, to, !forward); altErr == nil {
+		return alt, nil
+	}
+	return nilAddr, err
+}
+
+// walkRepair returns the disk address of logical block `to`, walking forward
+// from First (or backward from Last) and stepping over corrupt blocks when
+// their link is confirmed by the named neighbor's verified back pointer.
+func (fs *FS) walkRepair(p sim.Proc, e *dirEntry, fileID, to uint32, forward bool) (int32, error) {
+	at := e.First
+	n := uint32(0)
+	if !forward {
+		at = e.Last
+		n = uint32(e.Blocks) - 1
+	}
+	for {
+		if n == to {
+			return at, nil
+		}
+		raw, err := fs.readCached(p, at)
+		if err != nil {
+			return nilAddr, err
+		}
+		// The raw header is read before verification: if the block is
+		// corrupt, its link pointer is a candidate to be confirmed below.
+		h := decodeHeader(raw)
+		cand, candNum := h.Next, n+1
+		if !forward {
+			cand, candNum = h.Prev, n-1
+		}
+		if sumOK(at, raw, dataSumOff) {
+			if h.FileID != fileID || h.Flags&flagUsed == 0 || h.BlockNum != n {
+				return nilAddr, fmt.Errorf("%w: walk of file %d found wrong block at %d", ErrCorrupt, fileID, at)
+			}
+		} else {
+			fs.invalidate(at)
+			if !fs.confirmLink(p, cand, fileID, candNum, at, forward) {
+				return nilAddr, fmt.Errorf("%w: file %d block %d at %d is corrupt and its neighbor cannot confirm the chain", ErrCorrupt, fileID, n, at)
+			}
+		}
+		at, n = cand, candNum
+	}
+}
+
+// confirmLink reports whether a corrupt block's claimed neighbor at cand
+// verifies as (fileID, num) and points back at the corrupt block — the
+// neighbor's own checksum then vouches for the link.
+func (fs *FS) confirmLink(p sim.Proc, cand int32, fileID, num uint32, back int32, forward bool) bool {
+	if int(cand) < int(fs.sb.DataStart) || int(cand) >= int(fs.sb.NumBlocks) {
+		return false
+	}
+	raw, err := fs.readCached(p, cand)
+	if err != nil || !sumOK(cand, raw, dataSumOff) {
+		return false
+	}
+	h := decodeHeader(raw)
+	if h.FileID != fileID || h.Flags&flagUsed == 0 || h.BlockNum != num {
+		return false
+	}
+	if forward {
+		return h.Prev == back
+	}
+	return h.Next == back
 }
 
 // Delete removes a file, traversing the chain and explicitly freeing each
@@ -187,6 +329,10 @@ func (fs *FS) Delete(p sim.Proc, fileID uint32) (int, error) {
 		raw, err := fs.readCached(p, addr)
 		if err != nil {
 			return freed, err
+		}
+		if err := verifyData(addr, raw); err != nil {
+			fs.invalidate(addr)
+			return freed, fmt.Errorf("chain of file %d: %w", fileID, err)
 		}
 		h := decodeHeader(raw)
 		if h.FileID != fileID || h.Flags&flagUsed == 0 {
@@ -244,6 +390,10 @@ func (fs *FS) loadChainByIndex(p sim.Proc, idx int) (*bucketChain, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := verifyBucket(addr, raw); err != nil {
+			fs.invalidate(addr)
+			return nil, err
+		}
 		b, err := decodeBucket(raw)
 		if err != nil {
 			return nil, err
@@ -280,10 +430,17 @@ func (fs *FS) findBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, hint i
 		if err != nil {
 			return nilAddr, nil, err
 		}
-		h := decodeHeader(raw)
-		if h.FileID == fileID && h.BlockNum == blockNum && h.Flags&flagUsed != 0 {
-			fs.stats.Add("efs.loc_hits", 1)
-			return addr, raw, nil
+		if sumOK(addr, raw, dataSumOff) {
+			h := decodeHeader(raw)
+			if h.FileID == fileID && h.BlockNum == blockNum && h.Flags&flagUsed != 0 {
+				fs.stats.Add("efs.loc_hits", 1)
+				return addr, raw, nil
+			}
+		} else {
+			// A corrupt block cannot vouch for the mapping; drop it from
+			// the cache and let the chain walk decide (it will report the
+			// corruption if the chain really does lead here).
+			fs.invalidate(addr)
 		}
 		// Stale mapping; fall through to a walk.
 		delete(fs.loc, fileKey{fileID: fileID, blockNum: blockNum})
@@ -299,9 +456,10 @@ func (fs *FS) findBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, hint i
 		{e.Last, uint32(e.Blocks - 1)},
 	}
 	if hint != nilAddr && int(hint) >= int(fs.sb.DataStart) && int(hint) < int(fs.sb.NumBlocks) {
-		// Validate the hint: it must point into the correct file.
+		// Validate the hint: it must checksum clean and point into the
+		// correct file; a bad hint is ignored, never fatal.
 		raw, err := fs.readCached(p, hint)
-		if err == nil {
+		if err == nil && sumOK(hint, raw, dataSumOff) {
 			if h := decodeHeader(raw); h.Flags&flagUsed != 0 && h.FileID == fileID && h.BlockNum < uint32(e.Blocks) {
 				if h.BlockNum == blockNum {
 					return hint, raw, nil
@@ -324,6 +482,10 @@ func (fs *FS) findBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, hint i
 		raw, err := fs.readCached(p, addr)
 		if err != nil {
 			return nilAddr, nil, err
+		}
+		if err := verifyData(addr, raw); err != nil {
+			fs.invalidate(addr)
+			return nilAddr, nil, fmt.Errorf("file %d block %d: %w", fileID, num, err)
 		}
 		h := decodeHeader(raw)
 		if h.FileID != fileID || h.Flags&flagUsed == 0 || h.BlockNum != num {

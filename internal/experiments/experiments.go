@@ -55,6 +55,9 @@ type Config struct {
 	// (windows of ReadAhead stripes). 0 — the default, used by the
 	// paper-fidelity experiments — keeps the measured per-block behavior.
 	ReadAhead int
+	// Scrub enables each node's idle-time background scrubber, for the
+	// integrity-overhead experiments. Nil — the default — leaves it off.
+	Scrub *lfs.ScrubConfig
 }
 
 // raStripes is the read-ahead depth the batched-naive experiments use: two
@@ -114,6 +117,7 @@ func clusterFor(rt sim.Runtime, p int, cfg Config) (*core.Cluster, error) {
 			DiskBlocks: blocks,
 			Timing:     disk.FixedTiming{Latency: cfg.DiskLatency},
 			EFS:        efs.Options{CacheBlocks: cfg.CacheBlocks},
+			Scrub:      cfg.Scrub,
 		},
 		// A full-scale delete legitimately takes minutes of simulated
 		// time at small p; the failure-detection timeout must dwarf it.

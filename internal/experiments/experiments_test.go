@@ -289,6 +289,58 @@ func TestServerScaling(t *testing.T) {
 	}
 }
 
+func TestScrubOverheadExperiment(t *testing.T) {
+	cfg := tinyScale()
+	cfg.Ps = []int{4}
+	pts, err := ScrubOverhead(cfg)
+	if err != nil {
+		t.Fatalf("ScrubOverhead: %v", err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// The scrubber runs only in idle disk time: the hot read path must pay
+	// essentially nothing (the PR gate in cmd/bridgeperf is 5%).
+	if over := pts[0].Overhead(); over > 0.05 {
+		t.Errorf("scrub overhead = %.1f%%, want <= 5%%", over*100)
+	}
+	var buf bytes.Buffer
+	RenderScrubOverhead(&buf, pts, cfg.Records)
+	if !strings.Contains(buf.String(), "Scrub overhead") {
+		t.Error("render missing header")
+	}
+}
+
+func TestCorruptionRecoveryExperiment(t *testing.T) {
+	cfg := tinyScale()
+	pts, err := CorruptionRecovery(cfg)
+	if err != nil {
+		t.Fatalf("CorruptionRecovery: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Detected != pt.Injected {
+			t.Errorf("p=%d: detected %d of %d injected", pt.P, pt.Detected, pt.Injected)
+		}
+		if pt.Repaired != pt.Injected {
+			t.Errorf("p=%d: repaired %d, want %d", pt.P, pt.Repaired, pt.Injected)
+		}
+		if pt.Residual != 0 {
+			t.Errorf("p=%d: %d residual checksum failures after repair", pt.P, pt.Residual)
+		}
+		if pt.SweepMs <= 0 {
+			t.Errorf("p=%d: sweep took no virtual time", pt.P)
+		}
+	}
+	var buf bytes.Buffer
+	RenderCorruption(&buf, pts)
+	if !strings.Contains(buf.String(), "Corruption recovery") {
+		t.Error("render missing header")
+	}
+}
+
 func TestFaultsAblation(t *testing.T) {
 	cfg := tinyScale()
 	rep, err := Faults(cfg, 4)

@@ -127,11 +127,13 @@ func runChaos(t *testing.T, seed int64) (string, [][]byte) {
 			}
 			contents = append(contents, data)
 		}
-		// Every node's volume must come out of the run self-consistent.
-		for i, nd := range cl.Nodes {
-			rep, err := nd.FS().Check(proc)
+		// Every node's volume must come out of the run self-consistent,
+		// checked through the protocol-level fsck op (client → server →
+		// LFS), so the op path itself is exercised under chaos too.
+		for i := range cl.Nodes {
+			rep, err := c.Fsck(i)
 			if err != nil {
-				t.Errorf("node %d check: %v", i, err)
+				t.Errorf("node %d fsck: %v", i, err)
 				return
 			}
 			if !rep.OK() {

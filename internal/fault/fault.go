@@ -77,6 +77,20 @@ type diskBlock struct {
 	bn    int
 }
 
+// bitrotRule flips bits in stored blocks read inside a window, each read
+// independently with the given probability — silent corruption, no error.
+type bitrotRule struct {
+	window
+	label string // "" matches every disk
+	prob  float64
+}
+
+// misdirect reroutes the next write of fromBn on the labeled disk to toBn.
+type misdirect struct {
+	label  string
+	fromBn int
+}
+
 // Injector implements msg.FaultHook and disk.FaultHook. Configure it fully
 // before the simulation starts; the hook methods themselves are safe for
 // concurrent use.
@@ -95,6 +109,9 @@ type Injector struct {
 	partitions []partition
 	diskRules  []diskRule
 	badBlocks  map[diskBlock]bool
+	rotPending map[diskBlock]bool // one-shot bitrot applied at the next read
+	rotRules   []bitrotRule
+	misdirects map[misdirect]int // fromBn -> toBn, one-shot
 	schedule   []NodeEvent
 }
 
@@ -102,10 +119,12 @@ type Injector struct {
 // seed and configuration behave identically on identical simulations.
 func New(seed int64) *Injector {
 	return &Injector{
-		seed:      seed,
-		stats:     stats.New(),
-		rng:       rand.New(rand.NewSource(seed)),
-		badBlocks: make(map[diskBlock]bool),
+		seed:       seed,
+		stats:      stats.New(),
+		rng:        rand.New(rand.NewSource(seed)),
+		badBlocks:  make(map[diskBlock]bool),
+		rotPending: make(map[diskBlock]bool),
+		misdirects: make(map[misdirect]int),
 	}
 }
 
@@ -152,6 +171,34 @@ func (in *Injector) BadBlock(label string, bn int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.badBlocks[diskBlock{label, bn}] = true
+}
+
+// Bitrot plants silent corruption: the next read of block bn on the labeled
+// disk finds a seeded bit flipped in the stored bytes. No error is returned
+// by the device — only a checksum can tell. The rot applies lazily at the
+// next read (not at call time) so it lands identically on every replay.
+func (in *Injector) Bitrot(label string, bn int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rotPending[diskBlock{label, bn}] = true
+}
+
+// BitrotWindow rots blocks probabilistically: inside the window, every read
+// of a stored block on the labeled disk ("" matches all) flips one seeded
+// bit with probability prob.
+func (in *Injector) BitrotWindow(from, to time.Duration, label string, prob float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rotRules = append(in.rotRules, bitrotRule{window{from, to}, label, prob})
+}
+
+// MisdirectWrite makes the next write of fromBn on the labeled disk silently
+// land on toBn instead: fromBn keeps its stale contents and toBn receives a
+// block sealed for the wrong address.
+func (in *Injector) MisdirectWrite(label string, fromBn, toBn int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.misdirects[misdirect{label, fromBn}] = toBn
 }
 
 // AttachNetwork installs the injector as net's fault hook.
@@ -236,6 +283,53 @@ func (in *Injector) BeforeOp(now time.Duration, label string, op disk.Op, bn int
 		in.stats.Add("fault.disk_limped", 1)
 	}
 	return extra, nil
+}
+
+// CorruptBlock implements disk.Corrupter: called on every read of a stored
+// block, it may flip a seeded bit in the device's own buffer — the read then
+// succeeds with wrong contents. One-shot rot planted with Bitrot applies at
+// the block's next read; window rules draw per read, only inside an active
+// window, so the randomness consumed is schedule-independent.
+func (in *Injector) CorruptBlock(now time.Duration, label string, bn int, data []byte) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := diskBlock{label, bn}
+	rot := in.rotPending[key]
+	if rot {
+		delete(in.rotPending, key)
+	}
+	for _, r := range in.rotRules {
+		if !r.contains(now) || (r.label != "" && r.label != label) {
+			continue
+		}
+		if in.rng.Float64() < r.prob {
+			rot = true
+		}
+	}
+	if !rot {
+		return false
+	}
+	bit := in.rng.Intn(len(data) * 8)
+	data[bit/8] ^= 1 << (uint(bit) % 8)
+	in.stats.Add("fault.disk_bitrot", 1)
+	in.emit(now, "fault.bitrot", "%s block %d bit %d", label, bn, bit)
+	return true
+}
+
+// RedirectWrite implements disk.Corrupter: a write of a block armed with
+// MisdirectWrite silently lands on the configured target instead.
+func (in *Injector) RedirectWrite(now time.Duration, label string, bn int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := misdirect{label, bn}
+	to, ok := in.misdirects[key]
+	if !ok {
+		return bn
+	}
+	delete(in.misdirects, key)
+	in.stats.Add("fault.disk_misdirected", 1)
+	in.emit(now, "fault.misdirect", "%s block %d -> %d", label, bn, to)
+	return to
 }
 
 func opName(op disk.Op) string {

@@ -232,6 +232,18 @@ func runVecChaos(t *testing.T, seed int64) (string, [][]byte) {
 				i++
 			}
 		}
+		// Every node's volume must come out of the run self-consistent,
+		// checked through the protocol-level fsck op.
+		for i := range cl.Nodes {
+			rep, err := c.Fsck(i)
+			if err != nil {
+				t.Errorf("node %d fsck: %v", i, err)
+				return
+			}
+			if !rep.OK() {
+				t.Errorf("node %d volume inconsistent after chaos: %v", i, rep.Problems)
+			}
+		}
 	})
 	if err := rt.Wait(); err != nil {
 		t.Fatalf("sim: %v", err)

@@ -250,6 +250,17 @@ type (
 		Fixes  int
 		Status Status
 	}
+
+	// ScrubReq verifies block checksums on the volume: a Full sweep covers
+	// every allocated block from the start; otherwise one budgeted
+	// increment runs from the scrubber's cursor (same as the background
+	// scrubber's ticks).
+	ScrubReq struct{ Full bool }
+	// ScrubResp returns the sweep report.
+	ScrubResp struct {
+		Report efs.ScrubReport
+		Status Status
+	}
 )
 
 // WireSize estimates the on-wire payload size of a protocol body, used by
@@ -280,8 +291,10 @@ func WireSize(body any) int {
 		return n
 	case WriteVecResp:
 		return 8 + 8*len(b.Blocks)
-	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq, PingReq:
+	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq, PingReq, ScrubReq:
 		return 8
+	case ScrubResp:
+		return 16 + 12*len(b.Report.Errors)
 	case UsageResp:
 		return 16
 	case CreateResp, SyncResp, PingResp:

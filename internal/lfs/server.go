@@ -20,6 +20,34 @@ type Config struct {
 	// OpCPU is the processor time the LFS charges per request on top of
 	// device time (request decode, cache lookup bookkeeping).
 	OpCPU time.Duration
+	// Scrub enables the background integrity scrubber on this node (nil =
+	// off). Between requests the server sweeps the volume incrementally,
+	// verifying block checksums against the medium.
+	Scrub *ScrubConfig
+}
+
+// ScrubConfig parameterizes the background scrubber. The scrubber runs in
+// the server process itself: whenever the server has been idle for Interval,
+// it spends up to Budget of disk time verifying the next blocks in the
+// sweep. Requests always take priority — a scrub increment only starts when
+// the queue is empty, so an idle node scrubs continuously and a busy node
+// scrubs between bursts.
+type ScrubConfig struct {
+	// Interval is how long the server must be idle before an increment
+	// runs. Default 500ms.
+	Interval time.Duration
+	// Budget bounds the disk time one increment may spend. Default 60ms
+	// (about four Wren-class accesses).
+	Budget time.Duration
+}
+
+func (c *ScrubConfig) applyDefaults() {
+	if c.Interval == 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Budget == 0 {
+		c.Budget = 60 * time.Millisecond
+	}
 }
 
 func (c *Config) applyDefaults() {
@@ -31,6 +59,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.OpCPU == 0 {
 		c.OpCPU = 300 * time.Microsecond
+	}
+	if c.Scrub != nil {
+		c.Scrub.applyDefaults()
 	}
 }
 
@@ -140,7 +171,22 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 	n.dedup = make(map[writeKey]any)
 	n.dedupQ = nil
 	for {
-		req, ok := n.port.Recv(p)
+		var req *msg.Message
+		var ok bool
+		if n.cfg.Scrub != nil {
+			// With the scrubber on, idle time is scrub time: when no
+			// request arrives within the interval, run one budgeted sweep
+			// increment and go back to listening. The FS stays owned by
+			// this one process either way.
+			var timedOut bool
+			req, ok, timedOut = n.port.RecvTimeout(p, n.cfg.Scrub.Interval)
+			if timedOut {
+				n.scrubTick(p)
+				continue
+			}
+		} else {
+			req, ok = n.port.Recv(p)
+		}
 		if !ok {
 			return
 		}
@@ -155,6 +201,23 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 			Body:  body,
 			Size:  WireSize(body),
 		})
+	}
+}
+
+// scrubTick runs one budgeted scrub increment and records its counters.
+func (n *Node) scrubTick(p sim.Proc) {
+	rep, err := n.fs.ScrubStep(p, n.cfg.Scrub.Budget)
+	if err != nil {
+		// Directory chains unreadable: nothing to sweep this tick. The
+		// condition is also visible to every client operation, which is
+		// where it gets reported and repaired.
+		return
+	}
+	st := n.net.Stats()
+	st.Add("bridge.scrub_blocks", int64(rep.Scanned))
+	st.Add("bridge.scrub_errors", int64(len(rep.Errors)))
+	if rep.Wrapped {
+		st.Add("bridge.scrub_sweeps", 1)
 	}
 }
 
@@ -249,6 +312,27 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 		}
 		rep, err := n.fs.Check(p)
 		return CheckResp{Report: rep, Status: statusFor(err)}
+	case ScrubReq:
+		var rep efs.ScrubReport
+		var err error
+		if r.Full {
+			rep, err = n.fs.ScrubAll(p)
+		} else {
+			budget := time.Duration(0)
+			if n.cfg.Scrub != nil {
+				budget = n.cfg.Scrub.Budget
+			}
+			rep, err = n.fs.ScrubStep(p, budget)
+		}
+		if err == nil {
+			st := n.net.Stats()
+			st.Add("bridge.scrub_blocks", int64(rep.Scanned))
+			st.Add("bridge.scrub_errors", int64(len(rep.Errors)))
+			if rep.Wrapped {
+				st.Add("bridge.scrub_sweeps", 1)
+			}
+		}
+		return ScrubResp{Report: rep, Status: statusFor(err)}
 	case UsageReq:
 		return UsageResp{
 			TotalBlocks: n.Disk.Config().NumBlocks,
@@ -375,6 +459,18 @@ func (c *Client) Check(node msg.NodeID) (efs.CheckReport, error) {
 		return efs.CheckReport{}, err
 	}
 	r := m.Body.(CheckResp)
+	return r.Report, r.Status.Err()
+}
+
+// Scrub verifies block checksums on the node: a full sweep when full is
+// true, otherwise one budgeted increment from the scrubber's cursor.
+func (c *Client) Scrub(node msg.NodeID, full bool) (efs.ScrubReport, error) {
+	req := ScrubReq{Full: full}
+	m, err := c.C.Call(lfsAddr(node), req, WireSize(req))
+	if err != nil {
+		return efs.ScrubReport{}, err
+	}
+	r := m.Body.(ScrubResp)
 	return r.Report, r.Status.Err()
 }
 

@@ -113,6 +113,34 @@ func (m *Mirror) readCopy(i int, n int64) ([]byte, error) {
 	return m.c.ReadAt(cs.name, n)
 }
 
+// writeCopy overwrites block n of copy i in place, honoring an open gap.
+func (m *Mirror) writeCopy(i int, n int64, data []byte) error {
+	cs := &m.cp[i]
+	if cs.gapStart >= 0 && n >= cs.gapStart {
+		k := n - cs.gapStart
+		if cs.ovfName == "" || k >= cs.ovfLen {
+			return fmt.Errorf("replica: block %d past overflow of %s", n, cs.name)
+		}
+		return m.c.WriteAt(cs.ovfName, k, data)
+	}
+	return m.c.WriteAt(cs.name, n, data)
+}
+
+// readRepair rewrites copy i's corrupt block n with the verified data just
+// served from the other copy. The LFS overwrite path re-seals the block's
+// checksum (rebuilding its on-disk header from verified neighbors if the
+// old image cannot be trusted). Failure is not fatal to the read — the
+// block stays corrupt on disk and the scrubber or the next read retries.
+func (m *Mirror) readRepair(i int, n int64, data []byte, cause error) {
+	if err := m.writeCopy(i, n, data); err != nil {
+		m.emit("replica.readrepair", "%s block %d repair failed: %v", m.cp[i].name, n, err)
+		return
+	}
+	m.stats().Add("bridge.readrepair_mirror", 1)
+	m.stats().Add("bridge.readrepair_blocks", 1)
+	m.emit("replica.readrepair", "%s block %d rewritten from mirror (%v)", m.cp[i].name, n, cause)
+}
+
 // Resilver restores full redundancy after the failed node has been
 // restarted and core.Client.RepairNode has re-registered its files. It
 // verifies each copy's blocks in ascending order, rewriting any the crash
@@ -197,6 +225,19 @@ func (pf *Parity) degradeStripe(stripe int64, cause error) error {
 
 // Degraded reports whether any stripe's parity is stale.
 func (pf *Parity) Degraded() bool { return len(pf.dirty) > 0 }
+
+// readRepair rewrites corrupt data block n with its just-computed
+// reconstruction. Failure is not fatal to the read — the block stays
+// corrupt on disk and the scrubber or the next read retries.
+func (pf *Parity) readRepair(n int64, data []byte, cause error) {
+	if err := pf.c.WriteAt(pf.name, n, data); err != nil {
+		pf.emit("replica.readrepair", "%s block %d repair failed: %v", pf.name, n, err)
+		return
+	}
+	pf.stats().Add("bridge.readrepair_parity", 1)
+	pf.stats().Add("bridge.readrepair_blocks", 1)
+	pf.emit("replica.readrepair", "%s block %d rewritten from parity stripe (%v)", pf.name, n, cause)
+}
 
 // Rebuild restores full redundancy after a failed node has been restarted
 // and core.Client.RepairNode has re-registered its files: unreadable data

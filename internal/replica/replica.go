@@ -135,7 +135,9 @@ func (m *Mirror) Append(payload []byte) error {
 }
 
 // Read returns block n, falling back to the mirror copy if the primary's
-// copy of it is unreachable.
+// copy of it is unreachable. When the primary's copy failed its checksum
+// (rather than its node being down), the verified mirror data is written
+// back over the bad block — read-repair — before it is returned.
 func (m *Mirror) Read(n int64) ([]byte, error) {
 	data, err := m.readCopy(0, n)
 	if err == nil {
@@ -143,6 +145,9 @@ func (m *Mirror) Read(n int64) ([]byte, error) {
 	}
 	data, err2 := m.readCopy(1, n)
 	if err2 == nil {
+		if errors.Is(err, core.ErrCorrupt) {
+			m.readRepair(0, n, data, err)
+		}
 		return data, nil
 	}
 	return nil, fmt.Errorf("%w: primary %v; shadow %v", ErrBothCopiesLost, err, err2)
@@ -246,13 +251,22 @@ func (pf *Parity) Append(payload []byte) error {
 }
 
 // Read returns data block n, reconstructing it from the rest of its stripe
-// and the parity column if its node has failed.
+// and the parity column if its node has failed. When the block failed its
+// checksum (rather than its node being down), the reconstruction is written
+// back over the bad block — read-repair — before it is returned.
 func (pf *Parity) Read(n int64) ([]byte, error) {
 	data, err := pf.c.ReadAt(pf.name, n)
 	if err == nil {
 		return data, nil
 	}
-	return pf.Reconstruct(n)
+	rec, rerr := pf.Reconstruct(n)
+	if rerr != nil {
+		return nil, rerr
+	}
+	if errors.Is(err, core.ErrCorrupt) {
+		pf.readRepair(n, rec, err)
+	}
+	return rec, nil
 }
 
 // Reconstruct rebuilds data block n from the surviving members of its
