@@ -46,6 +46,7 @@ import (
 	"bridge/internal/fault"
 	"bridge/internal/lfs"
 	"bridge/internal/msg"
+	"bridge/internal/obs"
 	"bridge/internal/replica"
 	"bridge/internal/sim"
 	"bridge/internal/tools"
@@ -98,6 +99,19 @@ type (
 	ScrubReport = efs.ScrubReport
 	// ScrubConfig tunes the per-node background scrubber; see Config.Scrub.
 	ScrubConfig = lfs.ScrubConfig
+	// ObsConfig tunes the observability recorder (span capacity, gauge
+	// sampling interval); see Config.Obs.
+	ObsConfig = obs.Config
+	// MetricValue is one registered metric with its description and current
+	// value, as returned by MetricsSnapshot.Values.
+	MetricValue = obs.Value
+	// MetricKind classifies a metric (counter, timer, gauge).
+	MetricKind = obs.MetricKind
+	// LatencyHistogram is one op kind's log-scale latency distribution.
+	LatencyHistogram = obs.HistSnapshot
+	// OpSpan is one recorded operation span: virtual start/end, queue wait,
+	// node, and causal links.
+	OpSpan = obs.Span
 )
 
 // Health states, re-exported.
@@ -145,6 +159,8 @@ var (
 	// and parity-protected files self-heal (read-repair); reads of
 	// unreplicated files fail with this error naming the node and block.
 	ErrCorrupt = core.ErrCorrupt
+	// ErrObsDisabled reports an Inspector trace export without Config.Obs.
+	ErrObsDisabled = obs.ErrNoRecorder
 )
 
 // NewFaultInjector creates a deterministic fault injector seeded for exact
@@ -213,6 +229,16 @@ type Config struct {
 	// next read surfaces ErrCorrupt and (for replicated files) read-repair.
 	// Use &ScrubConfig{} for the defaults.
 	Scrub *ScrubConfig
+	// Obs enables virtual-time observability: every client operation opens
+	// a trace whose spans flow through the server, LFS, and disk layers;
+	// latency histograms accumulate per op kind; and a sampler records
+	// per-node queue depth and disk utilization at fixed virtual
+	// intervals. Inspect with Session.Inspect() — WriteChromeTrace dumps
+	// Chrome trace_event JSON (byte-identical across same-seed runs),
+	// WriteTop a per-node text report. Use &ObsConfig{} for the defaults.
+	// Observability charges no simulated time, so enabling it does not
+	// perturb measured performance.
+	Obs *ObsConfig
 }
 
 // System is a configured Bridge cluster, ready to Run.
@@ -284,6 +310,17 @@ func (s *System) Run(fn func(*Session) error) error {
 			n.Disk.SetTracer(tr, fmt.Sprintf("disk%d", i))
 		}
 	}
+	var rec *obs.Recorder
+	var obsStop *msg.Port
+	if s.cfg.Obs != nil {
+		ocfg := s.cfg.Obs.WithDefaults()
+		rec = obs.NewRecorder(ocfg)
+		cl.Net.SetRecorder(rec)
+		for _, n := range cl.Nodes {
+			n.Disk.SetRecorder(rec, int(n.ID))
+		}
+		obsStop = startSampler(rt, cl, rec, ocfg.SampleEvery)
+	}
 	if s.cfg.Fault != nil {
 		if tr != nil {
 			s.cfg.Fault.SetTracer(tr)
@@ -297,11 +334,15 @@ func (s *System) Run(fn func(*Session) error) error {
 	var fnErr error
 	rt.Go("bridge-session", func(proc sim.Proc) {
 		defer cl.Stop()
+		if obsStop != nil {
+			defer obsStop.Close()
+		}
 		sess := &Session{
 			proc:   proc,
 			cl:     cl,
 			c:      cl.NewClient(proc, 0, "session"),
 			tracer: tr,
+			rec:    rec,
 		}
 		if retry != nil {
 			// A distinct stream label keeps the session's jitter sequence
@@ -326,6 +367,38 @@ type Session struct {
 	cl     *core.Cluster
 	c      *core.Client
 	tracer *trace.Tracer
+	rec    *obs.Recorder // nil = observability off
+}
+
+// startSampler runs the observability gauge sampler: every interval of
+// virtual time it records each node's request-queue depth and the delta of
+// its disk's busy time (as a utilization percentage). It charges no CPU, so
+// sampling never perturbs the simulation's measured performance; it exits
+// when the returned stop port closes.
+func startSampler(rt sim.Runtime, cl *core.Cluster, rec *obs.Recorder, every time.Duration) *msg.Port {
+	stop := cl.Net.NewPort(msg.Addr{Node: 0, Port: "obs.sampler.stop"})
+	rt.Go("obs-sampler", func(p sim.Proc) {
+		prevBusy := make([]time.Duration, len(cl.Nodes))
+		for {
+			if _, ok, timedOut := stop.RecvTimeout(p, every); !timedOut && !ok {
+				return
+			}
+			at := p.Now()
+			for i, n := range cl.Nodes {
+				node := int(n.ID)
+				rec.Sample(at, node, "queue_depth", int64(n.QueueLen()))
+				busy := n.Disk.Stats().GetTime("disk.busy")
+				delta := busy - prevBusy[i]
+				prevBusy[i] = busy
+				util := int64(0)
+				if every > 0 {
+					util = int64(delta * 100 / every)
+				}
+				rec.Sample(at, node, "disk_util_pct", util)
+			}
+		}
+	})
+	return stop
 }
 
 // Now returns the current simulated time.
@@ -439,9 +512,6 @@ func (s *Session) ReadAll(name string) ([][]byte, error) {
 	}
 }
 
-// Info returns the cluster structure (the Get Info command).
-func (s *Session) Info() (ClusterInfo, error) { return s.c.GetInfo() }
-
 // Copy runs the parallel copy tool: O(n/p + log p).
 func (s *Session) Copy(src, dst string) (CopyStats, error) {
 	return tools.Copy(s.proc, s.c, src, dst)
@@ -507,10 +577,6 @@ func (s *Session) RestartNode(i int) error {
 // it should hold, returning how many were repaired. Run it after
 // RestartNode and before replica-level repair.
 func (s *Session) RepairNode(i int) (int, error) { return s.c.RepairNode(i) }
-
-// Health returns the monitored state of every storage node (requires
-// Config.Health; without it all nodes report Healthy).
-func (s *Session) Health() ([]NodeHealth, error) { return s.c.Health() }
 
 // Fsck runs a full consistency check of storage node i's local file system
 // — superblock, directory, bitmap, chain invariants, and block checksums —
@@ -693,11 +759,133 @@ func (s *Session) RunTool(name string, fn func(ctx *ToolCtx) (any, error)) ([]an
 	return tools.RunOnNodes(s.proc, s.cl.Net, s.cl.NodeIDs(), name, fn)
 }
 
-// WriteTrace dumps the recorded event timeline (requires Config.Trace).
-func (s *Session) WriteTrace(w io.Writer) error {
-	if s.tracer == nil {
+// MetricsSnapshot is a point-in-time image of the system's typed metrics:
+// every registered counter, timer, and gauge (sorted by name), plus the
+// per-op-kind latency histograms when observability is enabled.
+type MetricsSnapshot struct {
+	Values     []MetricValue
+	Histograms []LatencyHistogram
+}
+
+// Counter returns the named counter's value (0 if unregistered).
+func (m MetricsSnapshot) Counter(name string) int64 {
+	for _, v := range m.Values {
+		if v.Name == name {
+			return v.Count
+		}
+	}
+	return 0
+}
+
+// Timer returns the named timer's accumulated duration (0 if unregistered).
+func (m MetricsSnapshot) Timer(name string) time.Duration {
+	for _, v := range m.Values {
+		if v.Name == name {
+			return v.Time
+		}
+	}
+	return 0
+}
+
+// Histogram returns the latency histogram for one op kind (for example
+// "client.seqreadn" or "disk.read").
+func (m MetricsSnapshot) Histogram(kind string) (LatencyHistogram, bool) {
+	for _, h := range m.Histograms {
+		if h.Kind == kind {
+			return h, true
+		}
+	}
+	return LatencyHistogram{}, false
+}
+
+// Metrics snapshots the system's typed metrics. Shorthand for
+// Inspect().Metrics().
+func (s *Session) Metrics() MetricsSnapshot { return s.Inspect().Metrics() }
+
+// Inspector is the session's introspection surface: cluster structure,
+// node health, metrics, and the recorded traces. All of it is read-only.
+type Inspector struct {
+	s *Session
+}
+
+// Inspect returns the session's introspection surface.
+func (s *Session) Inspect() Inspector { return Inspector{s: s} }
+
+// Info returns the cluster structure (the Get Info command).
+func (i Inspector) Info() (ClusterInfo, error) { return i.s.c.GetInfo() }
+
+// Health returns the monitored state of every storage node (requires
+// Config.Health; without it all nodes report Healthy).
+func (i Inspector) Health() ([]NodeHealth, error) { return i.s.c.Health() }
+
+// Metrics snapshots every typed metric on the cluster's shared registry,
+// plus the per-op-kind latency histograms when Config.Obs is set. Metric
+// reads are atomic; the snapshot is safe to take while the system runs.
+func (i Inspector) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Values:     i.s.cl.Net.Stats().Registry().Values(),
+		Histograms: i.s.rec.Histograms(),
+	}
+}
+
+// TraceDump writes the legacy event timeline (requires Config.Trace).
+func (i Inspector) TraceDump(w io.Writer) error {
+	if i.s.tracer == nil {
 		return errors.New("bridge: tracing not enabled (set Config.Trace)")
 	}
-	_, err := s.tracer.WriteTo(w)
+	_, err := i.s.tracer.WriteTo(w)
 	return err
+}
+
+// WriteChromeTrace writes the recorded op spans, events, and gauge samples
+// as Chrome trace_event JSON — load it in about://tracing or Perfetto.
+// Requires Config.Obs; the output is byte-identical across same-seed runs.
+func (i Inspector) WriteChromeTrace(w io.Writer) error {
+	return i.s.rec.WriteChromeTrace(w)
+}
+
+// WriteTop writes a plain-text per-node report: span and error counts,
+// disk busy time and utilization, queue-depth statistics, and the latency
+// histograms. Requires Config.Obs; deterministic across same-seed runs.
+func (i Inspector) WriteTop(w io.Writer) error { return i.s.rec.WriteTop(w) }
+
+// Spans returns the completed op spans in creation order (nil without
+// Config.Obs). An Inspector captured inside Run stays valid after Run
+// returns, when the simulation has drained and every span has closed —
+// the right time to export traces or audit span lifecycles.
+func (i Inspector) Spans() []OpSpan { return i.s.rec.Spans() }
+
+// OpenSpans returns the number of spans started but never ended. After a
+// drained run it is zero if every operation closed its span exactly once.
+func (i Inspector) OpenSpans() int { return i.s.rec.OpenSpans() }
+
+// DoubleEnds returns the number of span End calls that had no matching
+// open span — always zero unless a layer closes a span twice.
+func (i Inspector) DoubleEnds() int { return i.s.rec.DoubleEnds() }
+
+// DroppedSpans returns the number of spans whose payload was dropped
+// because the recorder hit ObsConfig.SpanCap; their lifecycle is still
+// tracked by OpenSpans and DoubleEnds.
+func (i Inspector) DroppedSpans() int { return i.s.rec.DroppedSpans() }
+
+// WriteMetricsDoc generates the metrics reference (metrics.md): every
+// typed metric a booted system registers, with kind, unit, and help text.
+// It boots a small throwaway cluster so each layer's registrations run.
+func WriteMetricsDoc(w io.Writer) error {
+	sys, err := New(Config{Nodes: 2, DiskBlocks: 128})
+	if err != nil {
+		return err
+	}
+	var sets [][]MetricValue
+	err = sys.Run(func(s *Session) error {
+		reg := s.cl.Net.Stats().Registry()
+		replica.RegisterMetrics(reg)
+		sets = append(sets, reg.Values(), s.cl.Nodes[0].Disk.Stats().Registry().Values())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sets = append(sets, fault.New(0).Stats().Registry().Values())
+	return obs.WriteDoc(w, sets...)
 }

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	bridgebench [-exp all|table2|table3|table4|placement|createtree|popen|methods|faults]
-//	            [-records N] [-incore N] [-ps 2,4,8,16,32] [-quick]
+//	bridgebench [-exp all|table2|table3|table4|placement|createtree|popen|methods|faults|obs|latency]
+//	            [-records N] [-incore N] [-ps 2,4,8,16,32] [-quick] [-trace out.json]
 //
 // The default is the paper's full configuration: a 10 MB file of 10240
 // one-block records, 15 ms Wren-class disks, p in {2,4,8,16,32}. -quick
@@ -33,11 +33,12 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table2, table3, table4, placement, createtree, popen, methods, disordered, servers, utilization, model, faults, scrub, corruption")
-		records = flag.Int("records", 0, "records per workload file (0 = paper's 10240)")
-		inCore  = flag.Int("incore", 0, "sort tool in-core buffer in records (0 = paper's 512)")
-		psFlag  = flag.String("ps", "", "comma-separated processor sweep (default 2,4,8,16,32)")
-		quick   = flag.Bool("quick", false, "reduced scale (shape-preserving, runs in seconds)")
+		exp      = flag.String("exp", "all", "experiment: all, table2, table3, table4, placement, createtree, popen, methods, disordered, servers, utilization, model, faults, scrub, corruption, obs, latency")
+		records  = flag.Int("records", 0, "records per workload file (0 = paper's 10240)")
+		inCore   = flag.Int("incore", 0, "sort tool in-core buffer in records (0 = paper's 512)")
+		psFlag   = flag.String("ps", "", "comma-separated processor sweep (default 2,4,8,16,32)")
+		quick    = flag.Bool("quick", false, "reduced scale (shape-preserving, runs in seconds)")
+		traceOut = flag.String("trace", "", "write an observed batched-read run's Chrome trace JSON here")
 	)
 	flag.Parse()
 
@@ -207,6 +208,47 @@ func run() error {
 		}
 		experiments.RenderCorruption(w, pts)
 		done()
+	}
+	if want("obs") {
+		done := section("Observability: recorder overhead on the batched naive read")
+		pts, err := experiments.ObsOverhead(icfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderObsOverhead(w, pts, icfg.Records)
+		done()
+	}
+	if want("latency") {
+		done := section("Observability: per-layer latency breakdown")
+		lcfg := cfg
+		lcfg.Ps = []int{8}
+		if *psFlag != "" {
+			lcfg.Ps = cfg.Ps[:1]
+		}
+		rows, err := experiments.LatencyBreakdown(lcfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderLatencyBreakdown(w, rows, lcfg.Ps[0], lcfg.Records)
+		done()
+	}
+	if *traceOut != "" {
+		p := 8
+		if *psFlag != "" {
+			p = cfg.Ps[0]
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteObsTrace(cfg, p, f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote Chrome trace (batched read, p=%d) to %s — load in about://tracing or Perfetto\n", p, *traceOut)
 	}
 	return nil
 }

@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	bridgeperf [-out BENCH_pr4.json] [-check BENCH_pr4.json] [-tolerance 0.10]
+//	bridgeperf [-out BENCH_pr5.json] [-check BENCH_pr5.json] [-tolerance 0.10] [-trace out.json]
+//
+// -trace additionally writes the observed batched-read run's Chrome
+// trace_event JSON (load in about://tracing or Perfetto).
 //
 // Because every metric is simulated time, runs are exactly reproducible:
 // the committed baseline only changes when the code's performance does.
@@ -22,7 +25,7 @@ import (
 	"bridge/internal/experiments"
 )
 
-// Report is the BENCH_pr4.json schema. All *SimMs fields are simulated
+// Report is the BENCH_pr5.json schema. All *SimMs fields are simulated
 // milliseconds (lower is better); RecPerSec is simulated throughput
 // (higher is better).
 type Report struct {
@@ -44,6 +47,12 @@ type Report struct {
 	// scrubber running, and the fraction it adds over the plain run.
 	BatchedReadScrubBlkSimMs float64 `json:"batched_read_scrub_blk_sim_ms"`
 	ScrubOverheadFrac        float64 `json:"scrub_overhead_frac"`
+
+	// Observability costs: the same batched read with the span recorder
+	// attached to the network and every disk, and the fraction it adds.
+	// Spans charge no simulated time, so this must stay ~0.
+	BatchedReadObsBlkSimMs float64 `json:"batched_read_obs_blk_sim_ms"`
+	ObsOverheadFrac        float64 `json:"obs_overhead_frac"`
 }
 
 func main() {
@@ -57,9 +66,10 @@ func simMs(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 func run() error {
 	var (
-		out       = flag.String("out", "BENCH_pr4.json", "where to write the metrics report")
+		out       = flag.String("out", "BENCH_pr5.json", "where to write the metrics report")
 		check     = flag.String("check", "", "baseline report to compare against (empty = no comparison)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression per metric")
+		traceOut  = flag.String("trace", "", "write the observed batched-read run's Chrome trace JSON here")
 	)
 	flag.Parse()
 
@@ -82,9 +92,14 @@ func run() error {
 		return fmt.Errorf("scrub overhead: %w", err)
 	}
 	so := scrub[0]
+	obsPts, err := experiments.ObsOverhead(cfg)
+	if err != nil {
+		return fmt.Errorf("obs overhead: %w", err)
+	}
+	oo := obsPts[0]
 
 	rep := Report{
-		PR:                  4,
+		PR:                  5,
 		Scale:               "quick",
 		P:                   p,
 		NaiveReadBlkSimMs:   simMs(pt.ReadPerBlock),
@@ -97,6 +112,9 @@ func run() error {
 
 		BatchedReadScrubBlkSimMs: simMs(so.Scrubbed),
 		ScrubOverheadFrac:        so.Overhead(),
+
+		BatchedReadObsBlkSimMs: simMs(oo.Observed),
+		ObsOverheadFrac:        oo.Overhead(),
 	}
 	if rep.BatchedReadBlkSimMs > 0 {
 		rep.BatchedReadSpeedup = rep.NaiveReadBlkSimMs / rep.BatchedReadBlkSimMs
@@ -110,9 +128,26 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
+	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
 		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup,
-		rep.BatchedReadScrubBlkSimMs, 100*rep.ScrubOverheadFrac, rep.CopyToolSimMs, rep.CopyRecPerSec, *out)
+		rep.BatchedReadScrubBlkSimMs, 100*rep.ScrubOverheadFrac,
+		rep.BatchedReadObsBlkSimMs, 100*rep.ObsOverheadFrac,
+		rep.CopyToolSimMs, rep.CopyRecPerSec, *out)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteObsTrace(cfg, p, f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+	}
 
 	// Headline gate: the batched naive read must stay >= 3x cheaper per
 	// block than the per-block naive read at p=8.
@@ -123,6 +158,12 @@ func run() error {
 	// 5% on the batched naive read path at p=8.
 	if rep.ScrubOverheadFrac > 0.05 {
 		return fmt.Errorf("scrub overhead %.1f%% on the batched read exceeds the 5%% budget", 100*rep.ScrubOverheadFrac)
+	}
+	// Observability gate: the span recorder may cost at most 2% on the
+	// batched read path. Spans charge no simulated time, so in practice
+	// this is exactly 0%; the gate catches anyone adding a Sleep.
+	if rep.ObsOverheadFrac > 0.02 {
+		return fmt.Errorf("observability overhead %.1f%% on the batched read exceeds the 2%% budget", 100*rep.ObsOverheadFrac)
 	}
 	if *check == "" {
 		return nil
@@ -148,6 +189,7 @@ func run() error {
 		{"create_sim_ms", rep.CreateSimMs, base.CreateSimMs},
 		{"delete_total_sim_ms", rep.DeleteTotSimMs, base.DeleteTotSimMs},
 		{"batched_read_scrub_blk_sim_ms", rep.BatchedReadScrubBlkSimMs, base.BatchedReadScrubBlkSimMs},
+		{"batched_read_obs_blk_sim_ms", rep.BatchedReadObsBlkSimMs, base.BatchedReadObsBlkSimMs},
 	}
 	var failed bool
 	for _, m := range lower {

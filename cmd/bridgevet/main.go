@@ -1,7 +1,7 @@
 // Bridgevet machine-checks the sim determinism contract (see DESIGN.md,
-// "Determinism contract & static enforcement"). It runs five analyzers —
-// simdeterminism, maporder, rawgoroutine, lockedblock, errcmp — over Go
-// packages and reports every violation.
+// "Determinism contract & static enforcement"). It runs six analyzers —
+// simdeterminism, maporder, rawgoroutine, lockedblock, errcmp, obsexport —
+// over Go packages and reports every violation.
 //
 // It speaks two protocols:
 //

@@ -82,7 +82,7 @@ func main() {
 			if !probed && m.Degraded() {
 				probed = true
 				fmt.Printf("[%8v] mirror degraded after append %d\n", s.Now(), i)
-				states, err := s.Health()
+				states, err := s.Inspect().Health()
 				if err != nil {
 					return err
 				}
@@ -133,7 +133,7 @@ func main() {
 			}
 		}
 		fmt.Printf("[%8v] all %d blocks verified intact\n", s.Now(), n)
-		return s.WriteTrace(&traceDump)
+		return s.Inspect().TraceDump(&traceDump)
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -105,7 +105,7 @@ func TestFacadeTrace(t *testing.T) {
 		s.Append("f", []byte("traced"))
 		s.ReadAt("f", 0)
 		var sb strings.Builder
-		if err := s.WriteTrace(&sb); err != nil {
+		if err := s.Inspect().TraceDump(&sb); err != nil {
 			return err
 		}
 		out := sb.String()
@@ -128,7 +128,7 @@ func TestFacadeTraceDisabled(t *testing.T) {
 	sys := fastSystem(t, 2)
 	err := sys.Run(func(s *Session) error {
 		var buf bytes.Buffer
-		if err := s.WriteTrace(&buf); err == nil {
+		if err := s.Inspect().TraceDump(&buf); err == nil {
 			return fmt.Errorf("WriteTrace without Config.Trace succeeded")
 		}
 		return nil

@@ -1,0 +1,153 @@
+// Package obsexport enforces the byte-identical-export contract on the
+// observability package.
+//
+// The Chrome-trace and bridgetop exporters in internal/obs promise
+// byte-identical output across same-seed runs; CI diffs two chaos runs to
+// hold them to it. Two things silently break that promise: reading the
+// host clock (virtual time is the only time an export may contain) and
+// letting Go's randomized map iteration order reach the output stream.
+// This analyzer rejects both anywhere in internal/obs — the wall-clock
+// check overlaps simdeterminism on purpose, and the map check goes further
+// than maporder: any write to an io.Writer inside a range-over-map is
+// flagged, because exporter output order is observable even when nothing
+// escapes the loop.
+package obsexport
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bridge/internal/analysis"
+)
+
+// Analyzer is the obsexport check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsexport",
+	Doc: "flag wall-clock reads and map-ordered writes in the obs exporters\n\n" +
+		"internal/obs promises byte-identical exports across same-seed " +
+		"runs: timestamps must be virtual time, and output written inside " +
+		"a range-over-map inherits Go's randomized iteration order — " +
+		"collect the keys, sort them, then write.",
+	Run: run,
+}
+
+// wallClock lists the time functions that read or wait on the host clock.
+var wallClock = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "Since": true, "Until": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRangeWrites(pass, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClock(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods like (time.Duration).String are fine
+	}
+	if wallClock[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"time.%s reads the wall clock: obs exports carry virtual timestamps only, or same-seed runs stop diffing clean",
+			fn.Name())
+	}
+}
+
+// checkMapRangeWrites flags calls inside a range-over-map body that write
+// to an io.Writer — directly (w.Write, buf.WriteString) or through a
+// writer-taking helper (fmt.Fprintf, io.WriteString, emit(w, ...)).
+func checkMapRangeWrites(pass *analysis.Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if isWriter(pass.TypesInfo.TypeOf(sel.X)) {
+				pass.Reportf(rng.For,
+					"map iteration order reaches exporter output via %s.%s at %s; collect and sort the keys, then write",
+					exprText(sel.X), sel.Sel.Name, pass.Fset.Position(call.Pos()))
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if isWriter(pass.TypesInfo.TypeOf(arg)) {
+				pass.Reportf(rng.For,
+					"map iteration order reaches exporter output via a writer argument at %s; collect and sort the keys, then write",
+					pass.Fset.Position(call.Pos()))
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// isWriter reports whether t (or *t) has a Write([]byte) (int, error)
+// method — the structural io.Writer test, so bytes.Buffer, strings.Builder
+// and the io.Writer interface itself all count.
+func isWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if hasWrite(t) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return hasWrite(types.NewPointer(t))
+	}
+	return false
+}
+
+func hasWrite(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "Write" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			continue
+		}
+		if sl, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+			if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprText renders a short label for the written-to expression.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	default:
+		return "writer"
+	}
+}

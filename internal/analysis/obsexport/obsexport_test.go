@@ -1,0 +1,14 @@
+package obsexport_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/obsexport"
+)
+
+func TestObsexport(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{obsexport.Analyzer},
+		"bridge/internal/obs", "obsexport_other")
+}

@@ -8,6 +8,7 @@ import (
 	"bridge/internal/analysis/errcmp"
 	"bridge/internal/analysis/lockedblock"
 	"bridge/internal/analysis/maporder"
+	"bridge/internal/analysis/obsexport"
 	"bridge/internal/analysis/rawgoroutine"
 	"bridge/internal/analysis/simdeterminism"
 )
@@ -20,6 +21,7 @@ func All() []*analysis.Analyzer {
 		rawgoroutine.Analyzer,
 		lockedblock.Analyzer,
 		errcmp.Analyzer,
+		obsexport.Analyzer,
 	}
 }
 

@@ -15,7 +15,7 @@ func TestDirectiveFixture(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
-	want := []string{"simdeterminism", "maporder", "rawgoroutine", "lockedblock", "errcmp"}
+	want := []string{"simdeterminism", "maporder", "rawgoroutine", "lockedblock", "errcmp", "obsexport"}
 	got := suite.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

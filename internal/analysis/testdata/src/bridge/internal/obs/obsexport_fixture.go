@@ -1,0 +1,57 @@
+// Package obs is a fixture standing in for the real observability package:
+// its import path ends in internal/obs, so the obsexport analyzer applies.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+func WallClockTimestamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func WallClockElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Virtual-time arithmetic and Duration methods are fine.
+func VirtualOnly(at time.Duration) string {
+	return at.String()
+}
+
+func WriteMapDirect(w io.Writer, counts map[string]int64) {
+	for k, v := range counts { // want `map iteration order reaches exporter output`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+func WriteMapBuffer(counts map[string]int64) string {
+	var buf bytes.Buffer
+	for k := range counts { // want `map iteration order reaches exporter output`
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+func WriteMapHelper(w io.Writer, counts map[string]int64) {
+	emit := func(w io.Writer, s string) { io.WriteString(w, s) }
+	for k := range counts { // want `map iteration order reaches exporter output`
+		emit(w, k)
+	}
+}
+
+// The fix: collect, sort, then write.
+func WriteMapSorted(w io.Writer, counts map[string]int64) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, counts[k])
+	}
+}

@@ -1,0 +1,16 @@
+// Package obsexport_other proves the obsexport analyzer is scoped to
+// internal/obs: the same patterns it flags there are silent here (other
+// analyzers still apply — maporder would catch escaping appends, and
+// simdeterminism the wall clock).
+package obsexport_other
+
+import (
+	"fmt"
+	"io"
+)
+
+func WriteMapDirect(w io.Writer, counts map[string]int64) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}

@@ -86,7 +86,8 @@ func (s *Server) awaitVec(p sim.Proc, c vecCall) (*msg.Message, error) {
 		for retry := 1; retry < s.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
 			s.lc.Discard(c.id)
 			p.Sleep(s.retry.backoff(retry))
-			s.net.Stats().Add("bridge.lfs_retries", 1)
+			s.m.lfsRetries.Add(1)
+			s.curSpan.Annotate(fmt.Sprintf("lfs retry %d n%d", retry, c.run.node))
 			if s.health != nil && s.health.get(c.run.node) == Dead {
 				return nil, fmt.Errorf("%w: n%d", ErrNodeDown, c.run.node)
 			}

@@ -10,6 +10,7 @@ import (
 	"bridge/internal/distrib"
 	"bridge/internal/efs"
 	"bridge/internal/msg"
+	"bridge/internal/obs"
 	"bridge/internal/sim"
 )
 
@@ -27,6 +28,7 @@ type Client struct {
 	timeout time.Duration
 	retry   *retrier // nil = no retransmission
 	nextOp  uint64
+	retries obs.Counter
 }
 
 // NewClient creates a Bridge client for proc, homed on node, talking to the
@@ -45,6 +47,7 @@ func NewMultiClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name strin
 		mc:      msg.NewClient(proc, net, node, name),
 		servers: append([]msg.Addr(nil), servers...),
 		timeout: 10 * time.Minute, // covers the longest legitimate operation
+		retries: net.Stats().Registry().Counter("bridge.client_retries", "calls", "Client-level retransmissions of timed-out Bridge calls."),
 	}
 }
 
@@ -128,15 +131,36 @@ func (c *Client) call(body any) (*msg.Message, error) {
 // to the server that owns the job). With a retry policy installed, calls
 // that time out are retransmitted with the same body — and so the same
 // OpID — under capped exponential backoff.
+//
+// When the network has a recorder, every callAt opens a fresh trace whose
+// root span is the client operation; the server, LFS, and disk layers hang
+// their spans off it via the context stamped on the outgoing messages.
 func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
-	m, err := c.callOnce(to, body)
-	if c.retry == nil {
-		return m, err
+	rec := c.mc.Net().Recorder()
+	var sp obs.SpanRef
+	if rec != nil {
+		tr := rec.NewTrace()
+		sp = rec.Start(c.mc.Proc().Now(), tr, 0, "client."+opName(body), int(c.mc.Node()))
+		c.mc.SetTrace(tr, sp.ID())
+		defer c.mc.SetTrace(0, 0)
 	}
-	for retry := 1; retry < c.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
-		c.mc.Proc().Sleep(c.retry.backoff(retry))
-		c.mc.Net().Stats().Add("bridge.client_retries", 1)
-		m, err = c.callOnce(to, body)
+	m, err := c.callOnce(to, body)
+	if c.retry != nil {
+		for retry := 1; retry < c.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
+			c.mc.Proc().Sleep(c.retry.backoff(retry))
+			c.retries.Add(1)
+			sp.Annotate(fmt.Sprintf("retry %d", retry))
+			m, err = c.callOnce(to, body)
+		}
+	}
+	if rec != nil {
+		errText := ""
+		if err != nil {
+			errText = err.Error()
+		} else if m != nil {
+			errText = respErrAny(m.Body)
+		}
+		sp.EndErr(c.mc.Proc().Now(), errText)
 	}
 	return m, err
 }

@@ -138,7 +138,7 @@ func (s *Server) reportProbe(now time.Duration, n msg.NodeID, ok bool) {
 	if !changed {
 		return
 	}
-	s.net.Stats().Add("health.transitions", 1)
+	s.m.healthTransitions.Add(1)
 	if t := s.net.Tracer(); t != nil {
 		t.Emitf(now, "health."+state.String(), "node n%d", n)
 	}

@@ -87,7 +87,7 @@ func (c *raCache) read(p sim.Proc, s *Server, ent *dirent, client msg.Addr, pos 
 				n = int64(count)
 			}
 			out = append(out, e.blocks[off:off+n]...)
-			s.net.Stats().Add("bridge.ra_hits", n)
+			s.m.raHits.Add(n)
 			pos += n
 			count -= int(n)
 			continue
@@ -124,7 +124,8 @@ func (c *raCache) read(p sim.Proc, s *Server, ent *dirent, client msg.Addr, pos 
 			n = int64(count)
 		}
 		out = append(out, blocks[:n]...)
-		s.net.Stats().Add("bridge.ra_misses", n)
+		s.m.raMisses.Add(n)
+		s.curSpan.Annotate("ra miss")
 		pos += n
 		count -= int(n)
 	}
@@ -141,7 +142,7 @@ func (c *raCache) fill(p sim.Proc, s *Server, ent *dirent, e *raEntry) error {
 	if err != nil {
 		return err
 	}
-	s.net.Stats().Add("bridge.ra_fills", 1)
+	s.m.raFills.Add(1)
 	e.start, e.blocks = start, blocks
 	c.prefetch(s, ent, e)
 	return nil
@@ -222,7 +223,7 @@ func (c *raCache) invalidate(s *Server, name string) {
 		}
 	}
 	delete(c.byName, name)
-	s.net.Stats().Add("bridge.ra_invalidations", 1)
+	s.m.raInvalidations.Add(1)
 }
 
 // invalidateAll empties the cache — used after node repair, when any

@@ -10,6 +10,7 @@ import (
 	"bridge/internal/efs"
 	"bridge/internal/lfs"
 	"bridge/internal/msg"
+	"bridge/internal/obs"
 	"bridge/internal/sim"
 )
 
@@ -85,6 +86,13 @@ type Server struct {
 	nextLFSOp uint64
 	dedup     map[dedupKey]any
 	dedupQ    []dedupKey
+
+	m srvMetrics
+	// curSpan is the span of the request currently being dispatched; the
+	// server is single-threaded, so retry paths deep in the call tree can
+	// annotate it without plumbing. Zero between requests or when tracing
+	// is off.
+	curSpan obs.SpanRef
 }
 
 // dedupKey identifies one client operation for retransmission dedup.
@@ -171,6 +179,7 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 		cursors: make(map[cursorKey]*cursor),
 		jobs:    make(map[uint64]*job),
 		dedup:   make(map[dedupKey]any),
+		m:       newSrvMetrics(net.Stats().Registry()),
 	}
 	if cfg.LFSRetry != nil {
 		// Fold the port name into the jitter seed so the servers of a
@@ -219,6 +228,15 @@ func (s *Server) run(p sim.Proc) {
 			s.lc.Close()
 			return
 		}
+		rec := s.net.Recorder()
+		if rec != nil {
+			at := p.Now()
+			sp := rec.Start(at, req.Trace, req.Span, "server."+opName(req.Body), int(s.cfg.Node))
+			sp.SetQueueWait(s.net.QueueWait(at, req))
+			s.curSpan = sp
+			// LFS calls made while handling this request parent under it.
+			s.lc.SetTrace(req.Trace, sp.ID())
+		}
 		if s.cfg.OpCPU > 0 {
 			p.Sleep(s.cfg.OpCPU)
 		}
@@ -228,7 +246,14 @@ func (s *Server) run(p sim.Proc) {
 			ReqID: req.ReqID,
 			Body:  body,
 			Size:  WireSize(body),
+			Trace: req.Trace,
+			Span:  req.Span,
 		})
+		if rec != nil {
+			s.curSpan.EndErr(p.Now(), respErrAny(body))
+			s.curSpan = obs.SpanRef{}
+			s.lc.SetTrace(0, 0)
+		}
 	}
 }
 
@@ -294,7 +319,8 @@ func (s *Server) dispatch(p sim.Proc, req *msg.Message) any {
 	}
 	key := dedupKey{client: req.From, op: op}
 	if cached, hit := s.dedup[key]; hit {
-		s.net.Stats().Add("bridge.dedup_hits", 1)
+		s.m.dedupHits.Add(1)
+		s.curSpan.Annotate("dedup hit")
 		return cached
 	}
 	body := s.handle(p, req)
@@ -607,7 +633,8 @@ func (s *Server) lfsCall(p sim.Proc, node msg.NodeID, body any, size int) (*msg.
 	if s.retry != nil {
 		for retry := 1; retry < s.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
 			p.Sleep(s.retry.backoff(retry))
-			s.net.Stats().Add("bridge.lfs_retries", 1)
+			s.m.lfsRetries.Add(1)
+			s.curSpan.Annotate(fmt.Sprintf("lfs retry %d n%d", retry, node))
 			if s.health != nil && s.health.get(node) == Dead {
 				return nil, fmt.Errorf("%w: n%d", ErrNodeDown, node)
 			}
@@ -756,7 +783,7 @@ func (s *Server) repairNode(p sim.Proc, idx int) (int, error) {
 		delete(ent.hints, node)
 		repaired++
 	}
-	s.net.Stats().Add("bridge.node_repairs", 1)
+	s.m.nodeRepairs.Add(1)
 	return repaired, nil
 }
 

@@ -1,0 +1,119 @@
+package core
+
+import "bridge/internal/obs"
+
+// opName returns the short protocol name of a request body, used to build
+// span kinds ("client.seqreadn", "server.create"). Unknown bodies — which
+// the server answers with an error — get "unknown".
+func opName(body any) string {
+	switch body.(type) {
+	case CreateReq:
+		return "create"
+	case DeleteReq:
+		return "delete"
+	case OpenReq:
+		return "open"
+	case StatReq:
+		return "stat"
+	case SeqReadReq:
+		return "seqread"
+	case SeqReadNReq:
+		return "seqreadn"
+	case SeqWriteReq:
+		return "seqwrite"
+	case RandReadReq:
+		return "readat"
+	case RandReadNReq:
+		return "readatn"
+	case RandWriteReq:
+		return "writeat"
+	case RandWriteNReq:
+		return "writeatn"
+	case ParallelOpenReq:
+		return "popen"
+	case ParallelReadReq:
+		return "pread"
+	case ParallelWriteReq:
+		return "pwrite"
+	case CloseJobReq:
+		return "closejob"
+	case ListReq:
+		return "list"
+	case GetInfoReq:
+		return "getinfo"
+	case HealthReq:
+		return "health"
+	case RepairNodeReq:
+		return "repairnode"
+	case FsckReq:
+		return "fsck"
+	case ScrubReq:
+		return "scrub"
+	default:
+		return "unknown"
+	}
+}
+
+// respErrAny returns the transported error string of any reply type, for
+// span closure. respErr covers only the cacheable subset; this covers the
+// whole protocol.
+func respErrAny(body any) string {
+	if s := respErr(body); s != "" {
+		return s
+	}
+	switch b := body.(type) {
+	case OpenResp:
+		return b.Err
+	case StatResp:
+		return b.Err
+	case RandReadResp:
+		return b.Err
+	case RandReadNResp:
+		return b.Err
+	case ParallelOpenResp:
+		return b.Err
+	case ParallelReadResp:
+		return b.Err
+	case ParallelWriteResp:
+		return b.Err
+	case CloseJobResp:
+		return b.Err
+	case ListResp:
+		return b.Err
+	case GetInfoResp:
+		return b.Err
+	case HealthResp:
+		return b.Err
+	case ScrubResp:
+		return b.Err
+	default:
+		return ""
+	}
+}
+
+// srvMetrics are the server's typed metric handles, registered once at
+// StartServer on the network's shared registry (so the servers of a
+// distributed cluster aggregate into the same metrics).
+type srvMetrics struct {
+	lfsRetries        obs.Counter
+	dedupHits         obs.Counter
+	nodeRepairs       obs.Counter
+	raHits            obs.Counter
+	raMisses          obs.Counter
+	raFills           obs.Counter
+	raInvalidations   obs.Counter
+	healthTransitions obs.Counter
+}
+
+func newSrvMetrics(r *obs.Registry) srvMetrics {
+	return srvMetrics{
+		lfsRetries:        r.Counter("bridge.lfs_retries", "calls", "Server-side retransmissions of timed-out LFS calls."),
+		dedupHits:         r.Counter("bridge.dedup_hits", "requests", "Retransmitted client operations answered from the reply cache."),
+		nodeRepairs:       r.Counter("bridge.node_repairs", "repairs", "RepairNode sweeps that re-registered files on a restarted node."),
+		raHits:            r.Counter("bridge.ra_hits", "blocks", "Sequential-read blocks served from the read-ahead buffer."),
+		raMisses:          r.Counter("bridge.ra_misses", "blocks", "Sequential-read blocks that waited for a synchronous window fetch."),
+		raFills:           r.Counter("bridge.ra_fills", "windows", "Asynchronous prefetch windows gathered into the read-ahead buffer."),
+		raInvalidations:   r.Counter("bridge.ra_invalidations", "files", "Read-ahead buffer invalidations caused by file mutations."),
+		healthTransitions: r.Counter("health.transitions", "transitions", "Health-monitor state changes (healthy/suspect/dead) across all nodes."),
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"bridge/internal/obs"
 	"bridge/internal/sim"
 	"bridge/internal/stats"
 	"bridge/internal/trace"
@@ -98,10 +99,22 @@ type Disk struct {
 	fault     FaultHook // nil = no fault injection
 	corrupter Corrupter // d.fault's Corrupter side, if it has one
 	label     string    // device name passed to the fault hook
+	m         diskMetrics
 	mu        sync.Mutex
+	rec       *obs.Recorder // nil = observability off
+	node      int           // cluster node index for recorded spans
+	trace     obs.TraceID   // current trace context, set by the owning LFS
+	parent    obs.SpanID
 	blocks    [][]byte // nil entry = never-written (zero) block
 	head      int      // last accessed block, for seek modeling
 	failed    bool
+}
+
+// diskMetrics are the device's typed metric handles.
+type diskMetrics struct {
+	ops, blocks, reads, writes obs.Counter
+	faultErrors                obs.Counter
+	busy                       obs.Timer
 }
 
 // New creates a device. It panics if NumBlocks is not positive, since that
@@ -111,10 +124,20 @@ func New(cfg Config) *Disk {
 	if cfg.NumBlocks <= 0 {
 		panic("disk: NumBlocks must be positive")
 	}
+	st := stats.New()
+	reg := st.Registry()
 	return &Disk{
 		cfg:    cfg,
-		stats:  stats.New(),
+		stats:  st,
 		blocks: make([][]byte, cfg.NumBlocks),
+		m: diskMetrics{
+			ops:         reg.Counter("disk.ops", "ops", "device accesses charged"),
+			blocks:      reg.Counter("disk.blocks", "blocks", "blocks transferred"),
+			reads:       reg.Counter("disk.reads", "ops", "read accesses"),
+			writes:      reg.Counter("disk.writes", "ops", "write accesses"),
+			faultErrors: reg.Counter("disk.fault_errors", "ops", "accesses failed by the fault injector"),
+			busy:        reg.Timer("disk.busy", "virtual time the device spent on accesses"),
+		},
 	}
 }
 
@@ -128,6 +151,22 @@ func (d *Disk) Stats() *stats.Counters { return d.stats }
 func (d *Disk) SetTracer(t *trace.Tracer, name string) {
 	d.mu.Lock()
 	d.tracer, d.name = t, name
+	d.mu.Unlock()
+}
+
+// SetRecorder enables per-access span recording onto rec (nil disables);
+// node is the cluster node index stamped on the spans.
+func (d *Disk) SetRecorder(rec *obs.Recorder, node int) {
+	d.mu.Lock()
+	d.rec, d.node = rec, node
+	d.mu.Unlock()
+}
+
+// SetTrace sets the trace context the next accesses are attributed to;
+// called by the owning LFS before it services each request. Zero clears it.
+func (d *Disk) SetTrace(t obs.TraceID, parent obs.SpanID) {
+	d.mu.Lock()
+	d.trace, d.parent = t, parent
 	d.mu.Unlock()
 }
 
@@ -179,20 +218,26 @@ func (d *Disk) access(p sim.Proc, op Op, bn int, blocks int) time.Duration {
 	if d.head >= d.cfg.NumBlocks {
 		d.head = d.cfg.NumBlocks - 1
 	}
-	d.stats.Add("disk.ops", 1)
-	d.stats.Add("disk.blocks", int64(blocks))
-	if op == OpRead {
-		d.stats.Add("disk.reads", 1)
-	} else {
-		d.stats.Add("disk.writes", 1)
+	d.m.ops.Add(1)
+	d.m.blocks.Add(int64(blocks))
+	kind := "disk.read"
+	if op == OpWrite {
+		kind = "disk.write"
 	}
-	d.stats.AddTime("disk.busy", t)
+	if op == OpRead {
+		d.m.reads.Add(1)
+	} else {
+		d.m.writes.Add(1)
+	}
+	d.m.busy.Add(t)
 	if d.tracer != nil {
-		kind := "disk.read"
-		if op == OpWrite {
-			kind = "disk.write"
-		}
 		d.tracer.Emitf(p.Now(), kind, "%s block %d (+%d) %v", d.name, bn, blocks, t)
+	}
+	if d.rec != nil {
+		// The access is a complete span: service begins now and the caller
+		// charges t after unlocking, so the device is busy [now, now+t).
+		sp := d.rec.Start(p.Now(), d.trace, d.parent, kind, d.node)
+		sp.End(p.Now()+t, nil)
 	}
 	return t
 }
@@ -224,9 +269,12 @@ func (d *Disk) inject(p sim.Proc, op Op, bn, blocks int) (extra time.Duration, t
 	extra, err = d.fault.BeforeOp(p.Now(), d.label, op, bn)
 	if err != nil {
 		t = d.access(p, op, bn, blocks)
-		d.stats.Add("disk.fault_errors", 1)
+		d.m.faultErrors.Add(1)
 		if d.tracer != nil {
 			d.tracer.Emitf(p.Now(), "disk.fault", "%s block %d: %v", d.name, bn, err)
+		}
+		if d.rec != nil {
+			d.rec.Event(p.Now(), d.trace, "disk.fault", fmt.Sprintf("%s block %d: %v", d.name, bn, err))
 		}
 	}
 	return extra, t, err

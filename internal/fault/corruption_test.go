@@ -224,7 +224,7 @@ func runCorruptionChaos(t *testing.T, seed int64) (string, [][]byte) {
 		if inj.Stats().Get("fault.disk_misdirected") != 1 {
 			t.Errorf("injector misdirected %d writes, want 1", inj.Stats().Get("fault.disk_misdirected"))
 		}
-		return s.WriteTrace(&trc)
+		return s.Inspect().TraceDump(&trc)
 	})
 	if err != nil {
 		t.Fatalf("run (seed %d): %v", seed, err)

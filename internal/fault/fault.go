@@ -22,6 +22,7 @@ import (
 
 	"bridge/internal/disk"
 	"bridge/internal/msg"
+	"bridge/internal/obs"
 	"bridge/internal/stats"
 	"bridge/internal/trace"
 )
@@ -97,6 +98,7 @@ type misdirect struct {
 type Injector struct {
 	seed  int64
 	stats *stats.Counters
+	m     injMetrics
 
 	// mu guards everything below, including the rng: the hook methods run
 	// on whichever simulated process consults the injector, and a shared
@@ -115,10 +117,42 @@ type Injector struct {
 	schedule   []NodeEvent
 }
 
+// injMetrics are the injector's typed metric handles: faults injected by
+// kind.
+type injMetrics struct {
+	msgPartitioned  obs.Counter
+	msgDropped      obs.Counter
+	msgDuplicated   obs.Counter
+	msgDelayed      obs.Counter
+	diskBadBlock    obs.Counter
+	diskTransient   obs.Counter
+	diskLimped      obs.Counter
+	diskBitrot      obs.Counter
+	diskMisdirected obs.Counter
+	nodeCrashes     obs.Counter
+	nodeRestarts    obs.Counter
+}
+
+func newInjMetrics(r *obs.Registry) injMetrics {
+	return injMetrics{
+		msgPartitioned:  r.Counter("fault.msg_partitioned", "messages", "Messages dropped by an active network partition."),
+		msgDropped:      r.Counter("fault.msg_dropped", "messages", "Messages dropped by a loss rule."),
+		msgDuplicated:   r.Counter("fault.msg_duplicated", "messages", "Messages duplicated by a duplication rule."),
+		msgDelayed:      r.Counter("fault.msg_delayed", "messages", "Messages given extra latency by a delay rule."),
+		diskBadBlock:    r.Counter("fault.disk_bad_block", "reads", "Reads failed by a planted latent bad block."),
+		diskTransient:   r.Counter("fault.disk_transient", "ops", "Disk operations failed by a transient-error rule."),
+		diskLimped:      r.Counter("fault.disk_limped", "ops", "Disk operations slowed by an extra-latency rule."),
+		diskBitrot:      r.Counter("fault.disk_bitrot", "blocks", "Blocks whose contents were corrupted by a flipped bit."),
+		diskMisdirected: r.Counter("fault.disk_misdirected", "writes", "Writes silently redirected to the wrong block."),
+		nodeCrashes:     r.Counter("fault.node_crashes", "events", "Scheduled whole-node crashes executed."),
+		nodeRestarts:    r.Counter("fault.node_restarts", "events", "Scheduled node restarts executed."),
+	}
+}
+
 // New creates an injector with the given seed. Two injectors with the same
 // seed and configuration behave identically on identical simulations.
 func New(seed int64) *Injector {
-	return &Injector{
+	in := &Injector{
 		seed:       seed,
 		stats:      stats.New(),
 		rng:        rand.New(rand.NewSource(seed)),
@@ -126,6 +160,8 @@ func New(seed int64) *Injector {
 		rotPending: make(map[diskBlock]bool),
 		misdirects: make(map[misdirect]int),
 	}
+	in.m = newInjMetrics(in.stats.Registry())
+	return in
 }
 
 // Seed returns the injector's seed.
@@ -213,7 +249,7 @@ func (in *Injector) Deliver(now time.Duration, from msg.NodeID, to msg.Addr, m *
 	defer in.mu.Unlock()
 	for _, p := range in.partitions {
 		if p.contains(now) && ((p.a == from && p.b == to.Node) || (p.b == from && p.a == to.Node)) {
-			in.stats.Add("fault.msg_partitioned", 1)
+			in.m.msgPartitioned.Add(1)
 			in.emit(now, "fault.partition", "n%d -/- %v", from, to)
 			return msg.Fate{Drop: true}
 		}
@@ -229,19 +265,19 @@ func (in *Injector) Deliver(now time.Duration, from msg.NodeID, to msg.Addr, m *
 		dup := in.rng.Float64() < r.f.DupProb
 		delay := in.rng.Float64() < r.f.DelayProb
 		if drop {
-			in.stats.Add("fault.msg_dropped", 1)
+			in.m.msgDropped.Add(1)
 			in.emit(now, "fault.drop", "n%d -> %v %T", from, to, m.Body)
 			return msg.Fate{Drop: true}
 		}
 		if dup {
 			fate.Duplicates++
-			in.stats.Add("fault.msg_duplicated", 1)
+			in.m.msgDuplicated.Add(1)
 			in.emit(now, "fault.dup", "n%d -> %v %T", from, to, m.Body)
 		}
 		if delay && r.f.DelayMax > 0 {
 			d := time.Duration(in.rng.Int63n(int64(r.f.DelayMax))) + 1
 			fate.ExtraDelay += d
-			in.stats.Add("fault.msg_delayed", 1)
+			in.m.msgDelayed.Add(1)
 			in.emit(now, "fault.delay", "n%d -> %v %T +%v", from, to, m.Body, d)
 		}
 	}
@@ -258,7 +294,7 @@ func (in *Injector) BeforeOp(now time.Duration, label string, op disk.Op, bn int
 			// The rewrite clears the latent fault.
 			delete(in.badBlocks, key)
 		} else {
-			in.stats.Add("fault.disk_bad_block", 1)
+			in.m.diskBadBlock.Add(1)
 			in.emit(now, "fault.badblock", "%s block %d", label, bn)
 			return 0, fmt.Errorf("%w: latent bad block %d on %s", ErrInjected, bn, label)
 		}
@@ -274,13 +310,13 @@ func (in *Injector) BeforeOp(now time.Duration, label string, op disk.Op, bn int
 			prob = r.f.WriteErrProb
 		}
 		if in.rng.Float64() < prob {
-			in.stats.Add("fault.disk_transient", 1)
+			in.m.diskTransient.Add(1)
 			in.emit(now, "fault.diskerr", "%s block %d", label, bn)
 			return extra, fmt.Errorf("%w: transient %s error on %s block %d", ErrInjected, opName(op), label, bn)
 		}
 	}
 	if extra > 0 {
-		in.stats.Add("fault.disk_limped", 1)
+		in.m.diskLimped.Add(1)
 	}
 	return extra, nil
 }
@@ -311,7 +347,7 @@ func (in *Injector) CorruptBlock(now time.Duration, label string, bn int, data [
 	}
 	bit := in.rng.Intn(len(data) * 8)
 	data[bit/8] ^= 1 << (uint(bit) % 8)
-	in.stats.Add("fault.disk_bitrot", 1)
+	in.m.diskBitrot.Add(1)
 	in.emit(now, "fault.bitrot", "%s block %d bit %d", label, bn, bit)
 	return true
 }
@@ -327,7 +363,7 @@ func (in *Injector) RedirectWrite(now time.Duration, label string, bn int) int {
 		return bn
 	}
 	delete(in.misdirects, key)
-	in.stats.Add("fault.disk_misdirected", 1)
+	in.m.diskMisdirected.Add(1)
 	in.emit(now, "fault.misdirect", "%s block %d -> %d", label, bn, to)
 	return to
 }

@@ -69,11 +69,11 @@ func (in *Injector) Drive(rt sim.Runtime, ctl NodeController) {
 			}
 			switch ev.Kind {
 			case Crash:
-				in.stats.Add("fault.node_crashes", 1)
+				in.m.nodeCrashes.Add(1)
 				in.emitLocked(p.Now(), "fault.crash", "node %d", ev.Node)
 				ctl.FailNode(ev.Node)
 			case Restart:
-				in.stats.Add("fault.node_restarts", 1)
+				in.m.nodeRestarts.Add(1)
 				in.emitLocked(p.Now(), "fault.restart", "node %d", ev.Node)
 				ctl.RestartNode(ev.Node)
 			}

@@ -6,6 +6,7 @@ import (
 	"bridge/internal/disk"
 	"bridge/internal/efs"
 	"bridge/internal/msg"
+	"bridge/internal/obs"
 	"bridge/internal/sim"
 )
 
@@ -83,6 +84,15 @@ type Node struct {
 	// WriteVecResp.
 	dedup  map[writeKey]any
 	dedupQ []writeKey
+
+	sm scrubMetrics
+}
+
+// scrubMetrics are the node's typed scrubber counters; all nodes share the
+// network registry, so the counters aggregate across the cluster exactly as
+// the stringly versions did.
+type scrubMetrics struct {
+	blocks, errors, sweeps obs.Counter
 }
 
 // writeKey identifies one write operation for retransmission dedup.
@@ -103,12 +113,18 @@ func StartNode(rt sim.Runtime, net *msg.Network, id msg.NodeID, cfg Config, exis
 	if d == nil {
 		d = disk.New(disk.Config{NumBlocks: cfg.DiskBlocks, Timing: cfg.Timing})
 	}
+	reg := net.Stats().Registry()
 	n := &Node{
 		ID:   id,
 		Disk: d,
 		cfg:  cfg,
 		net:  net,
 		port: net.NewPort(msg.Addr{Node: id, Port: PortName}),
+		sm: scrubMetrics{
+			blocks: reg.Counter("bridge.scrub_blocks", "blocks", "blocks verified by the background scrubber"),
+			errors: reg.Counter("bridge.scrub_errors", "blocks", "checksum failures found by the scrubber"),
+			sweeps: reg.Counter("bridge.scrub_sweeps", "sweeps", "full scrub cursor wraps completed"),
+		},
 	}
 	n.agent = startAgent(rt, net, id)
 	rt.Go(n.port.Addr().String(), func(p sim.Proc) {
@@ -155,6 +171,10 @@ func (n *Node) Stop() {
 	n.agent.port.Close()
 }
 
+// QueueLen returns the LFS request queue depth, sampled by the
+// observability gauge sampler.
+func (n *Node) QueueLen() int { return n.port.QueueLen() }
+
 func (n *Node) serve(p sim.Proc, mount bool) {
 	var err error
 	if mount {
@@ -190,18 +210,98 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 		if !ok {
 			return
 		}
+		var sp obs.SpanRef
+		rec := n.net.Recorder()
+		if rec != nil {
+			at := p.Now()
+			sp = rec.Start(at, req.Trace, req.Span, "lfs."+reqKind(req.Body), int(n.ID))
+			sp.SetQueueWait(n.net.QueueWait(at, req))
+			// Device accesses during this request belong to its trace.
+			n.Disk.SetTrace(req.Trace, sp.ID())
+		}
 		if n.cfg.OpCPU > 0 {
 			p.Sleep(n.cfg.OpCPU)
 		}
 		body := n.handle(p, req)
+		if rec != nil {
+			n.Disk.SetTrace(0, 0)
+		}
 		// Replies to dead clients drop silently.
 		_ = n.net.Send(p, n.ID, req.From, &msg.Message{
 			From:  n.port.Addr(),
 			ReqID: req.ReqID,
 			Body:  body,
 			Size:  WireSize(body),
+			Trace: req.Trace,
+			Span:  req.Span,
 		})
+		sp.EndErr(p.Now(), respStatusText(body))
 	}
+}
+
+// reqKind names a request type for span kinds ("lfs.read", "lfs.writevec").
+func reqKind(body any) string {
+	switch body.(type) {
+	case CreateReq:
+		return "create"
+	case DeleteReq:
+		return "delete"
+	case ReadReq:
+		return "read"
+	case WriteReq:
+		return "write"
+	case ReadVecReq:
+		return "readvec"
+	case WriteVecReq:
+		return "writevec"
+	case PingReq:
+		return "ping"
+	case StatReq:
+		return "stat"
+	case SyncReq:
+		return "sync"
+	case CheckReq:
+		return "check"
+	case ScrubReq:
+		return "scrub"
+	case UsageReq:
+		return "usage"
+	}
+	return "unknown"
+}
+
+// respStatusText renders a reply's overall status for span closure; "" on
+// success. Per-block statuses inside vectored replies stay per-block.
+func respStatusText(body any) string {
+	var err error
+	switch r := body.(type) {
+	case CreateResp:
+		err = r.Status.Err()
+	case DeleteResp:
+		err = r.Status.Err()
+	case ReadResp:
+		err = r.Status.Err()
+	case WriteResp:
+		err = r.Status.Err()
+	case ReadVecResp:
+		err = r.Status.Err()
+	case WriteVecResp:
+		err = r.Status.Err()
+	case StatResp:
+		err = r.Status.Err()
+	case SyncResp:
+		err = r.Status.Err()
+	case CheckResp:
+		err = r.Status.Err()
+	case ScrubResp:
+		err = r.Status.Err()
+	case UsageResp:
+		err = r.Status.Err()
+	}
+	if err != nil {
+		return err.Error()
+	}
+	return ""
 }
 
 // scrubTick runs one budgeted scrub increment and records its counters.
@@ -213,11 +313,10 @@ func (n *Node) scrubTick(p sim.Proc) {
 		// where it gets reported and repaired.
 		return
 	}
-	st := n.net.Stats()
-	st.Add("bridge.scrub_blocks", int64(rep.Scanned))
-	st.Add("bridge.scrub_errors", int64(len(rep.Errors)))
+	n.sm.blocks.Add(int64(rep.Scanned))
+	n.sm.errors.Add(int64(len(rep.Errors)))
 	if rep.Wrapped {
-		st.Add("bridge.scrub_sweeps", 1)
+		n.sm.sweeps.Add(1)
 	}
 }
 
@@ -325,11 +424,10 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 			rep, err = n.fs.ScrubStep(p, budget)
 		}
 		if err == nil {
-			st := n.net.Stats()
-			st.Add("bridge.scrub_blocks", int64(rep.Scanned))
-			st.Add("bridge.scrub_errors", int64(len(rep.Errors)))
+			n.sm.blocks.Add(int64(rep.Scanned))
+			n.sm.errors.Add(int64(len(rep.Errors)))
 			if rep.Wrapped {
-				st.Add("bridge.scrub_sweeps", 1)
+				n.sm.sweeps.Add(1)
 			}
 		}
 		return ScrubResp{Report: rep, Status: statusFor(err)}

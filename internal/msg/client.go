@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"bridge/internal/obs"
 	"bridge/internal/sim"
 )
 
@@ -35,6 +36,11 @@ type Client struct {
 	// leak forever.
 	discard  map[uint64]struct{}
 	discardQ []uint64
+
+	// trace and span are the current observability context; every outgoing
+	// message is stamped with them (see SetTrace). Zero when untraced.
+	trace obs.TraceID
+	span  obs.SpanID
 }
 
 // discardCap bounds the abandoned-request set. Evicting a live entry only
@@ -55,6 +61,16 @@ func NewClient(proc sim.Proc, net *Network, node NodeID, name string) *Client {
 	}
 }
 
+// SetTrace sets the observability context stamped onto every subsequent
+// outgoing message: the end-to-end trace ID and the caller's current span.
+// Call SetTrace(0, 0) to clear it when the traced operation completes.
+// Messages started under one context keep it even if the context changes
+// before their replies arrive (an async prefetch stays attributed to the
+// operation that started it).
+func (c *Client) SetTrace(t obs.TraceID, s obs.SpanID) {
+	c.trace, c.span = t, s
+}
+
 // Node returns the node the client is homed on.
 func (c *Client) Node() NodeID { return c.node }
 
@@ -69,7 +85,7 @@ func (c *Client) Net() *Network { return c.net }
 
 // Send transmits a one-way message (ReqID 0); no reply is expected.
 func (c *Client) Send(to Addr, body any, size int) error {
-	return c.net.Send(c.proc, c.node, to, &Message{From: c.Addr(), Body: body, Size: size})
+	return c.net.Send(c.proc, c.node, to, &Message{From: c.Addr(), Body: body, Size: size, Trace: c.trace, Span: c.span})
 }
 
 // Start sends a request and returns its correlation id without waiting for
@@ -78,7 +94,7 @@ func (c *Client) Send(to Addr, body any, size int) error {
 func (c *Client) Start(to Addr, body any, size int) (uint64, error) {
 	c.nextReq++
 	id := c.nextReq
-	err := c.net.Send(c.proc, c.node, to, &Message{From: c.Addr(), ReqID: id, Body: body, Size: size})
+	err := c.net.Send(c.proc, c.node, to, &Message{From: c.Addr(), ReqID: id, Body: body, Size: size, Trace: c.trace, Span: c.span})
 	if err != nil {
 		return 0, err
 	}
@@ -233,9 +249,10 @@ func (c *Client) GatherTimeout(ids []uint64, d time.Duration) ([]*Message, error
 	return out, firstErr
 }
 
-// Reply answers a received request, preserving its correlation id.
+// Reply answers a received request, preserving its correlation id and
+// trace context (the reply belongs to the request's trace).
 func (c *Client) Reply(req *Message, body any, size int) error {
-	return c.net.Send(c.proc, c.node, req.From, &Message{From: c.Addr(), ReqID: req.ReqID, Body: body, Size: size})
+	return c.net.Send(c.proc, c.node, req.From, &Message{From: c.Addr(), ReqID: req.ReqID, Body: body, Size: size, Trace: req.Trace, Span: req.Span})
 }
 
 // Close closes the client's reply port.
@@ -265,6 +282,8 @@ func Serve(proc sim.Proc, net *Network, node NodeID, port *Port, h Handler) {
 			ReqID: req.ReqID,
 			Body:  body,
 			Size:  size,
+			Trace: req.Trace,
+			Span:  req.Span,
 		})
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"bridge/internal/obs"
 	"bridge/internal/sim"
 	"bridge/internal/stats"
 	"bridge/internal/trace"
@@ -43,6 +44,16 @@ type Message struct {
 	ReqID uint64 // request/response correlation; 0 for one-way messages
 	Body  any
 	Size  int
+
+	// Trace and Span causally link the message to the client operation that
+	// caused it: Trace is the end-to-end trace ID, Span the sender's span.
+	// Zero when observability is off. Stamped by Client.Send/Start/Reply.
+	Trace obs.TraceID
+	Span  obs.SpanID
+	// AvailAt is the virtual time the message became deliverable at its
+	// destination (send time plus modeled transfer delay), stamped by the
+	// network so receivers can attribute queue wait separately from service.
+	AvailAt time.Duration
 }
 
 // Config holds the communication cost model.
@@ -107,16 +118,37 @@ type Network struct {
 	cfg    Config
 	stats  *stats.Counters
 	tracer *trace.Tracer // nil = tracing off
+	rec    *obs.Recorder // nil = observability off
 	fault  FaultHook     // nil = no fault injection
+
+	m netMetrics
 
 	mu    sync.Mutex
 	ports map[Addr]*Port
 }
 
+// netMetrics are the network's typed metric handles, registered once at
+// construction.
+type netMetrics struct {
+	sent, local, remote          obs.Counter
+	bytes, remoteBytes           obs.Counter
+	faultDropped, faultDuplicate obs.Counter
+}
+
 // NewNetwork creates a network over the given runtime with the given cost
 // model.
 func NewNetwork(rt sim.Runtime, cfg Config) *Network {
-	return &Network{rt: rt, cfg: cfg, stats: stats.New(), ports: make(map[Addr]*Port)}
+	st := stats.New()
+	reg := st.Registry()
+	return &Network{rt: rt, cfg: cfg, stats: st, ports: make(map[Addr]*Port), m: netMetrics{
+		sent:           reg.Counter("msg.sent", "msgs", "messages transmitted"),
+		local:          reg.Counter("msg.local", "msgs", "messages between processes on the same node"),
+		remote:         reg.Counter("msg.remote", "msgs", "messages crossing nodes"),
+		bytes:          reg.Counter("msg.bytes", "bytes", "payload plus header bytes transmitted"),
+		remoteBytes:    reg.Counter("msg.remote_bytes", "bytes", "bytes crossing the interconnect"),
+		faultDropped:   reg.Counter("msg.fault_dropped", "msgs", "messages dropped by the fault injector"),
+		faultDuplicate: reg.Counter("msg.fault_duplicated", "msgs", "duplicate deliveries injected by the fault injector"),
+	}}
 }
 
 // Runtime returns the underlying runtime.
@@ -136,6 +168,15 @@ func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
 // Tracer returns the installed tracer (nil when tracing is off), so layers
 // built on the network can emit events onto the same timeline.
 func (n *Network) Tracer() *trace.Tracer { return n.tracer }
+
+// SetRecorder installs the observability recorder (nil disables). Set it
+// before the simulation starts. Layers built on the network fetch it with
+// Recorder to open spans on the same timeline.
+func (n *Network) SetRecorder(r *obs.Recorder) { n.rec = r }
+
+// Recorder returns the installed span recorder (nil when observability is
+// off; a nil *obs.Recorder is safe to use and records nothing).
+func (n *Network) Recorder() *obs.Recorder { return n.rec }
 
 // SetFault installs a fault hook consulted on every Send (nil removes it).
 // Set it before the simulation starts.
@@ -187,13 +228,13 @@ func (n *Network) Send(p sim.Proc, fromNode NodeID, to Addr, m *Message) error {
 	if dst == nil {
 		return fmt.Errorf("%w: %v", ErrNoPort, to)
 	}
-	n.stats.Add("msg.sent", 1)
-	n.stats.Add("msg.bytes", int64(m.Size+n.cfg.HeaderBytes))
+	n.m.sent.Add(1)
+	n.m.bytes.Add(int64(m.Size + n.cfg.HeaderBytes))
 	if fromNode == to.Node {
-		n.stats.Add("msg.local", 1)
+		n.m.local.Add(1)
 	} else {
-		n.stats.Add("msg.remote", 1)
-		n.stats.Add("msg.remote_bytes", int64(m.Size+n.cfg.HeaderBytes))
+		n.m.remote.Add(1)
+		n.m.remoteBytes.Add(int64(m.Size + n.cfg.HeaderBytes))
 	}
 	if n.tracer != nil {
 		n.tracer.Emitf(n.rt.Now(), "msg.send", "n%d -> %v %T (%dB)", fromNode, to, m.Body, m.Size)
@@ -202,17 +243,38 @@ func (n *Network) Send(p sim.Proc, fromNode NodeID, to Addr, m *Message) error {
 	if n.fault != nil {
 		fate := n.fault.Deliver(n.rt.Now(), fromNode, to, m)
 		if fate.Drop {
-			n.stats.Add("msg.fault_dropped", 1)
+			n.m.faultDropped.Add(1)
+			if n.rec != nil {
+				n.rec.Event(n.rt.Now(), m.Trace, "net.drop", fmt.Sprintf("n%d -> %v %T", fromNode, to, m.Body))
+			}
 			return nil
 		}
 		d += fate.ExtraDelay
+		m.AvailAt = n.rt.Now() + d
 		for i := 0; i < fate.Duplicates; i++ {
-			n.stats.Add("msg.fault_duplicated", 1)
+			n.m.faultDuplicate.Add(1)
 			dst.q.SendDelayed(m, d)
 		}
+	} else {
+		m.AvailAt = n.rt.Now() + d
 	}
 	dst.q.SendDelayed(m, d)
 	return nil
+}
+
+// QueueWait returns how long a just-received message waited in its
+// destination queue beyond the modeled transfer delay: the gap between its
+// arrival (AvailAt) and service start (now, minus the RecvCPU charge Recv
+// already applied). Zero for unstamped messages.
+func (n *Network) QueueWait(now time.Duration, m *Message) time.Duration {
+	if m.AvailAt == 0 {
+		return 0
+	}
+	w := now - n.cfg.RecvCPU - m.AvailAt
+	if w < 0 {
+		w = 0
+	}
+	return w
 }
 
 // Port is a receive endpoint.
@@ -234,6 +296,10 @@ func (p *Port) isClosed() bool {
 
 // Addr returns the port's address.
 func (p *Port) Addr() Addr { return p.addr }
+
+// QueueLen returns the number of messages waiting in the port's queue —
+// the per-node queue-depth gauge sampled by the observability sampler.
+func (p *Port) QueueLen() int { return p.q.Len() }
 
 // Recv blocks until a message arrives; ok is false once the port is closed
 // and drained. The calling process is charged RecvCPU per message.

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// numBuckets fixed log-scale buckets: bucket i covers virtual latencies in
+// [1µs<<i, 1µs<<(i+1)). Bucket 0 also absorbs sub-microsecond durations and
+// the last bucket absorbs everything from ~67s up. Fixed buckets keep
+// exports byte-stable across runs and PRs.
+const numBuckets = 27
+
+// bucketOf returns the bucket index for a duration.
+func bucketOf(d time.Duration) int {
+	us := int64(d / time.Microsecond)
+	b := 0
+	for us >= 2 && b < numBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// bucketLo returns the inclusive lower bound of bucket i (0 for bucket 0).
+func bucketLo(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	return time.Microsecond << uint(i)
+}
+
+// bucketHi returns the exclusive upper bound of bucket i.
+func bucketHi(i int) time.Duration {
+	return time.Microsecond << uint(i+1)
+}
+
+// hist is a fixed-bucket latency histogram. Callers hold the recorder mutex.
+type hist struct {
+	counts [numBuckets]int64
+	count  int64
+	total  time.Duration
+	max    time.Duration
+}
+
+func (h *hist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.count++
+	h.total += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile
+// observation, clipped to the observed maximum. Bucket bounds (rather than
+// interpolation) keep the value exact-integer and deterministic.
+func (h *hist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			hi := bucketHi(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	Lo, Hi time.Duration
+	N      int64
+}
+
+// HistSnapshot is the exported state of one per-op-kind latency histogram.
+// Quantiles are bucket upper bounds (see hist.quantile).
+type HistSnapshot struct {
+	Kind          string
+	Count         int64
+	Total         time.Duration
+	Max           time.Duration
+	P50, P95, P99 time.Duration
+	Buckets       []Bucket
+}
+
+// Mean returns the mean latency.
+func (h HistSnapshot) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Total / time.Duration(h.Count)
+}
+
+// Histograms returns a snapshot of every per-kind latency histogram,
+// sorted by kind.
+func (r *Recorder) Histograms() []HistSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kinds := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]HistSnapshot, 0, len(kinds))
+	for _, k := range kinds {
+		h := r.hists[k]
+		s := HistSnapshot{
+			Kind:  k,
+			Count: h.count,
+			Total: h.total,
+			Max:   h.max,
+			P50:   h.quantile(0.50),
+			P95:   h.quantile(0.95),
+			P99:   h.quantile(0.99),
+		}
+		for i, n := range h.counts {
+			if n > 0 {
+				s.Buckets = append(s.Buckets, Bucket{Lo: bucketLo(i), Hi: bucketHi(i), N: n})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -17,8 +17,44 @@ import (
 
 	"bridge/internal/core"
 	"bridge/internal/distrib"
+	"bridge/internal/obs"
 	"bridge/internal/stats"
 )
+
+// repairMetrics are the replica layer's typed metric handles. Registration
+// is idempotent on the network's shared registry, so fetching the set on
+// each use is cheap and every Mirror/Parity over the same network
+// aggregates into the same metrics.
+type repairMetrics struct {
+	degradedCopies       obs.Counter
+	overflowBlocks       obs.Counter
+	resilveredBlocks     obs.Counter
+	parityDegradedWrites obs.Counter
+	rebuiltBlocks        obs.Counter
+	parityRebuilt        obs.Counter
+	readRepairMirror     obs.Counter
+	readRepairParity     obs.Counter
+	readRepairBlocks     obs.Counter
+}
+
+// RegisterMetrics registers the replica layer's metric descriptions on r
+// without touching any values. Normal operation registers them lazily on
+// first use; documentation generation calls this to see the full set.
+func RegisterMetrics(r *obs.Registry) { metricsOn(r) }
+
+func metricsOn(r *obs.Registry) repairMetrics {
+	return repairMetrics{
+		degradedCopies:       r.Counter("replica.degraded_copies", "copies", "Mirror copies that opened a gap after a node failure."),
+		overflowBlocks:       r.Counter("replica.overflow_blocks", "blocks", "Blocks diverted to overflow files during degraded appends."),
+		resilveredBlocks:     r.Counter("replica.resilvered_blocks", "blocks", "Blocks rewritten while resilvering a mirror copy."),
+		parityDegradedWrites: r.Counter("replica.parity_degraded_writes", "stripes", "Parity stripes left stale by a degraded append."),
+		rebuiltBlocks:        r.Counter("replica.rebuilt_blocks", "blocks", "Data blocks reconstructed during a parity rebuild."),
+		parityRebuilt:        r.Counter("replica.parity_rebuilt", "blocks", "Parity blocks recomputed during a rebuild."),
+		readRepairMirror:     r.Counter("bridge.readrepair_mirror", "repairs", "Corrupt blocks rewritten in place from the healthy mirror copy."),
+		readRepairParity:     r.Counter("bridge.readrepair_parity", "repairs", "Corrupt blocks rewritten in place from parity reconstruction."),
+		readRepairBlocks:     r.Counter("bridge.readrepair_blocks", "blocks", "Total blocks repaired on read across all replica schemes."),
+	}
+}
 
 // nodeFailure reports whether err means "the node is down" rather than a
 // semantic failure like NoSpace or a transient stall. Only the health
@@ -30,6 +66,8 @@ func nodeFailure(err error) bool {
 }
 
 func (m *Mirror) stats() *stats.Counters { return m.c.Msg().Net().Stats() }
+
+func (m *Mirror) met() repairMetrics { return metricsOn(m.stats().Registry()) }
 
 func (m *Mirror) emit(kind, format string, args ...any) {
 	if t := m.c.Msg().Net().Tracer(); t != nil {
@@ -52,7 +90,7 @@ func (m *Mirror) appendCopy(i int, n int64, payload []byte) error {
 		return err
 	}
 	cs.gapStart = n
-	m.stats().Add("replica.degraded_copies", 1)
+	m.met().degradedCopies.Add(1)
 	m.emit("replica.degrade", "%s gap opens at block %d (%v)", cs.name, n, err)
 	return m.appendOverflow(cs, payload)
 }
@@ -76,7 +114,7 @@ func (m *Mirror) appendOverflow(cs *copyState, payload []byte) error {
 		return fmt.Errorf("replica: appending overflow: %w", err)
 	}
 	cs.ovfLen++
-	m.stats().Add("replica.overflow_blocks", 1)
+	m.met().overflowBlocks.Add(1)
 	return nil
 }
 
@@ -136,8 +174,8 @@ func (m *Mirror) readRepair(i int, n int64, data []byte, cause error) {
 		m.emit("replica.readrepair", "%s block %d repair failed: %v", m.cp[i].name, n, err)
 		return
 	}
-	m.stats().Add("bridge.readrepair_mirror", 1)
-	m.stats().Add("bridge.readrepair_blocks", 1)
+	m.met().readRepairMirror.Add(1)
+	m.met().readRepairBlocks.Add(1)
 	m.emit("replica.readrepair", "%s block %d rewritten from mirror (%v)", m.cp[i].name, n, cause)
 }
 
@@ -172,7 +210,7 @@ func (m *Mirror) Resilver() (int64, error) {
 				return repaired, fmt.Errorf("replica: rewriting block %d: %w", b, err)
 			}
 			repaired++
-			m.stats().Add("replica.resilvered_blocks", 1)
+			m.met().resilveredBlocks.Add(1)
 		}
 		if cs.gapStart < 0 {
 			continue
@@ -188,7 +226,7 @@ func (m *Mirror) Resilver() (int64, error) {
 				return repaired, fmt.Errorf("replica: restoring block %d: %w", cs.gapStart+k, err)
 			}
 			repaired++
-			m.stats().Add("replica.resilvered_blocks", 1)
+			m.met().resilveredBlocks.Add(1)
 		}
 		if cs.ovfName != "" {
 			if _, err := m.c.Delete(cs.ovfName); err != nil {
@@ -202,6 +240,8 @@ func (m *Mirror) Resilver() (int64, error) {
 }
 
 func (pf *Parity) stats() *stats.Counters { return pf.c.Msg().Net().Stats() }
+
+func (pf *Parity) met() repairMetrics { return metricsOn(pf.stats().Registry()) }
 
 func (pf *Parity) emit(kind, format string, args ...any) {
 	if t := pf.c.Msg().Net().Tracer(); t != nil {
@@ -218,7 +258,7 @@ func (pf *Parity) degradeStripe(stripe int64, cause error) error {
 		pf.dirty = make(map[int64]bool)
 	}
 	pf.dirty[stripe] = true
-	pf.stats().Add("replica.parity_degraded_writes", 1)
+	pf.met().parityDegradedWrites.Add(1)
 	pf.emit("replica.degrade", "%s parity stripe %d stale (%v)", pf.name, stripe, cause)
 	return fmt.Errorf("%w: parity stripe %d: %v", ErrDegradedWrite, stripe, cause)
 }
@@ -234,8 +274,8 @@ func (pf *Parity) readRepair(n int64, data []byte, cause error) {
 		pf.emit("replica.readrepair", "%s block %d repair failed: %v", pf.name, n, err)
 		return
 	}
-	pf.stats().Add("bridge.readrepair_parity", 1)
-	pf.stats().Add("bridge.readrepair_blocks", 1)
+	pf.met().readRepairParity.Add(1)
+	pf.met().readRepairBlocks.Add(1)
 	pf.emit("replica.readrepair", "%s block %d rewritten from parity stripe (%v)", pf.name, n, cause)
 }
 
@@ -259,7 +299,7 @@ func (pf *Parity) Rebuild() (int64, error) {
 			return repaired, fmt.Errorf("replica: rewriting data block %d: %w", b, err)
 		}
 		repaired++
-		pf.stats().Add("replica.rebuilt_blocks", 1)
+		pf.met().rebuiltBlocks.Add(1)
 	}
 	stripes := (pf.blocks + dataP - 1) / dataP
 	for s := int64(0); s < stripes; s++ {
@@ -283,7 +323,7 @@ func (pf *Parity) Rebuild() (int64, error) {
 		}
 		delete(pf.dirty, s)
 		repaired++
-		pf.stats().Add("replica.parity_rebuilt", 1)
+		pf.met().parityRebuilt.Add(1)
 	}
 	if repaired > 0 {
 		pf.emit("replica.rebuild", "%s restored %d blocks", pf.name, repaired)

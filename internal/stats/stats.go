@@ -1,98 +1,88 @@
 // Package stats provides lightweight named counters and accumulated timers
 // used to instrument the simulated disks, the message network, and the file
 // system layers. All methods are safe for concurrent use.
+//
+// As of the observability PR this package is a thin compatibility shim over
+// the typed metrics registry in internal/obs: every Counters is backed by
+// an obs.Registry, so stringly Add/Get call sites and typed obs handles
+// read and write the same values. New code should register typed metrics
+// via Registry(); the stringly methods remain for one PR while call sites
+// migrate.
 package stats
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
+
+	"bridge/internal/obs"
 )
 
 // Counters is a registry of named int64 counters and duration accumulators.
 // The zero value is not usable; call New.
 type Counters struct {
-	mu sync.Mutex
-	n  map[string]int64
-	d  map[string]time.Duration
+	r *obs.Registry
 }
 
 // New returns an empty counter registry.
 func New() *Counters {
-	return &Counters{n: make(map[string]int64), d: make(map[string]time.Duration)}
+	return &Counters{r: obs.NewRegistry()}
 }
+
+// Registry returns the typed metrics registry backing this shim. Typed
+// handles registered on it share values with the stringly methods here.
+func (c *Counters) Registry() *obs.Registry { return c.r }
 
 // Add increments the named counter by delta.
-func (c *Counters) Add(name string, delta int64) {
-	c.mu.Lock()
-	c.n[name] += delta
-	c.mu.Unlock()
-}
+func (c *Counters) Add(name string, delta int64) { c.r.Add(name, delta) }
 
 // AddTime accumulates a duration under the named timer.
-func (c *Counters) AddTime(name string, d time.Duration) {
-	c.mu.Lock()
-	c.d[name] += d
-	c.mu.Unlock()
-}
+func (c *Counters) AddTime(name string, d time.Duration) { c.r.AddTime(name, d) }
 
 // Get returns the current value of the named counter.
-func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n[name]
-}
+func (c *Counters) Get(name string) int64 { return c.r.Get(name) }
 
 // GetTime returns the accumulated duration of the named timer.
-func (c *Counters) GetTime(name string) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.d[name]
-}
+func (c *Counters) GetTime(name string) time.Duration { return c.r.GetTime(name) }
 
-// Reset clears all counters and timers.
-func (c *Counters) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n = make(map[string]int64)
-	c.d = make(map[string]time.Duration)
-}
+// Reset zeroes all counters and timers. Metric registrations survive, so
+// typed handles stay live; zero-valued metrics reappear in Snapshot.
+func (c *Counters) Reset() { c.r.Reset() }
 
-// Snapshot returns copies of the counter and timer maps.
+// Snapshot returns copies of the counter and timer maps. Counter-kind (and
+// gauge-kind) metrics land in the first map, timers in the second.
 func (c *Counters) Snapshot() (map[string]int64, map[string]time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := make(map[string]int64, len(c.n))
-	for k, v := range c.n {
-		n[k] = v
-	}
-	d := make(map[string]time.Duration, len(c.d))
-	for k, v := range c.d {
-		d[k] = v
+	vals := c.r.Values()
+	n := make(map[string]int64)
+	d := make(map[string]time.Duration)
+	for _, v := range vals {
+		if v.Kind == obs.KindTimer {
+			d[v.Name] = v.Time
+		} else {
+			n[v.Name] = v.Count
+		}
 	}
 	return n, d
 }
 
-// String renders all counters and timers sorted by name, one per line.
+// String renders all counters and timers sorted by name, one per line. The
+// order is deterministic and the render is safe to call concurrently with
+// Reset: values are read atomically, so a line is never torn.
 func (c *Counters) String() string {
-	n, d := c.Snapshot()
-	keys := make([]string, 0, len(n)+len(d))
-	for k := range n {
-		keys = append(keys, k)
-	}
-	for k := range d {
-		keys = append(keys, k+" (time)")
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	for _, k := range keys {
-		if strings.HasSuffix(k, " (time)") {
-			fmt.Fprintf(&b, "%s: %v\n", k, d[strings.TrimSuffix(k, " (time)")])
+	vals := c.r.Values()
+	lines := make([]string, 0, len(vals))
+	for _, v := range vals {
+		if v.Kind == obs.KindTimer {
+			lines = append(lines, fmt.Sprintf("%s (time): %v\n", v.Name, v.Time))
 		} else {
-			fmt.Fprintf(&b, "%s: %d\n", k, n[k])
+			lines = append(lines, fmt.Sprintf("%s: %d\n", v.Name, v.Count))
 		}
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
 	}
 	return b.String()
 }

@@ -82,3 +82,43 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("concurrent adds = %d, want 8000", got)
 	}
 }
+
+// TestResetRace hammers Add/AddTime/String/Snapshot concurrently with Reset
+// under the race detector: snapshot output must stay deterministic (sorted)
+// and no line may be torn. Before the obs registry backed this shim, a
+// Reset could race a Snapshot into observing half-cleared maps.
+func TestResetRace(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add("n", 1)
+				c.AddTime("d", time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s := c.String()
+		if prev := ""; s != "" {
+			for _, line := range strings.Split(strings.TrimSuffix(s, "\n"), "\n") {
+				if prev != "" && prev > line {
+					t.Fatalf("String not sorted under Reset race: %q after %q", line, prev)
+				}
+				prev = line
+			}
+		}
+		c.Snapshot()
+		c.Reset()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,225 @@
+package bridge
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// obsWorkload exercises every layer: metadata ops, batched writes and reads,
+// naive reads (read-ahead path), and a tool-framework copy.
+func obsWorkload(s *Session) error {
+	if err := s.Create("src"); err != nil {
+		return err
+	}
+	blocks := make([][]byte, 12)
+	for i := range blocks {
+		blocks[i] = []byte{byte(i), byte(i >> 8)}
+	}
+	if _, err := s.AppendN("src", blocks); err != nil {
+		return err
+	}
+	if _, err := s.ReadN("src", len(blocks)); err != nil {
+		return err
+	}
+	if _, err := s.Open("src"); err != nil { // rewind the cursor
+		return err
+	}
+	if _, err := s.Read("src"); err != nil { // naive path: read-ahead window
+		return err
+	}
+	if _, err := s.Copy("src", "dst"); err != nil {
+		return err
+	}
+	if _, err := s.Stat("dst"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func TestObsFacade(t *testing.T) {
+	sys, err := New(Config{
+		Nodes:       4,
+		DiskBlocks:  256,
+		DiskLatency: time.Millisecond,
+		ReadAhead:   2,
+		Obs:         &ObsConfig{SampleEvery: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var insp Inspector
+	err = sys.Run(func(s *Session) error {
+		if err := obsWorkload(s); err != nil {
+			return err
+		}
+		// Metrics are readable mid-run.
+		m := s.Metrics()
+		if got := m.Counter("bridge.ra_hits"); got == 0 {
+			t.Errorf("bridge.ra_hits = 0, want > 0 (naive read with ReadAhead set)")
+		}
+		h, ok := m.Histogram("client.create")
+		if !ok || h.Count < 1 {
+			t.Errorf("client.create histogram = %+v, ok=%v; want count >= 1", h, ok)
+		}
+		if h.Mean() <= 0 || h.P50 <= 0 {
+			t.Errorf("client.create mean=%v p50=%v, want > 0", h.Mean(), h.P50)
+		}
+		insp = s.Inspect()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// After Run the simulation has drained: every span (including async
+	// read-ahead prefetches) must have closed exactly once.
+	if n := insp.OpenSpans(); n != 0 {
+		t.Errorf("OpenSpans = %d, want 0", n)
+	}
+	if n := insp.DoubleEnds(); n != 0 {
+		t.Errorf("DoubleEnds = %d, want 0", n)
+	}
+	if n := insp.DroppedSpans(); n != 0 {
+		t.Errorf("DroppedSpans = %d, want 0", n)
+	}
+
+	layers := map[string]bool{}
+	for _, sp := range insp.Spans() {
+		if sp.End < sp.Start {
+			t.Errorf("span %s: End %v < Start %v", sp.Kind, sp.End, sp.Start)
+		}
+		if i := strings.IndexByte(sp.Kind, '.'); i > 0 {
+			layers[sp.Kind[:i]] = true
+		}
+	}
+	for _, want := range []string{"client", "server", "lfs", "disk"} {
+		if !layers[want] {
+			t.Errorf("no %s.* spans recorded (layers seen: %v)", want, layers)
+		}
+	}
+
+	var trace bytes.Buffer
+	if err := insp.WriteChromeTrace(&trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	var top bytes.Buffer
+	if err := insp.WriteTop(&top); err != nil {
+		t.Fatalf("WriteTop: %v", err)
+	}
+	if !strings.Contains(top.String(), "node") {
+		t.Errorf("WriteTop output missing per-node rows:\n%s", top.String())
+	}
+}
+
+func TestObsDisabledExports(t *testing.T) {
+	sys := fastSystem(t, 2)
+	err := sys.Run(func(s *Session) error {
+		if err := s.Create("f"); err != nil {
+			return err
+		}
+		insp := s.Inspect()
+		if err := insp.WriteChromeTrace(&bytes.Buffer{}); !errors.Is(err, ErrObsDisabled) {
+			t.Errorf("WriteChromeTrace without Obs: err = %v, want ErrObsDisabled", err)
+		}
+		if err := insp.WriteTop(&bytes.Buffer{}); !errors.Is(err, ErrObsDisabled) {
+			t.Errorf("WriteTop without Obs: err = %v, want ErrObsDisabled", err)
+		}
+		if got := insp.Spans(); got != nil {
+			t.Errorf("Spans without Obs = %d spans, want nil", len(got))
+		}
+		// Typed metrics work without the recorder; histograms are nil.
+		m := s.Metrics()
+		if len(m.Values) == 0 {
+			t.Error("MetricsSnapshot.Values empty; typed metrics should not require Obs")
+		}
+		if m.Histograms != nil {
+			t.Errorf("Histograms without Obs = %v, want nil", m.Histograms)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestObsTraceDeterministic runs the same workload twice and requires both
+// exporters to produce byte-identical output — the property the CI
+// trace-diff job enforces on a full chaos run.
+func TestObsTraceDeterministic(t *testing.T) {
+	run := func() (trace, top string) {
+		t.Helper()
+		sys, err := New(Config{
+			Nodes:       4,
+			DiskBlocks:  256,
+			DiskLatency: time.Millisecond,
+			ReadAhead:   2,
+			Obs:         &ObsConfig{SampleEvery: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var insp Inspector
+		if err := sys.Run(func(s *Session) error {
+			insp = s.Inspect()
+			return obsWorkload(s)
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var tr, tp bytes.Buffer
+		if err := insp.WriteChromeTrace(&tr); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		if err := insp.WriteTop(&tp); err != nil {
+			t.Fatalf("WriteTop: %v", err)
+		}
+		return tr.String(), tp.String()
+	}
+	trace1, top1 := run()
+	trace2, top2 := run()
+	if trace1 != trace2 {
+		t.Error("Chrome traces differ between identical runs")
+	}
+	if top1 != top2 {
+		t.Error("WriteTop reports differ between identical runs")
+	}
+}
+
+// TestMetricsDocUpToDate keeps metrics.md in sync with the registered
+// metrics. Regenerate with:
+//
+//	UPDATE_METRICS_DOC=1 go test . -run TestMetricsDocUpToDate
+func TestMetricsDocUpToDate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsDoc(&buf); err != nil {
+		t.Fatalf("WriteMetricsDoc: %v", err)
+	}
+	const path = "metrics.md"
+	if os.Getenv("UPDATE_METRICS_DOC") != "" {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with UPDATE_METRICS_DOC=1 go test . -run TestMetricsDocUpToDate)", path, err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("%s is stale; regenerate with UPDATE_METRICS_DOC=1 go test . -run TestMetricsDocUpToDate", path)
+	}
+}

@@ -41,7 +41,7 @@ func TestFacadeHealthAndFailover(t *testing.T) {
 			return err
 		}
 		s.Proc().Sleep(6 * time.Second) // let the monitor mark it Dead
-		states, err := s.Health()
+		states, err := s.Inspect().Health()
 		if err != nil {
 			return err
 		}
