@@ -99,6 +99,15 @@ type (
 	ScrubReport = efs.ScrubReport
 	// ScrubConfig tunes the per-node background scrubber; see Config.Scrub.
 	ScrubConfig = lfs.ScrubConfig
+	// RecoveryReport is one node's boot recovery outcome: journal replay
+	// stats plus the fsck that verified the remounted volume.
+	RecoveryReport = lfs.RecoveryReport
+	// ReplayStats describes one journal replay (entries applied, torn
+	// tail records discarded, superblock restored).
+	ReplayStats = efs.ReplayStats
+	// CrashModel tunes the fate of unsynced disk writes at kill-9 crashes
+	// (torn-write probability); see FaultInjector.SetCrashModel.
+	CrashModel = fault.CrashModel
 	// ObsConfig tunes the observability recorder (span capacity, gauge
 	// sampling interval); see Config.Obs.
 	ObsConfig = obs.Config
@@ -180,6 +189,20 @@ type Config struct {
 	Servers int
 	// DiskBlocks is each node's capacity in 1 KB blocks. Default 8192.
 	DiskBlocks int
+	// Journal reserves that many blocks per node for a write-ahead intent
+	// journal (0 = off). With a journal, every multi-block metadata update
+	// is logged, synced, and applied — a crash mid-update replays on
+	// remount instead of corrupting the volume — and each disk runs a
+	// volatile write cache so crashes exercise real kill-9 semantics.
+	// The minimum is the bitmap size plus a few entry blocks; ~64 is a
+	// comfortable choice for the default geometry.
+	Journal int
+	// DataDir, when non-empty, backs every node's disk with a durable
+	// image file (<DataDir>/node<i>.disk): committed blocks survive the
+	// host process, and a rerun against the same directory remounts the
+	// volumes — with journal replay and an fsck verifier when Journal is
+	// set (inspect via Inspect().Recovery).
+	DataDir string
 	// DiskLatency is the per-access device time. Default 15ms (CDC
 	// Wren class, as in the paper). Set Seek to use a seek+rotation
 	// model instead.
@@ -248,7 +271,7 @@ type System struct {
 
 // New validates the configuration.
 func New(cfg Config) (*System, error) {
-	if cfg.Nodes < 0 || cfg.DiskBlocks < 0 {
+	if cfg.Nodes < 0 || cfg.DiskBlocks < 0 || cfg.Journal < 0 {
 		return nil, fmt.Errorf("bridge: negative configuration values")
 	}
 	if cfg.Nodes == 0 {
@@ -289,8 +312,14 @@ func (s *System) Run(fn func(*Session) error) error {
 		retry = &p
 	}
 	cl, err := core.StartCluster(rt, core.ClusterConfig{
-		P:       s.cfg.Nodes,
-		Node:    lfs.Config{DiskBlocks: s.cfg.DiskBlocks, Timing: timing, Scrub: s.cfg.Scrub},
+		P: s.cfg.Nodes,
+		Node: lfs.Config{
+			DiskBlocks: s.cfg.DiskBlocks,
+			Timing:     timing,
+			Scrub:      s.cfg.Scrub,
+			DiskDir:    s.cfg.DataDir,
+			EFS:        efs.Options{JournalBlocks: s.cfg.Journal},
+		},
 		Servers: s.cfg.Servers,
 		Server: core.Config{
 			LFSTimeout: s.cfg.LFSTimeout,
@@ -351,6 +380,13 @@ func (s *System) Run(fn func(*Session) error) error {
 		}
 		defer sess.c.Close()
 		fnErr = fn(sess)
+		// Quiesce before the deferred Stop: flush every live volume so a
+		// clean exit is as durable as an acknowledged Sync. Best-effort —
+		// a node that cannot ack here is indistinguishable from one that
+		// crashed at shutdown, and remount recovery already covers that.
+		if fnErr == nil {
+			_ = cl.SyncAll(proc)
+		}
 	})
 	simErr := rt.Wait()
 	if fnErr != nil {
@@ -561,6 +597,21 @@ func (s *Session) FailNode(i int) error {
 	return nil
 }
 
+// CrashNode power-fails storage node i (0-based) with kill-9 semantics:
+// unlike FailNode, disk writes not yet covered by a sync barrier are lost —
+// a seeded surviving prefix (and possibly one torn block) is chosen by the
+// fault injector's crash model when one is attached, otherwise everything
+// unsynced is dropped. RestartNode then remounts what survived; with
+// Config.Journal set, the journal replays and Inspect().Recovery reports
+// the outcome.
+func (s *Session) CrashNode(i int) error {
+	if i < 0 || i >= len(s.cl.Nodes) {
+		return fmt.Errorf("bridge: no node %d", i)
+	}
+	s.cl.CrashNode(i, s.proc.Now())
+	return nil
+}
+
 // RestartNode power-cycles a failed storage node: the disk returns with its
 // surviving blocks and the LFS reboots by mounting the volume. File
 // registrations the node had not synced are gone until RepairNode; lost
@@ -577,6 +628,13 @@ func (s *Session) RestartNode(i int) error {
 // it should hold, returning how many were repaired. Run it after
 // RestartNode and before replica-level repair.
 func (s *Session) RepairNode(i int) (int, error) { return s.c.RepairNode(i) }
+
+// Sync flushes every live storage node's volume — a journal commit plus a
+// disk barrier — making everything written so far durable: with
+// Config.DataDir set, a later process that remounts the same directory
+// recovers it. Run also syncs on clean shutdown, so an explicit Sync is
+// only needed to bound what a crash can lose mid-session.
+func (s *Session) Sync() error { return s.cl.SyncAll(s.proc) }
 
 // Fsck runs a full consistency check of storage node i's local file system
 // — superblock, directory, bitmap, chain invariants, and block checksums —
@@ -818,6 +876,12 @@ func (i Inspector) Info() (ClusterInfo, error) { return i.s.c.GetInfo() }
 // Config.Health; without it all nodes report Healthy).
 func (i Inspector) Health() ([]NodeHealth, error) { return i.s.c.Health() }
 
+// Recovery returns storage node idx's boot recovery report: what the
+// journal replayed on the last mount and the fsck that verified the
+// result. It fails with ErrNotFound when the node was freshly formatted
+// or has no journal (Config.Journal unset).
+func (i Inspector) Recovery(idx int) (RecoveryReport, error) { return i.s.c.Recovery(idx) }
+
 // Metrics snapshots every typed metric on the cluster's shared registry,
 // plus the per-op-kind latency histograms when Config.Obs is set. Metric
 // reads are atomic; the snapshot is safe to take while the system runs.
@@ -872,12 +936,18 @@ func (i Inspector) DroppedSpans() int { return i.s.rec.DroppedSpans() }
 // typed metric a booted system registers, with kind, unit, and help text.
 // It boots a small throwaway cluster so each layer's registrations run.
 func WriteMetricsDoc(w io.Writer) error {
-	sys, err := New(Config{Nodes: 2, DiskBlocks: 128})
+	// Journal on, so the journaling and recovery metrics register too.
+	sys, err := New(Config{Nodes: 2, DiskBlocks: 128, Journal: 16})
 	if err != nil {
 		return err
 	}
 	var sets [][]MetricValue
 	err = sys.Run(func(s *Session) error {
+		// One real operation, so every node finishes booting (Format
+		// registers the journal metrics) before the snapshot.
+		if err := s.Create("metricsdoc"); err != nil {
+			return err
+		}
 		reg := s.cl.Net.Stats().Registry()
 		replica.RegisterMetrics(reg)
 		sets = append(sets, reg.Values(), s.cl.Nodes[0].Disk.Stats().Registry().Values())

@@ -46,6 +46,11 @@ type manifest struct {
 	Dir        core.DirSnapshot
 }
 
+// errStaleImage reports a leftover .tmp disk image: an earlier save was
+// interrupted between writing the temp file and renaming it over the
+// committed image. The committed image is intact; the temp file is trash.
+var errStaleImage = errors.New("stale temporary disk image (an earlier save was interrupted)")
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bridgefs:", err)
@@ -117,14 +122,22 @@ func load(dir string) (*manifest, []*disk.Disk, error) {
 			NumBlocks: m.DiskBlocks,
 			Timing:    disk.FixedTiming{Latency: 15 * time.Millisecond},
 		})
-		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("disk%d.img", i)))
+		path := filepath.Join(dir, fmt.Sprintf("disk%d.img", i))
+		if _, err := os.Stat(path + ".tmp"); err == nil {
+			return nil, nil, fmt.Errorf("%w: %s.tmp — the committed %s is intact, remove the temp file to continue",
+				errStaleImage, path, filepath.Base(path))
+		}
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, nil, fmt.Errorf("opening disk image %d: %w", i, err)
 		}
-		err = d.LoadImage(f)
+		// Every block is checksum-verified on the way in, so corruption of
+		// an image at rest is caught here — naming the node and block —
+		// rather than surfacing later as a mystery I/O error.
+		err = d.LoadImageVerify(f, efs.ImageVerifier())
 		f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("loading disk image %d: %w", i, err)
+			return nil, nil, fmt.Errorf("disk image %d (node %d): %w", i, i, err)
 		}
 		disks[i] = d
 	}
@@ -184,19 +197,47 @@ func withCluster(dir string, m *manifest, disks []*disk.Disk, op opFunc) error {
 	}
 	for i, n := range cl.Nodes {
 		path := filepath.Join(dir, fmt.Sprintf("disk%d.img", i))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		err = n.Disk.SaveImage(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := saveImageAtomic(n.Disk, path); err != nil {
 			return fmt.Errorf("saving disk image %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// saveImageAtomic persists a disk image crash-safely: the image is written
+// to a temp file in the same directory, fsynced, renamed over the old
+// image, and the directory is fsynced. A host crash at any point leaves
+// either the old image or the new one — never a torn mix — plus at worst
+// an orphaned .tmp file, which load reports as errStaleImage.
+func saveImageAtomic(d *disk.Disk, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = d.SaveImage(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	df, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = df.Sync()
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 type opFunc func(proc sim.Proc, cl *core.Cluster, c *core.Client) error

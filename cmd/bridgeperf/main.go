@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bridgeperf [-out BENCH_pr5.json] [-check BENCH_pr5.json] [-tolerance 0.10] [-trace out.json]
+//	bridgeperf [-out BENCH_pr6.json] [-check BENCH_pr6.json] [-tolerance 0.10] [-trace out.json]
 //
 // -trace additionally writes the observed batched-read run's Chrome
 // trace_event JSON (load in about://tracing or Perfetto).
@@ -25,7 +25,7 @@ import (
 	"bridge/internal/experiments"
 )
 
-// Report is the BENCH_pr5.json schema. All *SimMs fields are simulated
+// Report is the BENCH_pr6.json schema. All *SimMs fields are simulated
 // milliseconds (lower is better); RecPerSec is simulated throughput
 // (higher is better).
 type Report struct {
@@ -53,6 +53,14 @@ type Report struct {
 	// Spans charge no simulated time, so this must stay ~0.
 	BatchedReadObsBlkSimMs float64 `json:"batched_read_obs_blk_sim_ms"`
 	ObsOverheadFrac        float64 `json:"obs_overhead_frac"`
+
+	// Durability costs: the batched append path on plain volumes and on
+	// volumes with the write-ahead intent journal, and the fraction the
+	// journal adds. Group commit plus write-back buffering is expected to
+	// keep this at or below zero; the gate allows at most 5%.
+	BatchedWriteBlkSimMs    float64 `json:"batched_write_blk_sim_ms"`
+	BatchedWriteJnlBlkSimMs float64 `json:"batched_write_jnl_blk_sim_ms"`
+	JournalOverheadFrac     float64 `json:"journal_overhead_frac"`
 }
 
 func main() {
@@ -66,7 +74,7 @@ func simMs(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 func run() error {
 	var (
-		out       = flag.String("out", "BENCH_pr5.json", "where to write the metrics report")
+		out       = flag.String("out", "BENCH_pr6.json", "where to write the metrics report")
 		check     = flag.String("check", "", "baseline report to compare against (empty = no comparison)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression per metric")
 		traceOut  = flag.String("trace", "", "write the observed batched-read run's Chrome trace JSON here")
@@ -97,9 +105,14 @@ func run() error {
 		return fmt.Errorf("obs overhead: %w", err)
 	}
 	oo := obsPts[0]
+	jnlPts, err := experiments.JournalOverhead(cfg)
+	if err != nil {
+		return fmt.Errorf("journal overhead: %w", err)
+	}
+	jo := jnlPts[0]
 
 	rep := Report{
-		PR:                  5,
+		PR:                  6,
 		Scale:               "quick",
 		P:                   p,
 		NaiveReadBlkSimMs:   simMs(pt.ReadPerBlock),
@@ -115,6 +128,10 @@ func run() error {
 
 		BatchedReadObsBlkSimMs: simMs(oo.Observed),
 		ObsOverheadFrac:        oo.Overhead(),
+
+		BatchedWriteBlkSimMs:    simMs(jo.Plain),
+		BatchedWriteJnlBlkSimMs: simMs(jo.Journaled),
+		JournalOverheadFrac:     jo.Overhead(),
 	}
 	if rep.BatchedReadBlkSimMs > 0 {
 		rep.BatchedReadSpeedup = rep.NaiveReadBlkSimMs / rep.BatchedReadBlkSimMs
@@ -128,10 +145,11 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
+	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\nbatched write%7.3f ms/blk\nwith journal%8.3f ms/blk (%+.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
 		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup,
 		rep.BatchedReadScrubBlkSimMs, 100*rep.ScrubOverheadFrac,
 		rep.BatchedReadObsBlkSimMs, 100*rep.ObsOverheadFrac,
+		rep.BatchedWriteBlkSimMs, rep.BatchedWriteJnlBlkSimMs, 100*rep.JournalOverheadFrac,
 		rep.CopyToolSimMs, rep.CopyRecPerSec, *out)
 
 	if *traceOut != "" {
@@ -165,6 +183,12 @@ func run() error {
 	if rep.ObsOverheadFrac > 0.02 {
 		return fmt.Errorf("observability overhead %.1f%% on the batched read exceeds the 2%% budget", 100*rep.ObsOverheadFrac)
 	}
+	// Durability gate: the write-ahead intent journal may cost at most 5%
+	// on the batched write path at p=8. Group commit plus write-back
+	// buffering should keep it at or below zero.
+	if rep.JournalOverheadFrac > 0.05 {
+		return fmt.Errorf("journaling overhead %.1f%% on the batched write exceeds the 5%% budget", 100*rep.JournalOverheadFrac)
+	}
 	if *check == "" {
 		return nil
 	}
@@ -190,6 +214,8 @@ func run() error {
 		{"delete_total_sim_ms", rep.DeleteTotSimMs, base.DeleteTotSimMs},
 		{"batched_read_scrub_blk_sim_ms", rep.BatchedReadScrubBlkSimMs, base.BatchedReadScrubBlkSimMs},
 		{"batched_read_obs_blk_sim_ms", rep.BatchedReadObsBlkSimMs, base.BatchedReadObsBlkSimMs},
+		{"batched_write_blk_sim_ms", rep.BatchedWriteBlkSimMs, base.BatchedWriteBlkSimMs},
+		{"batched_write_jnl_blk_sim_ms", rep.BatchedWriteJnlBlkSimMs, base.BatchedWriteJnlBlkSimMs},
 	}
 	var failed bool
 	for _, m := range lower {

@@ -1,0 +1,141 @@
+package bridge
+
+import (
+	"testing"
+)
+
+// TestCleanShutdownDurable is the facade durability contract: with
+// Config.DataDir and Config.Journal set, everything written before a clean
+// Run exit must survive into a second System that remounts the same
+// directory — no explicit Sync required, because Run quiesces every live
+// volume on shutdown. The Bridge name directory itself is a single
+// in-memory authority (see ROADMAP: metadata HA), so the second process
+// verifies at the volume level: clean recovery reports and the exact
+// number of chain blocks.
+func TestCleanShutdownDurable(t *testing.T) {
+	const nodes, blocks = 4, 32
+	dir := t.TempDir()
+	cfg := Config{Nodes: nodes, DiskBlocks: 512, Journal: 64, DataDir: dir}
+
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	err = sys.Run(func(s *Session) error {
+		if err := s.Create("f"); err != nil {
+			return err
+		}
+		for i := 0; i < blocks; i++ {
+			if err := s.Append("f", robustPayload(i)); err != nil {
+				return err
+			}
+		}
+		// No Sync: the clean exit below is the durability point under test.
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("write run: %v", err)
+	}
+
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New (remount): %v", err)
+	}
+	err = sys2.Run(func(s *Session) error {
+		chain := 0
+		for i := 0; i < nodes; i++ {
+			rep, err := s.Inspect().Recovery(i)
+			if err != nil {
+				t.Errorf("node %d: recovery report: %v", i, err)
+				continue
+			}
+			if !rep.Journaled || !rep.Clean() {
+				t.Errorf("node %d: remount recovery not clean: journaled %v, fsck err %q, problems %v",
+					i, rep.Journaled, rep.FsckErr, rep.Fsck.Problems)
+			}
+			ck, err := s.Fsck(i)
+			if err != nil {
+				t.Errorf("node %d: fsck: %v", i, err)
+				continue
+			}
+			chain += ck.ChainBlocks
+		}
+		if chain != blocks {
+			t.Errorf("remounted volumes hold %d chain blocks, want %d", chain, blocks)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("remount run: %v", err)
+	}
+}
+
+// TestSessionSyncDurable proves the explicit barrier: after Session.Sync
+// returns, the data is on stable storage even if the process never exits
+// cleanly — modeled here by kill-9ing every node before the run ends.
+func TestSessionSyncDurable(t *testing.T) {
+	const nodes, blocks = 4, 16
+	dir := t.TempDir()
+	cfg := Config{Nodes: nodes, DiskBlocks: 512, Journal: 64, DataDir: dir}
+
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	err = sys.Run(func(s *Session) error {
+		if err := s.Create("f"); err != nil {
+			return err
+		}
+		for i := 0; i < blocks; i++ {
+			if err := s.Append("f", robustPayload(i)); err != nil {
+				return err
+			}
+		}
+		if err := s.Sync(); err != nil {
+			return err
+		}
+		// Power-cut every node after the barrier: whatever the volatile
+		// write caches still held is lost, the synced state is not.
+		for i := 0; i < nodes; i++ {
+			if err := s.CrashNode(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("write run: %v", err)
+	}
+
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New (remount): %v", err)
+	}
+	err = sys2.Run(func(s *Session) error {
+		chain := 0
+		for i := 0; i < nodes; i++ {
+			rep, err := s.Inspect().Recovery(i)
+			if err != nil {
+				t.Errorf("node %d: recovery report: %v", i, err)
+				continue
+			}
+			if !rep.Journaled || !rep.Clean() {
+				t.Errorf("node %d: remount recovery not clean: journaled %v, fsck err %q, problems %v",
+					i, rep.Journaled, rep.FsckErr, rep.Fsck.Problems)
+			}
+			ck, err := s.Fsck(i)
+			if err != nil {
+				t.Errorf("node %d: fsck: %v", i, err)
+				continue
+			}
+			chain += ck.ChainBlocks
+		}
+		if chain != blocks {
+			t.Errorf("remounted volumes hold %d chain blocks, want %d", chain, blocks)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("remount run: %v", err)
+	}
+}

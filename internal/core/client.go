@@ -9,6 +9,7 @@ import (
 
 	"bridge/internal/distrib"
 	"bridge/internal/efs"
+	"bridge/internal/lfs"
 	"bridge/internal/msg"
 	"bridge/internal/obs"
 	"bridge/internal/sim"
@@ -455,6 +456,18 @@ func (c *Client) FsckRepair(i int) (efs.CheckReport, int, error) {
 	}
 	r := m.Body.(FsckResp)
 	return r.Report, r.Fixes, decodeErr(r.Err)
+}
+
+// Recovery fetches storage node index i's boot recovery report: journal
+// replay stats plus the fsck that verified the remounted volume. It fails
+// with ErrNotFound when the node was freshly formatted or is not journaled.
+func (c *Client) Recovery(i int) (lfs.RecoveryReport, error) {
+	m, err := c.callAt(c.servers[0], RecoveryReq{Node: i})
+	if err != nil {
+		return lfs.RecoveryReport{}, err
+	}
+	r := m.Body.(RecoveryResp)
+	return r.Report, decodeErr(r.Err)
 }
 
 // Scrub runs a full checksum-verification sweep on storage node index i.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"bridge/internal/disk"
 	"bridge/internal/lfs"
@@ -69,7 +70,11 @@ func StartCluster(rt sim.Runtime, cfg ClusterConfig) (*Cluster, error) {
 		if cfg.Disks != nil {
 			existing = cfg.Disks[i]
 		}
-		cl.Nodes = append(cl.Nodes, lfs.StartNode(rt, network, id, cfg.Node, existing))
+		node, err := lfs.StartNode(rt, network, id, cfg.Node, existing)
+		if err != nil {
+			return nil, err
+		}
+		cl.Nodes = append(cl.Nodes, node)
 	}
 	if cfg.Servers == 0 {
 		cfg.Servers = 1
@@ -115,6 +120,29 @@ func (cl *Cluster) NewClient(proc sim.Proc, node msg.NodeID, name string) *Clien
 	return NewMultiClient(proc, cl.Net, node, name, cl.ServerAddrs())
 }
 
+// SyncAll flushes every live storage node's volume: a journal commit plus
+// a disk barrier, the same durability point an acknowledged client Sync
+// reaches. The facade calls it on clean shutdown so stopping a cluster
+// never loses writes that group commit was still holding. Nodes whose
+// disks have failed are skipped — their write cache is already gone and
+// remount recovery owns them. It returns the first sync error; a node
+// that cannot ack is equivalent to one that crashed at shutdown, which
+// recovery already handles, so callers may treat the error as advisory.
+func (cl *Cluster) SyncAll(p sim.Proc) error {
+	lc := lfs.NewClient(p, cl.Net, 0, "core.syncall")
+	defer lc.C.Close()
+	var firstErr error
+	for _, n := range cl.Nodes {
+		if n.Disk.Failed() {
+			continue
+		}
+		if err := lc.SyncTimeout(n.ID, 10*time.Second); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: sync node %d: %w", n.ID, err)
+		}
+	}
+	return firstErr
+}
+
 // Stop shuts down the servers and every node so all processes exit.
 func (cl *Cluster) Stop() {
 	for _, s := range cl.Servers {
@@ -136,4 +164,12 @@ func (cl *Cluster) FailNode(i int) {
 // crashes and restarts directly against the cluster.
 func (cl *Cluster) RestartNode(i int) {
 	cl.Nodes[i].Restart(cl.rt)
+}
+
+// CrashNode power-fails storage node i (0-based) at virtual time now with
+// kill-9 semantics: the disk's unsynced writes are dropped (subject to the
+// installed crash hook) before the ports close. The signature matches
+// fault.CrashController, so a fault schedule's Kill events land here.
+func (cl *Cluster) CrashNode(i int, now time.Duration) {
+	cl.Nodes[i].Crash(now)
 }

@@ -25,6 +25,7 @@ import (
 
 	"bridge/internal/distrib"
 	"bridge/internal/efs"
+	"bridge/internal/lfs"
 	"bridge/internal/msg"
 )
 
@@ -450,6 +451,16 @@ type (
 		Err    string
 	}
 
+	// RecoveryReq fetches storage node index Node's boot recovery report:
+	// journal replay stats plus the fsck that verified the remounted
+	// volume.
+	RecoveryReq struct{ Node int }
+	// RecoveryResp returns it.
+	RecoveryResp struct {
+		Report lfs.RecoveryReport
+		Err    string
+	}
+
 	// WorkerData is the one-way message a job read sends to a worker.
 	WorkerData struct {
 		JobID uint64
@@ -532,6 +543,12 @@ func WireSize(body any) int {
 		return n
 	case ScrubResp:
 		return 24 + 12*len(b.Report.Errors)
+	case RecoveryResp:
+		n := 64
+		for _, p := range b.Report.Fsck.Problems {
+			n += len(p)
+		}
+		return n
 	default:
 		return 24
 	}

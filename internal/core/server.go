@@ -304,6 +304,8 @@ func respErr(body any) string {
 		return b.Err
 	case FsckResp:
 		return b.Err
+	case RecoveryResp:
+		return b.Err
 	default:
 		return ""
 	}
@@ -417,6 +419,9 @@ func (s *Server) handle(p sim.Proc, req *msg.Message) any {
 	case ScrubReq:
 		rep, err := s.scrub(p, r.Node)
 		return ScrubResp{Report: rep, Err: errString(err)}
+	case RecoveryReq:
+		rep, err := s.recovery(p, r.Node)
+		return RecoveryResp{Report: rep, Err: errString(err)}
 	default:
 		return CloseJobResp{Err: fmt.Sprintf("bridge: unknown request %T", req.Body)}
 	}
@@ -799,6 +804,20 @@ func (s *Server) fsck(p sim.Proc, r FsckReq) (efs.CheckReport, int, error) {
 	}
 	resp := m.Body.(lfs.CheckResp)
 	return resp.Report, resp.Fixes, resp.Status.Err()
+}
+
+// recovery fetches one storage node's boot recovery report.
+func (s *Server) recovery(p sim.Proc, idx int) (lfs.RecoveryReport, error) {
+	if idx < 0 || idx >= len(s.nodes) {
+		return lfs.RecoveryReport{}, fmt.Errorf("%w: node index %d of %d", ErrBadArg, idx, len(s.nodes))
+	}
+	req := lfs.RecoveryReq{}
+	m, err := s.lfsCall(p, s.nodes[idx], req, lfs.WireSize(req))
+	if err != nil {
+		return lfs.RecoveryReport{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	resp := m.Body.(lfs.RecoveryResp)
+	return resp.Report, resp.Status.Err()
 }
 
 // scrub runs a full checksum-verification sweep on one storage node.

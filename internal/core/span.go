@@ -49,6 +49,8 @@ func opName(body any) string {
 		return "fsck"
 	case ScrubReq:
 		return "scrub"
+	case RecoveryReq:
+		return "recovery"
 	default:
 		return "unknown"
 	}

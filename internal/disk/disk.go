@@ -74,6 +74,15 @@ type Config struct {
 	// Timing is the access-time model. Default: FixedTiming{15ms}, the
 	// paper's Wren-class approximation.
 	Timing TimingModel
+	// WriteBack enables a volatile write cache: WriteBlock buffers data
+	// and only Sync makes it stable. A Crash then loses everything after
+	// the last sync barrier (minus whatever luck the crash hook grants),
+	// exactly like kill -9 on a process with a dirty page cache. Off by
+	// default: writes go straight to the stable medium, as before.
+	WriteBack bool
+	// SyncTime is the cost of a Sync barrier (cache flush plus, for
+	// file-backed devices, the backing-file fsync). Default 5ms.
+	SyncTime time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -86,6 +95,28 @@ func (c *Config) applyDefaults() {
 	if c.Timing == nil {
 		c.Timing = FixedTiming{Latency: 15 * time.Millisecond}
 	}
+	if c.SyncTime == 0 {
+		c.SyncTime = 5 * time.Millisecond
+	}
+}
+
+// CrashOutcome describes how much of the volatile write cache survives a
+// crash: the first Keep buffered writes (in write order) had already
+// reached the medium, and if TornBytes > 0 the write after those landed
+// only for its first TornBytes bytes — a torn write, the front of the new
+// image spliced onto the back of the old one.
+type CrashOutcome struct {
+	Keep      int
+	TornBytes int
+}
+
+// CrashHook decides the fate of unsynced writes when a device crashes;
+// the fault injector implements it. pending lists the block numbers of
+// the buffered writes, oldest first. Implementations must be
+// deterministic under the virtual clock. With no hook installed a crash
+// drops every unsynced write.
+type CrashHook interface {
+	OnCrash(now time.Duration, label string, pending []int) CrashOutcome
 }
 
 // Disk is one simulated device. Methods charge simulated time to the
@@ -100,6 +131,7 @@ type Disk struct {
 	corrupter Corrupter // d.fault's Corrupter side, if it has one
 	label     string    // device name passed to the fault hook
 	m         diskMetrics
+	crash     CrashHook // nil = crashes drop every unsynced write
 	mu        sync.Mutex
 	rec       *obs.Recorder // nil = observability off
 	node      int           // cluster node index for recorded spans
@@ -108,11 +140,25 @@ type Disk struct {
 	blocks    [][]byte // nil entry = never-written (zero) block
 	head      int      // last accessed block, for seek modeling
 	failed    bool
+
+	// Volatile write cache (WriteBack mode): buffered writes not yet
+	// covered by a sync barrier, and their order of first durability
+	// obligation (a rewrite moves a block to the back of the order).
+	pending      map[int][]byte
+	pendingOrder []int
+
+	// Durable backing store; nil for a RAM-only device. The stable blocks
+	// array mirrors the store exactly: commit writes through to both.
+	store *FileStore
+
+	// Plain op tallies persisted into the backing store's header.
+	nReads, nWrites, nSyncs uint64
 }
 
 // diskMetrics are the device's typed metric handles.
 type diskMetrics struct {
 	ops, blocks, reads, writes obs.Counter
+	syncs                      obs.Counter
 	faultErrors                obs.Counter
 	busy                       obs.Timer
 }
@@ -127,19 +173,44 @@ func New(cfg Config) *Disk {
 	st := stats.New()
 	reg := st.Registry()
 	return &Disk{
-		cfg:    cfg,
-		stats:  st,
-		blocks: make([][]byte, cfg.NumBlocks),
+		cfg:     cfg,
+		stats:   st,
+		blocks:  make([][]byte, cfg.NumBlocks),
+		pending: make(map[int][]byte),
 		m: diskMetrics{
 			ops:         reg.Counter("disk.ops", "ops", "device accesses charged"),
 			blocks:      reg.Counter("disk.blocks", "blocks", "blocks transferred"),
 			reads:       reg.Counter("disk.reads", "ops", "read accesses"),
 			writes:      reg.Counter("disk.writes", "ops", "write accesses"),
+			syncs:       reg.Counter("disk.syncs", "ops", "sync barriers (write-cache flushes)"),
 			faultErrors: reg.Counter("disk.fault_errors", "ops", "accesses failed by the fault injector"),
 			busy:        reg.Timer("disk.busy", "virtual time the device spent on accesses"),
 		},
 	}
 }
+
+// NewWithStore creates a device whose stable medium is a durable file
+// store: blocks already in the store appear on the device, and every
+// committed write goes through to the backing file. The store's geometry
+// must match the configuration.
+func NewWithStore(cfg Config, st *FileStore) (*Disk, error) {
+	cfg.applyDefaults()
+	if st.BlockSize() != cfg.BlockSize || st.NumBlocks() != cfg.NumBlocks {
+		return nil, fmt.Errorf("%w: store geometry %dx%d, device %dx%d",
+			ErrBadImage, st.NumBlocks(), st.BlockSize(), cfg.NumBlocks, cfg.BlockSize)
+	}
+	d := New(cfg)
+	blocks, err := st.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	d.blocks = blocks
+	d.store = st
+	return d, nil
+}
+
+// Store returns the durable backing store, or nil for a RAM-only device.
+func (d *Disk) Store() *FileStore { return d.store }
 
 // Config returns the device configuration.
 func (d *Disk) Config() Config { return d.cfg }
@@ -180,6 +251,14 @@ func (d *Disk) SetFault(h FaultHook, label string) {
 	d.mu.Unlock()
 }
 
+// SetCrashHook installs the hook consulted by Crash for the fate of
+// unsynced writes (nil removes it). Set it before the simulation starts.
+func (d *Disk) SetCrashHook(h CrashHook) {
+	d.mu.Lock()
+	d.crash = h
+	d.mu.Unlock()
+}
+
 // Fail marks the device failed; all subsequent operations return ErrFailed.
 // Used by the fault-injection experiments.
 func (d *Disk) Fail() {
@@ -188,13 +267,133 @@ func (d *Disk) Fail() {
 	d.mu.Unlock()
 }
 
-// Restore clears a failure, modeling power-cycling a crashed device. The
-// stored blocks survive (the medium was not damaged); any metadata the file
-// system had not written through is of course still lost.
+// Crash fail-stops the device at virtual time now with kill -9 semantics:
+// writes not yet covered by a sync barrier are lost, except for a
+// surviving prefix — and possibly one torn block — chosen by the crash
+// hook. With no hook every unsynced write is dropped. The device then
+// fails every operation until Restore.
+func (d *Disk) Crash(now time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out CrashOutcome
+	if d.crash != nil {
+		out = d.crash.OnCrash(now, d.label, append([]int(nil), d.pendingOrder...))
+	}
+	keep := out.Keep
+	if keep > len(d.pendingOrder) {
+		keep = len(d.pendingOrder)
+	}
+	for _, bn := range d.pendingOrder[:keep] {
+		d.commit(bn, d.pending[bn])
+	}
+	torn := 0
+	if out.TornBytes > 0 && keep < len(d.pendingOrder) {
+		// The next write after the surviving prefix tore mid-transfer:
+		// the front of the new image over the back of the old one.
+		bn := d.pendingOrder[keep]
+		torn = out.TornBytes
+		if torn > d.cfg.BlockSize {
+			torn = d.cfg.BlockSize
+		}
+		b := make([]byte, d.cfg.BlockSize)
+		if d.blocks[bn] != nil {
+			copy(b, d.blocks[bn])
+		}
+		copy(b[:torn], d.pending[bn][:torn])
+		d.commit(bn, b)
+	}
+	if d.tracer != nil {
+		d.tracer.Emitf(now, "disk.crash", "%s lost %d unsynced writes (kept %d, torn %d bytes)",
+			d.name, len(d.pendingOrder)-keep, keep, torn)
+	}
+	d.pending = make(map[int][]byte)
+	d.pendingOrder = nil
+	d.failed = true
+}
+
+// Restore clears a failure, modeling power-cycling a crashed device. For a
+// RAM-only device the stored blocks survive (the medium was not damaged).
+// A file-backed device reloads its stable blocks from the backing store and
+// loses anything still in the volatile write cache — power-loss semantics.
+// Either way, metadata the file system had not made stable is gone.
 func (d *Disk) Restore() {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.store != nil {
+		if blocks, err := d.store.ReadAll(); err == nil {
+			d.blocks = blocks
+		}
+		d.pending = make(map[int][]byte)
+		d.pendingOrder = nil
+	}
 	d.failed = false
+}
+
+// Blank reports whether the device holds no data at all — no stable block
+// ever written and nothing buffered. A blank device needs a Format; a
+// non-blank one (e.g. freshly loaded from a backing store) wants a Mount.
+func (d *Disk) Blank() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pending) > 0 {
+		return false
+	}
+	for _, b := range d.blocks {
+		if b != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Sync is the device's durability barrier: it commits every buffered write
+// to the stable medium in write order and, for file-backed devices, forces
+// the backing file down to the host disk. A crash after Sync returns can
+// no longer lose the writes it covered. Charges SyncTime for write-back or
+// file-backed devices; a plain write-through RAM device syncs for free.
+func (d *Disk) Sync(p sim.Proc) error {
+	d.mu.Lock()
+	if d.failed {
+		d.mu.Unlock()
+		return ErrFailed
+	}
+	for _, bn := range d.pendingOrder {
+		d.commit(bn, d.pending[bn])
+	}
+	flushed := len(d.pendingOrder)
+	d.pending = make(map[int][]byte)
+	d.pendingOrder = nil
+	var t time.Duration
+	var err error
+	if d.cfg.WriteBack || d.store != nil {
+		d.nSyncs++
+		if d.store != nil {
+			err = d.store.Sync(d.nReads, d.nWrites, d.nSyncs)
+		}
+		t = d.cfg.SyncTime
+		d.m.syncs.Add(1)
+		d.m.busy.Add(t)
+		if d.tracer != nil {
+			d.tracer.Emitf(p.Now(), "disk.sync", "%s flushed %d blocks %v", d.name, flushed, t)
+		}
+		if d.rec != nil {
+			sp := d.rec.Start(p.Now(), d.trace, d.parent, "disk.sync", d.node)
+			sp.End(p.Now()+t, nil)
+		}
+	}
 	d.mu.Unlock()
+	charge(p, t)
+	return err
+}
+
+// commit stores a block image on the stable medium, writing through to the
+// backing store if there is one. Callers hold d.mu. A host-level store
+// write failure is remembered and surfaced by the store's next Sync.
+func (d *Disk) commit(bn int, b []byte) {
+	d.blocks[bn] = b
+	if d.store != nil {
+		d.store.WriteBlockAt(bn, b)
+	}
 }
 
 // Failed reports whether the device has failed.
@@ -226,8 +425,10 @@ func (d *Disk) access(p sim.Proc, op Op, bn int, blocks int) time.Duration {
 	}
 	if op == OpRead {
 		d.m.reads.Add(1)
+		d.nReads++
 	} else {
 		d.m.writes.Add(1)
+		d.nWrites++
 	}
 	d.m.busy.Add(t)
 	if d.tracer != nil {
@@ -364,36 +565,76 @@ func (d *Disk) WriteBlock(p sim.Proc, bn int, data []byte) error {
 	}
 	b := make([]byte, d.cfg.BlockSize)
 	copy(b, data)
-	d.blocks[target] = b
+	if d.cfg.WriteBack {
+		// Buffer in the volatile write cache. A rewrite of an already
+		// buffered block moves it to the back of the order, so the
+		// surviving-prefix crash model can never keep a newer write while
+		// dropping an older one.
+		if _, ok := d.pending[target]; ok {
+			for i, bn := range d.pendingOrder {
+				if bn == target {
+					d.pendingOrder = append(d.pendingOrder[:i], d.pendingOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		d.pending[target] = b
+		d.pendingOrder = append(d.pendingOrder, target)
+	} else {
+		d.commit(target, b)
+	}
 	d.mu.Unlock()
 	charge(p, t+extra)
 	return nil
+}
+
+// image returns the device's current view of block bn — the buffered
+// write if one is pending, else the stable copy (nil if never written).
+// Callers hold d.mu.
+func (d *Disk) image(bn int) []byte {
+	if b, ok := d.pending[bn]; ok {
+		return b
+	}
+	return d.blocks[bn]
 }
 
 // corrupt lets an installed Corrupter rot the stored bytes of block bn
 // before they are served by a read. Never-written blocks have no stored
 // image to rot. Callers hold d.mu.
 func (d *Disk) corrupt(p sim.Proc, bn int) {
-	if d.corrupter == nil || d.blocks[bn] == nil {
+	img := d.image(bn)
+	if d.corrupter == nil || img == nil {
 		return
 	}
-	d.corrupter.CorruptBlock(p.Now(), d.label, bn, d.blocks[bn])
+	d.corrupter.CorruptBlock(p.Now(), d.label, bn, img)
 }
 
-// copyOut returns a copy of block bn; never-written blocks read as zeroes.
-// Callers hold d.mu.
+// copyOut returns a copy of block bn as a read would see it (buffered
+// writes included); never-written blocks read as zeroes. Callers hold d.mu.
 func (d *Disk) copyOut(bn int) []byte {
 	b := make([]byte, d.cfg.BlockSize)
-	if d.blocks[bn] != nil {
-		copy(b, d.blocks[bn])
+	if img := d.image(bn); img != nil {
+		copy(b, img)
 	}
 	return b
 }
 
-// Peek returns the raw stored block without charging time or copying; for
-// tests and image persistence only. A nil result means a never-written
-// block.
+// Peek returns the raw block image as a read would see it (buffered writes
+// included) without charging time or copying; for tests and image
+// persistence only. A nil result means a never-written block.
 func (d *Disk) Peek(bn int) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if bn < 0 || bn >= d.cfg.NumBlocks {
+		return nil
+	}
+	return d.image(bn)
+}
+
+// PeekStable returns the raw stable (synced) image of block bn, ignoring
+// the volatile write cache; for crash tests comparing medium state. A nil
+// result means the block was never made stable.
+func (d *Disk) PeekStable(bn int) []byte {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if bn < 0 || bn >= d.cfg.NumBlocks {

@@ -17,7 +17,7 @@ var imageMagic = [8]byte{'B', 'R', 'D', 'G', 'I', 'M', 'G', '1'}
 // ErrBadImage is returned by LoadImage for corrupt or mismatched images.
 var ErrBadImage = errors.New("disk: bad image")
 
-// SaveImage writes the device contents to w.
+// SaveImage writes the device contents — buffered writes included — to w.
 func (d *Disk) SaveImage(w io.Writer) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -26,8 +26,8 @@ func (d *Disk) SaveImage(w io.Writer) error {
 		return fmt.Errorf("disk: writing image header: %w", err)
 	}
 	var written uint32
-	for _, b := range d.blocks {
-		if b != nil {
+	for i := range d.blocks {
+		if d.image(i) != nil {
 			written++
 		}
 	}
@@ -37,7 +37,8 @@ func (d *Disk) SaveImage(w io.Writer) error {
 			return fmt.Errorf("disk: writing image header: %w", err)
 		}
 	}
-	for i, b := range d.blocks {
+	for i := range d.blocks {
+		b := d.image(i)
 		if b == nil {
 			continue
 		}
@@ -54,6 +55,15 @@ func (d *Disk) SaveImage(w io.Writer) error {
 // LoadImage replaces the device contents from an image produced by
 // SaveImage. The image's geometry must match the device configuration.
 func (d *Disk) LoadImage(r io.Reader) error {
+	return d.LoadImageVerify(r, nil)
+}
+
+// LoadImageVerify is LoadImage with per-block admission control: verify is
+// called with each loaded block's number and contents, and a non-nil
+// return rejects the whole image with an ErrBadImage naming the first
+// failing block — corrupt blocks never silently enter the device. A nil
+// verify admits everything, exactly like LoadImage.
+func (d *Disk) LoadImageVerify(r io.Reader, verify func(bn int, data []byte) error) error {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -87,8 +97,15 @@ func (d *Disk) LoadImage(r io.Reader) error {
 		if _, err := io.ReadFull(br, b); err != nil {
 			return fmt.Errorf("disk: reading image block %d: %w", idx, err)
 		}
+		if verify != nil {
+			if err := verify(int(idx), b); err != nil {
+				return fmt.Errorf("%w: block %d: %v", ErrBadImage, idx, err)
+			}
+		}
 		blocks[idx] = b
 	}
 	d.blocks = blocks
+	d.pending = make(map[int][]byte)
+	d.pendingOrder = nil
 	return nil
 }

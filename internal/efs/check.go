@@ -54,15 +54,19 @@ func (fs *FS) Check(p sim.Proc) (CheckReport, error) {
 		}
 	}
 
-	// Bitmap cross-check over the data region.
-	for a := int(fs.sb.DataStart); a < int(fs.sb.NumBlocks); a++ {
+	// Bitmap cross-check over the data region (the journal region is
+	// reserved, not leaked). Blocks whose free is journaled but not yet
+	// committed are still set in the bitmap by design; the in-memory
+	// deferred-free list is authoritative for them.
+	pf := fs.pendingFreeSet()
+	for a := int(fs.sb.DataStart); a < int(fs.dataEnd()); a++ {
 		addr := int32(a)
 		_, chained := owner[addr]
 		reachable := chained || overflow[addr]
 		if reachable && !fs.bm.isSet(a) {
 			rep.problemf("block %d is in use but marked free in the bitmap", a)
 		}
-		if !reachable && fs.bm.isSet(a) {
+		if !reachable && fs.bm.isSet(a) && !pf[addr] {
 			rep.problemf("block %d is marked used but unreachable (leaked)", a)
 		}
 	}
@@ -93,14 +97,15 @@ func (fs *FS) Repair(p sim.Proc) (CheckReport, int, error) {
 		}
 	}
 	fixes := 0
-	for a := int(fs.sb.DataStart); a < int(fs.sb.NumBlocks); a++ {
+	pf := fs.pendingFreeSet()
+	for a := int(fs.sb.DataStart); a < int(fs.dataEnd()); a++ {
 		_, chained := owner[int32(a)]
 		reachable := chained || overflow[int32(a)]
 		switch {
 		case reachable && !fs.bm.isSet(a):
 			fs.bm.set(a)
 			fixes++
-		case !reachable && fs.bm.isSet(a):
+		case !reachable && fs.bm.isSet(a) && !pf[int32(a)]:
 			fs.bm.clear(a)
 			fixes++
 		}
@@ -130,7 +135,7 @@ func (fs *FS) checkFile(p sim.Proc, rep *CheckReport, e dirEntry, owner map[int3
 	addr := e.First
 	var prev int32 = nilAddr
 	for n := int32(0); n < e.Blocks; n++ {
-		if int(addr) < int(fs.sb.DataStart) || int(addr) >= int(fs.sb.NumBlocks) {
+		if addr < int32(fs.sb.DataStart) || addr >= fs.dataEnd() {
 			rep.problemf("file %d: block %d chain points outside the data region (%d)", e.FileID, n, addr)
 			return
 		}

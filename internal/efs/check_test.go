@@ -43,7 +43,7 @@ func TestCheckAfterRemount(t *testing.T) {
 			fs.WriteBlock(p, 1, uint32(i), fill(1, 4), -1)
 		}
 		fs.Sync(p)
-		fs2, err := Mount(p, d)
+		fs2, err := Mount(p, d, Options{})
 		if err != nil {
 			t.Fatalf("Mount: %v", err)
 		}

@@ -47,7 +47,7 @@ func TestChecksumDetectsBitrot(t *testing.T) {
 		flipByte(t, p, fs, addrs[1], HeaderBytes+10)
 
 		// A fresh mount has a cold cache, so the read hits the medium.
-		fs2, err := Mount(p, d)
+		fs2, err := Mount(p, d, Options{})
 		if err != nil {
 			t.Fatalf("Mount: %v", err)
 		}
@@ -101,7 +101,7 @@ func TestChecksumDetectsMisdirectedWrite(t *testing.T) {
 			t.Fatalf("misdirecting write: %v", err)
 		}
 
-		fs2, err := Mount(p, d)
+		fs2, err := Mount(p, d, Options{})
 		if err != nil {
 			t.Fatalf("Mount: %v", err)
 		}
@@ -128,7 +128,7 @@ func TestChecksumDetectsDirectoryCorruption(t *testing.T) {
 		bucket := int32(1 + bucketFor(9, 4))
 		flipByte(t, p, fs, bucket, 12)
 
-		fs2, err := Mount(p, d)
+		fs2, err := Mount(p, d, Options{})
 		if err != nil {
 			t.Fatalf("Mount: %v", err)
 		}

@@ -24,17 +24,26 @@ import (
 	"sort"
 
 	"bridge/internal/disk"
+	"bridge/internal/obs"
 	"bridge/internal/sim"
 	"bridge/internal/stats"
 )
 
-// Options configures volume geometry at Format time.
+// Options configures volume geometry at Format time and runtime knobs at
+// Mount time.
 type Options struct {
 	// DirBuckets is the number of directory hash buckets. Default 16.
 	DirBuckets int
 	// CacheBlocks is the block cache capacity. Default 128 (a few
 	// tracks).
 	CacheBlocks int
+	// JournalBlocks reserves a write-ahead intent journal of this many
+	// blocks at the end of the device (see journal.go); 0 disables
+	// journaling. Format only — mounts read the size from the superblock.
+	JournalBlocks int
+	// Metrics receives the bridge.journal_* / bridge.recovery_* counters;
+	// nil registers them on the FS's private stats registry.
+	Metrics *obs.Registry
 }
 
 func (o *Options) applyDefaults() {
@@ -72,6 +81,10 @@ type FS struct {
 	// examine); see scrub.go.
 	scrubNext int32
 	stats     *stats.Counters
+	// jnl is the write-ahead intent journal state; nil on unjournaled
+	// volumes. replay describes the journal replay done at mount, if any.
+	jnl    *journal
+	replay *ReplayStats
 }
 
 // bucketChain is a loaded directory bucket plus its overflow blocks.
@@ -94,16 +107,20 @@ func Format(p sim.Proc, d *disk.Disk, opts Options) (*FS, error) {
 	}
 	bitmapBlocks := (n + bitsPerBitmapBlock - 1) / bitsPerBitmapBlock
 	dataStart := 1 + opts.DirBuckets + bitmapBlocks
-	if dataStart >= n {
-		return nil, fmt.Errorf("efs: volume too small: %d blocks, %d needed for metadata", n, dataStart)
+	if opts.JournalBlocks > 0 && opts.JournalBlocks < minJournalBlocks(bitmapBlocks) {
+		return nil, fmt.Errorf("efs: journal of %d blocks too small, minimum %d", opts.JournalBlocks, minJournalBlocks(bitmapBlocks))
+	}
+	if dataStart+opts.JournalBlocks >= n {
+		return nil, fmt.Errorf("efs: volume too small: %d blocks, %d needed for metadata", n, dataStart+opts.JournalBlocks)
 	}
 	fs := &FS{
 		d: d,
 		sb: superblock{
-			NumBlocks:    uint32(n),
-			DirBuckets:   uint32(opts.DirBuckets),
-			BitmapBlocks: uint32(bitmapBlocks),
-			DataStart:    uint32(dataStart),
+			NumBlocks:     uint32(n),
+			DirBuckets:    uint32(opts.DirBuckets),
+			BitmapBlocks:  uint32(bitmapBlocks),
+			DataStart:     uint32(dataStart),
+			JournalBlocks: uint32(opts.JournalBlocks),
 		},
 		bm:      newBitmap(n),
 		cache:   newBlockCache(opts.CacheBlocks),
@@ -112,6 +129,10 @@ func Format(p sim.Proc, d *disk.Disk, opts Options) (*FS, error) {
 		stats:   stats.New(),
 	}
 	for i := 0; i < dataStart; i++ {
+		fs.bm.set(i)
+	}
+	// The journal region is permanently reserved in the bitmap.
+	for i := n - opts.JournalBlocks; i < n; i++ {
 		fs.bm.set(i)
 	}
 	// Write superblock and empty directory buckets; preload the bucket
@@ -139,23 +160,37 @@ func Format(p sim.Proc, d *disk.Disk, opts Options) (*FS, error) {
 	if err := fs.flushBitmap(p); err != nil {
 		return nil, err
 	}
+	if opts.JournalBlocks > 0 {
+		reg := opts.Metrics
+		if reg == nil {
+			reg = fs.stats.Registry()
+		}
+		fs.jnl = newJournal(fs.sb, newJMetrics(reg))
+		if err := writeJournalHeader(p, d, fs.jnl.end, fs.sb.JournalBlocks, fs.jnl.epoch); err != nil {
+			return nil, err
+		}
+		// A fresh journaled volume starts stable.
+		if err := d.Sync(p); err != nil {
+			return nil, fmt.Errorf("efs: format barrier: %w", err)
+		}
+	}
 	return fs, nil
 }
 
 // Mount opens an existing volume on d: it reads the superblock and the
-// free-space bitmap; directory buckets load lazily.
-func Mount(p sim.Proc, d *disk.Disk) (*FS, error) {
+// free-space bitmap; directory buckets load lazily. On journaled volumes
+// the journal is replayed first — see mountJournal.
+func Mount(p sim.Proc, d *disk.Disk, opts Options) (*FS, error) {
+	opts.applyDefaults()
 	if d.Config().BlockSize != BlockSize {
 		return nil, fmt.Errorf("efs: disk block size %d, want %d", d.Config().BlockSize, BlockSize)
 	}
-	raw, err := d.ReadBlock(p, 0)
-	if err != nil {
-		return nil, fmt.Errorf("efs: reading superblock: %w", err)
+	st := stats.New()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = st.Registry()
 	}
-	if !sumOK(0, raw, superSumOff) {
-		return nil, fmt.Errorf("%w: superblock checksum mismatch", ErrCorrupt)
-	}
-	sb, err := decodeSuper(raw)
+	sb, replay, epoch, err := mountJournal(p, d, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -166,10 +201,15 @@ func Mount(p sim.Proc, d *disk.Disk) (*FS, error) {
 		d:       d,
 		sb:      sb,
 		bm:      newBitmap(int(sb.NumBlocks)),
-		cache:   newBlockCache(128),
+		cache:   newBlockCache(opts.CacheBlocks),
 		loc:     make(map[fileKey]int32),
 		buckets: make(map[int]*bucketChain),
-		stats:   stats.New(),
+		stats:   st,
+		replay:  replay,
+	}
+	if sb.JournalBlocks > 0 {
+		fs.jnl = newJournal(sb, newJMetrics(reg))
+		fs.jnl.epoch = epoch
 	}
 	bmBlocks := make([][]byte, sb.BitmapBlocks)
 	for i := range bmBlocks {
@@ -202,6 +242,17 @@ func (fs *FS) DataStart() int { return int(fs.sb.DataStart) }
 // readCached returns block addr through the cache; a miss reads the whole
 // containing track (full-track buffering).
 func (fs *FS) readCached(p sim.Proc, addr int32) ([]byte, error) {
+	// A deferred (journaled but uncommitted) home write is authoritative:
+	// the on-disk copy — and any cached copy refreshed from a track read —
+	// is stale until the next commit applies it.
+	if fs.jnl != nil {
+		if b, ok := fs.jnl.data[addr]; ok {
+			fs.stats.Add("efs.cache_hits", 1)
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out, nil
+		}
+	}
 	if b, ok := fs.cache.get(addr); ok {
 		fs.stats.Add("efs.cache_hits", 1)
 		return b, nil
@@ -312,8 +363,13 @@ func (fs *FS) findEntry(p sim.Proc, fileID uint32) (*bucketBlock, int, error) {
 
 // Sync flushes dirty directory buckets, the bitmap, and the superblock.
 // Buckets flush in index order so simulated timings stay deterministic
-// under position-dependent disk models.
+// under position-dependent disk models. On journaled volumes Sync is a
+// group commit: the flush is logged as intent records and forced down
+// before any home location is touched (see journal.go).
 func (fs *FS) Sync(p sim.Proc) error {
+	if fs.jnl != nil {
+		return fs.commit(p)
+	}
 	idxs := make([]int, 0, len(fs.buckets))
 	for idx := range fs.buckets {
 		idxs = append(idxs, idx)

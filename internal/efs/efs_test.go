@@ -50,7 +50,7 @@ func TestFormatAndMount(t *testing.T) {
 			t.Fatalf("Sync: %v", err)
 		}
 		// Remount and read back.
-		fs2, err := Mount(p, d)
+		fs2, err := Mount(p, d, Options{})
 		if err != nil {
 			t.Fatalf("Mount: %v", err)
 		}
@@ -67,7 +67,7 @@ func TestFormatAndMount(t *testing.T) {
 func TestMountGarbageFails(t *testing.T) {
 	d := fastDisk(64)
 	run(t, func(p sim.Proc) {
-		if _, err := Mount(p, d); !errors.Is(err, ErrCorrupt) {
+		if _, err := Mount(p, d, Options{}); !errors.Is(err, ErrCorrupt) {
 			t.Errorf("Mount unformatted = %v, want ErrCorrupt", err)
 		}
 	})
@@ -296,7 +296,7 @@ func TestManyFilesBucketOverflow(t *testing.T) {
 		if err := fs.Sync(p); err != nil {
 			t.Fatalf("Sync: %v", err)
 		}
-		fs2, err := Mount(p, d)
+		fs2, err := Mount(p, d, Options{})
 		if err != nil {
 			t.Fatalf("Mount: %v", err)
 		}

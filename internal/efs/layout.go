@@ -100,6 +100,11 @@ type superblock struct {
 	BitmapBlocks uint32
 	DataStart    uint32
 	NextFileID   uint32 // allocator hint for locally-created scratch files
+	// JournalBlocks is the size of the write-ahead intent journal region
+	// reserved at the end of the device (entry blocks plus one header
+	// block); 0 on unjournaled volumes. Stored after the checksum field so
+	// pre-journal images decode it as zero — no version bump needed.
+	JournalBlocks uint32
 }
 
 func encodeSuper(dst []byte, s superblock) {
@@ -110,6 +115,8 @@ func encodeSuper(dst []byte, s superblock) {
 	binary.LittleEndian.PutUint32(dst[20:], s.BitmapBlocks)
 	binary.LittleEndian.PutUint32(dst[24:], s.DataStart)
 	binary.LittleEndian.PutUint32(dst[28:], s.NextFileID)
+	// bytes 32..35 hold the superblock checksum (superSumOff).
+	binary.LittleEndian.PutUint32(dst[36:], s.JournalBlocks)
 }
 
 func decodeSuper(src []byte) (superblock, error) {
@@ -122,11 +129,12 @@ func decodeSuper(src []byte) (superblock, error) {
 		return superblock{}, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	return superblock{
-		NumBlocks:    binary.LittleEndian.Uint32(src[12:]),
-		DirBuckets:   binary.LittleEndian.Uint32(src[16:]),
-		BitmapBlocks: binary.LittleEndian.Uint32(src[20:]),
-		DataStart:    binary.LittleEndian.Uint32(src[24:]),
-		NextFileID:   binary.LittleEndian.Uint32(src[28:]),
+		NumBlocks:     binary.LittleEndian.Uint32(src[12:]),
+		DirBuckets:    binary.LittleEndian.Uint32(src[16:]),
+		BitmapBlocks:  binary.LittleEndian.Uint32(src[20:]),
+		DataStart:     binary.LittleEndian.Uint32(src[24:]),
+		NextFileID:    binary.LittleEndian.Uint32(src[28:]),
+		JournalBlocks: binary.LittleEndian.Uint32(src[36:]),
 	}, nil
 }
 

@@ -25,7 +25,7 @@ func (fs *FS) Create(p sim.Proc, fileID uint32) error {
 		if len(bb.b.Entries) < dirEntriesMax {
 			bb.b.Entries = append(bb.b.Entries, entry)
 			bb.dirty = true
-			return nil
+			return fs.maybeCommit(p)
 		}
 	}
 	// All buckets in the chain are full: grow an overflow bucket.
@@ -41,7 +41,7 @@ func (fs *FS) Create(p sim.Proc, fileID uint32) error {
 		b:     dirBucket{Overflow: nilAddr, Entries: []dirEntry{entry}},
 		dirty: true,
 	})
-	return nil
+	return fs.maybeCommit(p)
 }
 
 // Stat returns the file's directory information.
@@ -86,14 +86,22 @@ func (fs *FS) WriteBlock(p sim.Proc, fileID, blockNum uint32, data []byte, hint 
 		return nilAddr, err
 	}
 	e := &bb.b.Entries[i]
+	var addr int32
 	switch {
 	case blockNum == uint32(e.Blocks):
-		return fs.appendBlock(p, bb, e, fileID, data)
+		addr, err = fs.appendBlock(p, bb, e, fileID, data)
 	case blockNum < uint32(e.Blocks):
-		return fs.overwriteBlock(p, e, fileID, blockNum, data, hint)
+		addr, err = fs.overwriteBlock(p, e, fileID, blockNum, data, hint)
 	default:
 		return nilAddr, fmt.Errorf("%w: block %d of file %d (size %d)", ErrNotAppend, blockNum, fileID, e.Blocks)
 	}
+	if err != nil {
+		return nilAddr, err
+	}
+	if err := fs.maybeCommit(p); err != nil {
+		return nilAddr, err
+	}
+	return addr, nil
 }
 
 // appendBlock allocates and writes a new tail block, then rewrites the old
@@ -107,6 +115,16 @@ func (fs *FS) appendBlock(p sim.Proc, bb *bucketBlock, e *dirEntry, fileID uint3
 	addr := fs.allocBlock(near)
 	if addr == nilAddr {
 		return nilAddr, ErrNoSpace
+	}
+	if fs.jnl != nil && fs.jnl.logged[addr] {
+		// The freed-and-reused address still has a live intent record from
+		// an earlier commit. The new block goes down write-through, outside
+		// the journal, so a crash now would let replay clobber it with the
+		// stale record. Checkpoint first to retire the old records.
+		if err := fs.checkpoint(p); err != nil {
+			fs.freeBlock(addr)
+			return nilAddr, err
+		}
 	}
 	blockNum := uint32(e.Blocks)
 	h := blockHeader{
@@ -144,7 +162,12 @@ func (fs *FS) appendBlock(p sim.Proc, bb *bucketBlock, e *dirEntry, fileID uint3
 		}
 		oh.Next = addr
 		encodeHeader(old, oh)
-		if err := fs.writeThrough(p, e.Last, old); err != nil {
+		if fs.jnl != nil {
+			// The old tail is committed state: rewriting it in place could
+			// tear under a crash, so the update is journaled as a link fix
+			// and only applied once the intent record is durable.
+			fs.deferFix(e.Last, old)
+		} else if err := fs.writeThrough(p, e.Last, old); err != nil {
 			return nilAddr, err
 		}
 	} else {
@@ -177,6 +200,11 @@ func (fs *FS) overwriteBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, d
 		area[i] = 0
 	}
 	copy(area, data)
+	if fs.jnl != nil {
+		// In-place overwrite of committed data: journal the full image.
+		fs.deferImage(addr, raw)
+		return addr, nil
+	}
 	if err := fs.writeThrough(p, addr, raw); err != nil {
 		return nilAddr, err
 	}
@@ -203,6 +231,10 @@ func (fs *FS) rebuildBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, dat
 	buf := make([]byte, BlockSize)
 	encodeHeader(buf, h)
 	copy(buf[HeaderBytes:], data)
+	if fs.jnl != nil {
+		fs.deferImage(addr, buf)
+		return addr, nil
+	}
 	if err := fs.writeThrough(p, addr, buf); err != nil {
 		return nilAddr, err
 	}
@@ -297,7 +329,7 @@ func (fs *FS) walkRepair(p sim.Proc, e *dirEntry, fileID, to uint32, forward boo
 // verifies as (fileID, num) and points back at the corrupt block — the
 // neighbor's own checksum then vouches for the link.
 func (fs *FS) confirmLink(p sim.Proc, cand int32, fileID, num uint32, back int32, forward bool) bool {
-	if int(cand) < int(fs.sb.DataStart) || int(cand) >= int(fs.sb.NumBlocks) {
+	if !fs.liveData(cand) {
 		return false
 	}
 	raw, err := fs.readCached(p, cand)
@@ -339,15 +371,27 @@ func (fs *FS) Delete(p sim.Proc, fileID uint32) (int, error) {
 			return freed, fmt.Errorf("%w: chain of file %d broken at %d", ErrCorrupt, fileID, addr)
 		}
 		next := h.Next
-		// Explicitly mark the block free on disk, as EFS did for
-		// resiliency.
-		h.Flags = 0
-		encodeHeader(raw, h)
-		if err := fs.writeThrough(p, addr, raw); err != nil {
-			return freed, err
+		if fs.jnl != nil {
+			// Journal mode never touches committed blocks in place: the
+			// chain stays intact on disk until the commit's bitmap image
+			// frees it, so a crash leaves the file whole-or-gone. Deferred
+			// writes to the doomed block are dropped, and the free waits in
+			// the journal so the block cannot be reallocated while the
+			// committed state still references it.
+			fs.jnl.dropDeferred(addr)
+			fs.invalidate(addr)
+			fs.deferFree(addr)
+		} else {
+			// Explicitly mark the block free on disk, as EFS did for
+			// resiliency.
+			h.Flags = 0
+			encodeHeader(raw, h)
+			if err := fs.writeThrough(p, addr, raw); err != nil {
+				return freed, err
+			}
+			fs.invalidate(addr)
+			fs.freeBlock(addr)
 		}
-		fs.invalidate(addr)
-		fs.freeBlock(addr)
 		freed++
 		addr = next
 	}
@@ -356,6 +400,9 @@ func (fs *FS) Delete(p sim.Proc, fileID uint32) (int, error) {
 	entries[i] = entries[len(entries)-1]
 	bb.b.Entries = entries[:len(entries)-1]
 	bb.dirty = true
+	if err := fs.maybeCommit(p); err != nil {
+		return freed, err
+	}
 	return freed, nil
 }
 
@@ -424,8 +471,29 @@ func (fs *FS) freeBlock(addr int32) {
 // preference) the location map, then a linked-list walk from the closest of
 // the file's first block, last block, and the caller's hint — exactly the
 // three starting points the paper lists.
+// liveData reports whether addr is a data-region block the bitmap still
+// vouches for. A freed block can carry a perfectly valid header — journal
+// mode leaves deleted chains untouched on disk, so after a delete+recreate
+// two blocks can claim the same (file, block) identity — which means a
+// header match alone must never resolve a file block. Blocks with a
+// deferred free are already dead to readers even though their bit stays
+// set until the next commit.
+func (fs *FS) liveData(addr int32) bool {
+	if addr < int32(fs.sb.DataStart) || addr >= fs.dataEnd() || !fs.bm.isSet(int(addr)) {
+		return false
+	}
+	if fs.jnl != nil {
+		for _, a := range fs.jnl.free {
+			if a == addr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func (fs *FS) findBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, hint int32) (int32, []byte, error) {
-	if addr, ok := fs.loc[fileKey{fileID: fileID, blockNum: blockNum}]; ok {
+	if addr, ok := fs.loc[fileKey{fileID: fileID, blockNum: blockNum}]; ok && fs.liveData(addr) {
 		raw, err := fs.readCached(p, addr)
 		if err != nil {
 			return nilAddr, nil, err
@@ -444,6 +512,10 @@ func (fs *FS) findBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, hint i
 		}
 		// Stale mapping; fall through to a walk.
 		delete(fs.loc, fileKey{fileID: fileID, blockNum: blockNum})
+	} else if ok {
+		// The mapped block is no longer allocated: the mapping outlived
+		// its file. Drop it and walk.
+		delete(fs.loc, fileKey{fileID: fileID, blockNum: blockNum})
 	}
 
 	// Candidate anchors: (address, block number) pairs.
@@ -455,9 +527,9 @@ func (fs *FS) findBlock(p sim.Proc, e *dirEntry, fileID, blockNum uint32, hint i
 		{e.First, 0},
 		{e.Last, uint32(e.Blocks - 1)},
 	}
-	if hint != nilAddr && int(hint) >= int(fs.sb.DataStart) && int(hint) < int(fs.sb.NumBlocks) {
-		// Validate the hint: it must checksum clean and point into the
-		// correct file; a bad hint is ignored, never fatal.
+	if hint != nilAddr && fs.liveData(hint) {
+		// Validate the hint: it must be a live block, checksum clean, and
+		// point into the correct file; a bad hint is ignored, never fatal.
 		raw, err := fs.readCached(p, hint)
 		if err == nil && sumOK(hint, raw, dataSumOff) {
 			if h := decodeHeader(raw); h.Flags&flagUsed != 0 && h.FileID == fileID && h.BlockNum < uint32(e.Blocks) {

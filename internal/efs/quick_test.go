@@ -132,7 +132,7 @@ func TestQuickModelEquivalence(t *testing.T) {
 						fail("op %d: sync: %v", i, err)
 						return
 					}
-					fs, err = Mount(p, d)
+					fs, err = Mount(p, d, Options{})
 					if err != nil {
 						fail("op %d: remount: %v", i, err)
 						return

@@ -41,7 +41,13 @@ func (fs *FS) ScrubStep(p sim.Proc, budget time.Duration) (ScrubReport, error) {
 		return rep, err
 	}
 	start := p.Now()
-	n := int32(fs.sb.NumBlocks)
+	// The sweep covers metadata and data; the journal region is excluded
+	// (entry payloads are sealed for their home addresses, and replay CRCs
+	// the records itself at mount).
+	n := fs.dataEnd()
+	if fs.scrubNext >= n {
+		fs.scrubNext = 0
+	}
 	for {
 		fs.scrubBlock(p, fs.scrubNext, &rep, overflow, dirtyMeta)
 		fs.scrubNext++
@@ -100,6 +106,9 @@ func (fs *FS) scrubBlock(p sim.Proc, addr int32, rep *ScrubReport, overflow, dir
 	if dirtyMeta[addr] {
 		return // on-disk copy is stale until the next Sync
 	}
+	if fs.deferred(addr) {
+		return // journaled home write not yet committed; disk copy is stale
+	}
 	rep.Scanned++
 	raw, err := fs.d.ReadBlock(p, a)
 	if err != nil {
@@ -135,7 +144,7 @@ func (fs *FS) scrubBlock(p sim.Proc, addr int32, rep *ScrubReport, overflow, dir
 	// Checksum holds; the header must still be internally sane.
 	h := decodeHeader(raw)
 	if h.Flags&flagUsed != 0 {
-		lo, hi := int32(fs.sb.DataStart), int32(fs.sb.NumBlocks)
+		lo, hi := int32(fs.sb.DataStart), fs.dataEnd()
 		if h.Next < lo || h.Next >= hi || h.Prev < lo || h.Prev >= hi || int(h.DataLen) > DataBytes {
 			rep.Errors = append(rep.Errors, ScrubError{Addr: addr, FileID: h.FileID, Kind: "header"})
 			fs.invalidate(addr)

@@ -1,0 +1,64 @@
+package efs
+
+import (
+	"fmt"
+)
+
+// ImageVerifier returns a per-block admission check for
+// disk.(*Disk).LoadImageVerify: every loaded block must carry a valid
+// address-seeded CRC-32C for its region (superblock, directory bucket,
+// bitmap, or data), so a corrupt image is rejected before any block enters
+// the device. The verifier is stateful — it learns the volume geometry from
+// block 0, which SaveImage always emits first on a formatted volume.
+//
+// Data-region blocks may be either file blocks (checksum in the header) or
+// directory overflow buckets (checksum at the block tail); either seal is
+// accepted. Journal-region blocks are skipped: full-image payloads there
+// are sealed for their home addresses, and mount-time replay CRCs the
+// records anyway. Blocks freed by EFS keep their last sealed image, so a
+// consistent image verifies in full.
+func ImageVerifier() func(bn int, data []byte) error {
+	var sb superblock
+	haveSuper := false
+	return func(bn int, data []byte) error {
+		if len(data) != BlockSize {
+			return fmt.Errorf("block of %d bytes", len(data))
+		}
+		if !haveSuper {
+			if bn != 0 {
+				return fmt.Errorf("image does not start with the superblock (first block %d)", bn)
+			}
+			if !sumOK(0, data, superSumOff) {
+				return fmt.Errorf("superblock checksum mismatch")
+			}
+			var err error
+			if sb, err = decodeSuper(data); err != nil {
+				return err
+			}
+			haveSuper = true
+			return nil
+		}
+		addr := int32(bn)
+		switch {
+		case bn == 0:
+			if !sumOK(0, data, superSumOff) {
+				return fmt.Errorf("superblock checksum mismatch")
+			}
+		case bn <= int(sb.DirBuckets):
+			if !sumOK(addr, data, bucketSumOff) {
+				return fmt.Errorf("directory bucket checksum mismatch")
+			}
+		case bn < int(sb.DataStart):
+			if !sumOK(addr, data, bitmapSumOff) {
+				return fmt.Errorf("bitmap checksum mismatch")
+			}
+		case bn >= int(sb.NumBlocks-sb.JournalBlocks):
+			// Journal region: replay validates these records at mount.
+		default:
+			if !sumOK(addr, data, dataSumOff) && !sumOK(addr, data, bucketSumOff) {
+				return fmt.Errorf("data block checksum mismatch")
+			}
+		}
+		return nil
+	}
+}

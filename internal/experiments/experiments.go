@@ -58,6 +58,10 @@ type Config struct {
 	// Scrub enables each node's idle-time background scrubber, for the
 	// integrity-overhead experiments. Nil — the default — leaves it off.
 	Scrub *lfs.ScrubConfig
+	// JournalBlocks reserves a per-node write-ahead intent journal of
+	// this many blocks, for the durability-overhead experiments. 0 — the
+	// default — runs unjournaled volumes.
+	JournalBlocks int
 }
 
 // raStripes is the read-ahead depth the batched-naive experiments use: two
@@ -116,7 +120,7 @@ func clusterFor(rt sim.Runtime, p int, cfg Config) (*core.Cluster, error) {
 		Node: lfs.Config{
 			DiskBlocks: blocks,
 			Timing:     disk.FixedTiming{Latency: cfg.DiskLatency},
-			EFS:        efs.Options{CacheBlocks: cfg.CacheBlocks},
+			EFS:        efs.Options{CacheBlocks: cfg.CacheBlocks, JournalBlocks: cfg.JournalBlocks},
 			Scrub:      cfg.Scrub,
 		},
 		// A full-scale delete legitimately takes minutes of simulated

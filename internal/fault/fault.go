@@ -53,6 +53,17 @@ type DiskFaults struct {
 	ExtraLatency time.Duration
 }
 
+// CrashModel describes the fate of a device's volatile write cache when a
+// node is power-failed (kill -9). The surviving prefix of unsynced writes
+// is always drawn uniformly; TornProb decides whether the first lost write
+// additionally lands torn — a seeded prefix of the new image spliced onto
+// the old block, exactly what a half-finished sector write leaves behind.
+type CrashModel struct {
+	// TornProb is the probability that the first lost unsynced write is
+	// torn rather than cleanly absent.
+	TornProb float64
+}
+
 type window struct{ from, to time.Duration }
 
 func (w window) contains(now time.Duration) bool { return now >= w.from && now < w.to }
@@ -115,6 +126,8 @@ type Injector struct {
 	rotRules   []bitrotRule
 	misdirects map[misdirect]int // fromBn -> toBn, one-shot
 	schedule   []NodeEvent
+	crashModel CrashModel
+	blockSizes map[string]int // disk label -> block size, for torn draws
 }
 
 // injMetrics are the injector's typed metric handles: faults injected by
@@ -129,7 +142,10 @@ type injMetrics struct {
 	diskLimped      obs.Counter
 	diskBitrot      obs.Counter
 	diskMisdirected obs.Counter
+	diskTorn        obs.Counter
+	diskLost        obs.Counter
 	nodeCrashes     obs.Counter
+	nodeKills       obs.Counter
 	nodeRestarts    obs.Counter
 }
 
@@ -144,7 +160,10 @@ func newInjMetrics(r *obs.Registry) injMetrics {
 		diskLimped:      r.Counter("fault.disk_limped", "ops", "Disk operations slowed by an extra-latency rule."),
 		diskBitrot:      r.Counter("fault.disk_bitrot", "blocks", "Blocks whose contents were corrupted by a flipped bit."),
 		diskMisdirected: r.Counter("fault.disk_misdirected", "writes", "Writes silently redirected to the wrong block."),
+		diskTorn:        r.Counter("fault.disk_torn_writes", "writes", "Unsynced writes left torn (partially applied) by a kill-9 crash."),
+		diskLost:        r.Counter("fault.disk_lost_unsynced", "writes", "Unsynced writes dropped entirely by a kill-9 crash."),
 		nodeCrashes:     r.Counter("fault.node_crashes", "events", "Scheduled whole-node crashes executed."),
+		nodeKills:       r.Counter("fault.node_kills", "events", "Scheduled kill-9 power failures executed."),
 		nodeRestarts:    r.Counter("fault.node_restarts", "events", "Scheduled node restarts executed."),
 	}
 }
@@ -159,6 +178,7 @@ func New(seed int64) *Injector {
 		badBlocks:  make(map[diskBlock]bool),
 		rotPending: make(map[diskBlock]bool),
 		misdirects: make(map[misdirect]int),
+		blockSizes: make(map[string]int),
 	}
 	in.m = newInjMetrics(in.stats.Registry())
 	return in
@@ -240,8 +260,56 @@ func (in *Injector) MisdirectWrite(label string, fromBn, toBn int) {
 // AttachNetwork installs the injector as net's fault hook.
 func (in *Injector) AttachNetwork(net *msg.Network) { net.SetFault(in) }
 
-// AttachDisk installs the injector as d's fault hook under the given label.
-func (in *Injector) AttachDisk(d *disk.Disk, label string) { d.SetFault(in, label) }
+// AttachDisk installs the injector as d's fault hook and crash hook under
+// the given label.
+func (in *Injector) AttachDisk(d *disk.Disk, label string) {
+	in.mu.Lock()
+	in.blockSizes[label] = d.Config().BlockSize
+	in.mu.Unlock()
+	d.SetFault(in, label)
+	d.SetCrashHook(in)
+}
+
+// SetCrashModel configures the fate of unsynced writes at kill-9 crashes
+// (the zero model keeps a random prefix and never tears).
+func (in *Injector) SetCrashModel(m CrashModel) {
+	in.mu.Lock()
+	in.crashModel = m
+	in.mu.Unlock()
+}
+
+// OnCrash implements disk.CrashHook: the seeded kill-9 model. A uniformly
+// drawn prefix of the unsynced writes (possibly none, possibly all) had
+// already reached the medium before the power went; the rest are lost,
+// and with probability CrashModel.TornProb the first lost write lands torn
+// at a seeded byte offset instead of vanishing cleanly.
+func (in *Injector) OnCrash(now time.Duration, label string, pending []int) disk.CrashOutcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out disk.CrashOutcome
+	if len(pending) == 0 {
+		return out
+	}
+	out.Keep = in.rng.Intn(len(pending) + 1)
+	lost := len(pending) - out.Keep
+	if lost == 0 {
+		return out
+	}
+	in.m.diskLost.Add(int64(lost))
+	if in.rng.Float64() < in.crashModel.TornProb {
+		bs := in.blockSizes[label]
+		if bs == 0 {
+			bs = 1024
+		}
+		// Torn means strictly partial: at least one byte landed, at
+		// least one byte did not.
+		out.TornBytes = 1 + in.rng.Intn(bs-1)
+		in.m.diskTorn.Add(1)
+		in.emit(now, "fault.torn", "%s block %d first %d bytes", label, pending[out.Keep], out.TornBytes)
+	}
+	in.emit(now, "fault.lostwrites", "%s kept %d of %d unsynced", label, out.Keep, len(pending))
+	return out
+}
 
 // Deliver implements msg.FaultHook.
 func (in *Injector) Deliver(now time.Duration, from msg.NodeID, to msg.Addr, m *msg.Message) msg.Fate {

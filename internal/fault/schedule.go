@@ -21,6 +21,11 @@ const (
 	// before the crash is lost — online repair at the replica layer is
 	// what restores full redundancy.
 	Restart
+	// Kill power-fails a node with kill-9 semantics: unsynced writes in
+	// the disk's volatile cache are lost (a seeded prefix survives, the
+	// first lost write may land torn — see CrashModel) before the ports
+	// close. Requires a CrashController; falls back to Crash otherwise.
+	Kill
 )
 
 func (k EventKind) String() string {
@@ -29,6 +34,8 @@ func (k EventKind) String() string {
 		return "crash"
 	case Restart:
 		return "restart"
+	case Kill:
+		return "kill"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -46,6 +53,13 @@ type NodeEvent struct {
 type NodeController interface {
 	FailNode(i int)
 	RestartNode(i int)
+}
+
+// CrashController is the optional power-failure side of a controller:
+// CrashNode drops node i's unsynced disk writes (per the installed crash
+// hook) before failing it. *core.Cluster implements it.
+type CrashController interface {
+	CrashNode(i int, now time.Duration)
 }
 
 // NodeSchedule adds events to the crash/restart schedule executed by Drive.
@@ -76,6 +90,15 @@ func (in *Injector) Drive(rt sim.Runtime, ctl NodeController) {
 				in.m.nodeRestarts.Add(1)
 				in.emitLocked(p.Now(), "fault.restart", "node %d", ev.Node)
 				ctl.RestartNode(ev.Node)
+			case Kill:
+				in.emitLocked(p.Now(), "fault.kill", "node %d", ev.Node)
+				if cc, ok := ctl.(CrashController); ok {
+					in.m.nodeKills.Add(1)
+					cc.CrashNode(ev.Node, p.Now())
+				} else {
+					in.m.nodeCrashes.Add(1)
+					ctl.FailNode(ev.Node)
+				}
 			}
 		}
 	})

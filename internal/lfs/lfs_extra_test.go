@@ -118,7 +118,10 @@ func TestNodeBootFailureClosesPort(t *testing.T) {
 	// clients see failure rather than hanging.
 	rt := sim.NewVirtual()
 	net := msg.NewNetwork(rt, msg.DefaultConfig())
-	bad := StartNode(rt, net, 1, Config{DiskBlocks: 4, Timing: disk.FixedTiming{}}, nil)
+	bad, err := StartNode(rt, net, 1, Config{DiskBlocks: 4, Timing: disk.FixedTiming{}}, nil)
+	if err != nil {
+		t.Fatalf("StartNode: %v", err)
+	}
 	rt.Go("client", func(p sim.Proc) {
 		defer bad.Stop()
 		c := NewClient(p, net, 0, "cli")

@@ -20,7 +20,11 @@ func testCluster(n int, cfg Config) (sim.Runtime, *msg.Network, []*Node) {
 	net := msg.NewNetwork(rt, msg.DefaultConfig())
 	nodes := make([]*Node, n)
 	for i := range nodes {
-		nodes[i] = StartNode(rt, net, msg.NodeID(i+1), cfg, nil)
+		node, err := StartNode(rt, net, msg.NodeID(i+1), cfg, nil)
+		if err != nil {
+			panic(err)
+		}
+		nodes[i] = node
 	}
 	return rt, net, nodes
 }

@@ -261,7 +261,30 @@ type (
 		Report efs.ScrubReport
 		Status Status
 	}
+
+	// RecoveryReq asks for the node's most recent boot recovery report.
+	RecoveryReq struct{}
+	// RecoveryResp returns it. Status is CodeNotFound when the node has
+	// never mounted an existing volume (a fresh format has nothing to
+	// recover).
+	RecoveryResp struct {
+		Report RecoveryReport
+		Status Status
+	}
 )
+
+// RecoveryReport describes what a node did to come back from a crash: the
+// journal replay (when the volume is journaled) and the fsck that verified
+// the result. It is built once per mount and served unchanged afterwards.
+type RecoveryReport struct {
+	Journaled bool            // volume has a write-ahead journal
+	Replay    efs.ReplayStats // journal replay outcome (zero when !Journaled)
+	Fsck      efs.CheckReport // post-mount verifier result
+	FsckErr   string          // fsck infrastructure failure, "" when it ran
+}
+
+// Clean reports whether recovery left the volume verified consistent.
+func (r RecoveryReport) Clean() bool { return r.FsckErr == "" && r.Fsck.OK() }
 
 // WireSize estimates the on-wire payload size of a protocol body, used by
 // the network bandwidth model.
@@ -291,8 +314,14 @@ func WireSize(body any) int {
 		return n
 	case WriteVecResp:
 		return 8 + 8*len(b.Blocks)
-	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq, PingReq, ScrubReq:
+	case CreateReq, DeleteReq, StatReq, SyncReq, CheckReq, UsageReq, PingReq, ScrubReq, RecoveryReq:
 		return 8
+	case RecoveryResp:
+		n := 64
+		for _, p := range b.Report.Fsck.Problems {
+			n += len(p)
+		}
+		return n
 	case ScrubResp:
 		return 16 + 12*len(b.Report.Errors)
 	case UsageResp:

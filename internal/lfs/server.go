@@ -1,6 +1,8 @@
 package lfs
 
 import (
+	"fmt"
+	"path/filepath"
 	"time"
 
 	"bridge/internal/disk"
@@ -16,8 +18,15 @@ type Config struct {
 	DiskBlocks int
 	// Timing is the disk timing model. Default FixedTiming{15ms}.
 	Timing disk.TimingModel
-	// EFS configures the local file system.
+	// EFS configures the local file system. Setting EFS.JournalBlocks
+	// turns on the write-ahead intent journal and with it the disk's
+	// volatile write cache, so crashes exercise real kill-9 semantics.
 	EFS efs.Options
+	// DiskDir, when non-empty, backs the node's disk with a durable image
+	// file (<DiskDir>/node<ID>.disk): committed blocks survive the
+	// process, and StartNode mounts instead of formatting when the file
+	// already holds a volume.
+	DiskDir string
 	// OpCPU is the processor time the LFS charges per request on top of
 	// device time (request decode, cache lookup bookkeeping).
 	OpCPU time.Duration
@@ -79,6 +88,11 @@ type Node struct {
 	// fs is owned by the server process after boot.
 	fs *efs.FS
 
+	// recovery is the report of the most recent journaled mount: replay
+	// stats plus the fsck that verified the result. Nil until such a
+	// mount completes; served unchanged by RecoveryReq afterwards.
+	recovery *RecoveryReport
+
 	// Write dedup state, owned by the server process; reset on restart
 	// (in-memory state does not survive a crash). Values are WriteResp or
 	// WriteVecResp.
@@ -106,14 +120,44 @@ const writeDedupCap = 1024
 
 // StartNode boots a storage node on the runtime: it formats (or mounts) the
 // disk and starts the LFS server and agent processes. If existing is
-// non-nil, that disk is mounted instead of formatting a new one.
-func StartNode(rt sim.Runtime, net *msg.Network, id msg.NodeID, cfg Config, existing *disk.Disk) *Node {
+// non-nil, that disk is mounted instead of formatting a new one; with
+// cfg.DiskDir set, a durable file-backed store is opened (and mounted when
+// it already holds a volume). Only the file-backed path can fail.
+func StartNode(rt sim.Runtime, net *msg.Network, id msg.NodeID, cfg Config, existing *disk.Disk) (*Node, error) {
 	cfg.applyDefaults()
-	d := existing
-	if d == nil {
-		d = disk.New(disk.Config{NumBlocks: cfg.DiskBlocks, Timing: cfg.Timing})
-	}
 	reg := net.Stats().Registry()
+	if cfg.EFS.Metrics == nil {
+		cfg.EFS.Metrics = reg
+	}
+	d := existing
+	mount := existing != nil
+	if d == nil {
+		dcfg := disk.Config{
+			NumBlocks: cfg.DiskBlocks,
+			Timing:    cfg.Timing,
+			// A journaled volume needs the volatile write cache: without
+			// it every write is instantly durable and a crash can never
+			// tear or lose anything, which defeats the model under test.
+			WriteBack: cfg.EFS.JournalBlocks > 0,
+		}
+		if cfg.DiskDir != "" {
+			st, err := disk.OpenFileStore(
+				filepath.Join(cfg.DiskDir, fmt.Sprintf("node%d.disk", id)),
+				efs.BlockSize, cfg.DiskBlocks)
+			if err != nil {
+				return nil, fmt.Errorf("lfs: node %d: %w", id, err)
+			}
+			if d, err = disk.NewWithStore(dcfg, st); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("lfs: node %d: %w", id, err)
+			}
+			// A store that already holds blocks is a prior life of this
+			// node: mount what it left behind instead of formatting.
+			mount = !d.Blank()
+		} else {
+			d = disk.New(dcfg)
+		}
+	}
 	n := &Node{
 		ID:   id,
 		Disk: d,
@@ -128,9 +172,9 @@ func StartNode(rt sim.Runtime, net *msg.Network, id msg.NodeID, cfg Config, exis
 	}
 	n.agent = startAgent(rt, net, id)
 	rt.Go(n.port.Addr().String(), func(p sim.Proc) {
-		n.serve(p, existing != nil)
+		n.serve(p, mount)
 	})
-	return n
+	return n, nil
 }
 
 // Addr returns the LFS server address.
@@ -147,6 +191,16 @@ func (n *Node) FS() *efs.FS { return n.fs }
 // so in-flight and future messages to the node are lost.
 func (n *Node) Fail() {
 	n.Disk.Fail()
+	n.port.Close()
+	n.agent.port.Close()
+}
+
+// Crash simulates a kill-9 power loss at the given virtual time: the disk's
+// volatile write cache is dropped (subject to the crash hook's keep/torn
+// decision), the stable prefix is committed, and both service ports close.
+// Restart then remounts whatever survived, exactly like Fail.
+func (n *Node) Crash(now time.Duration) {
+	n.Disk.Crash(now)
 	n.port.Close()
 	n.agent.port.Close()
 }
@@ -176,9 +230,10 @@ func (n *Node) Stop() {
 func (n *Node) QueueLen() int { return n.port.QueueLen() }
 
 func (n *Node) serve(p sim.Proc, mount bool) {
+	bootStart := p.Now()
 	var err error
 	if mount {
-		n.fs, err = efs.Mount(p, n.Disk)
+		n.fs, err = efs.Mount(p, n.Disk, n.cfg.EFS)
 	} else {
 		n.fs, err = efs.Format(p, n.Disk, n.cfg.EFS)
 	}
@@ -187,6 +242,9 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 		// port so clients see it as failed rather than hanging forever.
 		n.port.Close()
 		return
+	}
+	if mount && n.fs.Journaled() {
+		n.recoverVolume(p, bootStart)
 	}
 	n.dedup = make(map[writeKey]any)
 	n.dedupQ = nil
@@ -208,6 +266,12 @@ func (n *Node) serve(p sim.Proc, mount bool) {
 			req, ok = n.port.Recv(p)
 		}
 		if !ok {
+			return
+		}
+		if n.Disk.Failed() {
+			// The node crashed while this request sat in the queue. A dead
+			// node must not answer from beyond the grave — especially not
+			// with a recovery report whose fsck the crash itself garbled.
 			return
 		}
 		var sp obs.SpanRef
@@ -266,6 +330,8 @@ func reqKind(body any) string {
 		return "scrub"
 	case UsageReq:
 		return "usage"
+	case RecoveryReq:
+		return "recovery"
 	}
 	return "unknown"
 }
@@ -297,11 +363,46 @@ func respStatusText(body any) string {
 		err = r.Status.Err()
 	case UsageResp:
 		err = r.Status.Err()
+	case RecoveryResp:
+		err = r.Status.Err()
 	}
 	if err != nil {
 		return err.Error()
 	}
 	return ""
+}
+
+// recoverVolume verifies a journaled volume after a mount. The journal
+// replay itself already ran inside efs.Mount; this runs the fsck verifier
+// over the result, builds the node's RecoveryReport, and records the whole
+// boot as its own trace (lfs.mount with lfs.replay and lfs.fsck children —
+// the replay span is retroactive, stamped from the replay's own clock).
+func (n *Node) recoverVolume(p sim.Proc, bootStart time.Duration) {
+	rep := RecoveryReport{Journaled: true}
+	if st := n.fs.LastReplay(); st != nil {
+		rep.Replay = *st
+	}
+	rec := n.net.Recorder()
+	var root, fsp obs.SpanRef
+	if rec != nil {
+		tr := rec.NewTrace()
+		root = rec.Start(bootStart, tr, 0, "lfs.mount", int(n.ID))
+		rsp := rec.Start(rep.Replay.Started, tr, root.ID(), "lfs.replay", int(n.ID))
+		rsp.EndErr(rep.Replay.Ended, "")
+		fsp = rec.Start(p.Now(), tr, root.ID(), "lfs.fsck", int(n.ID))
+	}
+	check, err := n.fs.Check(p)
+	rep.Fsck = check
+	if err != nil {
+		rep.FsckErr = err.Error()
+	}
+	errText := rep.FsckErr
+	if errText == "" && !check.OK() {
+		errText = fmt.Sprintf("fsck: %d problems", len(check.Problems))
+	}
+	fsp.EndErr(p.Now(), errText)
+	root.EndErr(p.Now(), errText)
+	n.recovery = &rep
 }
 
 // scrubTick runs one budgeted scrub increment and records its counters.
@@ -436,6 +537,14 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 			TotalBlocks: n.Disk.Config().NumBlocks,
 			FreeBlocks:  n.fs.FreeBlocks(),
 		}
+	case RecoveryReq:
+		if n.recovery == nil {
+			return RecoveryResp{Status: Status{
+				Code:   CodeNotFound,
+				Detail: "lfs: no recovery report (volume was freshly formatted or is not journaled)",
+			}}
+		}
+		return RecoveryResp{Report: *n.recovery}
 	default:
 		return SyncResp{Status: Status{Code: CodeIO, Detail: "lfs: unknown request"}}
 	}
@@ -540,6 +649,16 @@ func (c *Client) Sync(node msg.NodeID) error {
 	return m.Body.(SyncResp).Status.Err()
 }
 
+// SyncTimeout is Sync with a deadline, for shutdown paths that must not
+// hang on a node that stops answering.
+func (c *Client) SyncTimeout(node msg.NodeID, d time.Duration) error {
+	m, err := c.C.CallTimeout(lfsAddr(node), SyncReq{}, WireSize(SyncReq{}), d)
+	if err != nil {
+		return err
+	}
+	return m.Body.(SyncResp).Status.Err()
+}
+
 // Usage returns the node's capacity and free space in blocks.
 func (c *Client) Usage(node msg.NodeID) (total, free int, err error) {
 	m, err := c.C.Call(lfsAddr(node), UsageReq{}, WireSize(UsageReq{}))
@@ -569,6 +688,17 @@ func (c *Client) Scrub(node msg.NodeID, full bool) (efs.ScrubReport, error) {
 		return efs.ScrubReport{}, err
 	}
 	r := m.Body.(ScrubResp)
+	return r.Report, r.Status.Err()
+}
+
+// Recovery returns the node's boot recovery report: journal replay stats
+// plus the fsck that verified the remounted volume.
+func (c *Client) Recovery(node msg.NodeID) (RecoveryReport, error) {
+	m, err := c.C.Call(lfsAddr(node), RecoveryReq{}, WireSize(RecoveryReq{}))
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	r := m.Body.(RecoveryResp)
 	return r.Report, r.Status.Err()
 }
 
