@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/suite"
+)
+
+// finding is one diagnostic in -json output. File is relative to the
+// module root so the output is stable across checkouts; CI rewrites these
+// into GitHub annotations.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonSweep loads the module rooted at args[0] (default ".") in-process
+// and prints every finding as a JSON array sorted by file, line,
+// analyzer, message. One loader serves all packages, so dependency
+// type-checking is done once per import rather than once per target; one
+// shared fact store per package serves all analyzers, so the CFG suite is
+// built once rather than per analyzer. Exit status mirrors the vet
+// protocol: 0 clean, 1 broken invocation or unloadable package, 2
+// findings.
+func jsonSweep(args []string) int {
+	dir := "."
+	if len(args) > 0 {
+		dir = args[0]
+	}
+	root, _, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+		return 1
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+		return 1
+	}
+	broken := false
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "bridgevet: %s: %v\n", pkg.Path, terr)
+			broken = true
+		}
+		diags, err := analysis.Check(pkg, suite.All(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+			findings = append(findings, finding{
+				File:     file,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	if findings == nil {
+		findings = []finding{} // print [] rather than null
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		fmt.Fprintf(os.Stderr, "bridgevet: %v\n", err)
+		return 1
+	}
+	switch {
+	case broken:
+		return 1
+	case len(findings) > 0:
+		return 2
+	}
+	return 0
+}

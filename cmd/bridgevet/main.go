@@ -1,9 +1,10 @@
 // Bridgevet machine-checks the sim determinism contract (see DESIGN.md,
-// "Determinism contract & static enforcement"). It runs six analyzers —
-// simdeterminism, maporder, rawgoroutine, lockedblock, errcmp, obsexport —
-// over Go packages and reports every violation.
+// "Determinism contract & static enforcement"). It runs ten analyzers —
+// simdeterminism, maporder, rawgoroutine, lockedblock, errcmp, obsexport,
+// spanend, journalorder, protocolshape, syncerr — over Go packages and
+// reports every violation.
 //
-// It speaks two protocols:
+// It speaks three protocols:
 //
 //   - As a vet tool. cmd/go invokes it once per package with a *.cfg file;
 //     this is the supported way to sweep the repository:
@@ -15,6 +16,13 @@
 //     on itself, so `bridgevet ./...` from the module root is equivalent:
 //
 //     go run ./cmd/bridgevet ./...
+//
+//   - Machine-readable, with -json. It sweeps the module in-process (one
+//     loader shares type-checking across packages; one shared fact store
+//     shares CFG construction across analyzers) and prints a sorted JSON
+//     array of findings, which CI turns into GitHub annotations:
+//
+//     go run ./cmd/bridgevet -json
 //
 // Individual findings are suppressed with a directive comment naming one
 // analyzer on one line, with a reason:
@@ -62,6 +70,7 @@ func main() {
 		printVersion = flag.String("V", "", "print version and exit (cmd/go protocol)")
 		printFlags   = flag.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
 		listChecks   = flag.Bool("list", false, "list the analyzers and exit")
+		jsonOut      = flag.Bool("json", false, "sweep the module in-process and print findings as JSON")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [packages] | %s <vet-config>.cfg\n\nAnalyzers:\n", progname, progname)
@@ -88,6 +97,8 @@ func main() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Summary())
 		}
 		return
+	case *jsonOut:
+		os.Exit(jsonSweep(flag.Args()))
 	}
 
 	args := flag.Args()

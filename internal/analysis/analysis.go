@@ -71,6 +71,37 @@ type Pass struct {
 
 	// Report delivers one diagnostic. Analyzers normally use Reportf.
 	Report func(Diagnostic)
+
+	// Shared is the package's fact cache, common to every analyzer of one
+	// Check run. Derived structures that several analyzers need — the
+	// control-flow graphs in internal/analysis/cfg — are built once per
+	// package through Shared.Fact instead of once per analyzer. May be nil
+	// for hand-assembled passes; Fact then just builds uncached.
+	Shared *Shared
+}
+
+// Shared is a per-package scratch space for facts derived from the syntax
+// and types, keyed by an analyzer-chosen key (conventionally an unexported
+// zero-size struct type, so keys cannot collide across packages).
+type Shared struct {
+	facts map[any]any
+}
+
+// NewShared returns an empty fact cache.
+func NewShared() *Shared { return &Shared{facts: make(map[any]any)} }
+
+// Fact returns the fact stored under key, building and caching it on first
+// use. A nil *Shared builds without caching.
+func (s *Shared) Fact(key any, build func() any) any {
+	if s == nil {
+		return build()
+	}
+	if v, ok := s.facts[key]; ok {
+		return v
+	}
+	v := build()
+	s.facts[key] = v
+	return v
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.

@@ -1,0 +1,430 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and offers the dataflow queries the path-sensitive
+// bridgevet analyzers share: dominance, reachability, a forward
+// must-happen-before lattice, and an obligation walk ("from this node,
+// every path to exit passes a discharge").
+//
+// The graph is statement-granular. Every simple statement (assignment,
+// expression, return, defer, declaration, ...) is one node; compound
+// statements are decomposed into blocks and edges, with their headers
+// (if/for conditions, switch tags, range expressions) appearing as nodes
+// of the branching block. A synthetic Exit block terminates every return
+// path; falling off the end of a function also reaches Exit. Calls that
+// provably do not return (panic, os.Exit, runtime.Goexit) end their path
+// without reaching Exit, so obligations are not charged on paths that die.
+//
+// goto is not modeled precisely: a graph containing one is marked HasGoto
+// and conservatively wires the jump to Exit; analyzers skip such functions.
+//
+// The per-package graph suite is exposed as a Pass fact through
+// PackageGraphs, so the four analyzers built on it share one construction
+// per package.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bridge/internal/analysis"
+)
+
+// Graph is the control-flow graph of one function or function literal.
+type Graph struct {
+	// Func is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Func ast.Node
+	// Name labels the function in diagnostics ("commit", "func@42").
+	Name string
+	// Entry is the first block executed; Exit is the synthetic block every
+	// return (and fall-off-end) path reaches. Exit holds no nodes.
+	Entry, Exit *Block
+	// Blocks lists every block, Entry first. Unreachable blocks (code
+	// after a terminator) may be present; dominance and the walks ignore
+	// them.
+	Blocks []*Block
+	// Defers lists the function's defer statements in source order. A
+	// deferred call runs at every exit reached after its defer executes.
+	Defers []*ast.DeferStmt
+	// HasGoto marks graphs containing a goto, which this builder does not
+	// model; analyzers should skip such functions.
+	HasGoto bool
+
+	fset *token.FileSet
+	info *types.Info
+
+	idom    []int // immediate dominator per block index; -1 = none/unreachable
+	order   []*Block
+	assigns map[*types.Var]int
+}
+
+// Block is a straight-line run of statement nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+	Preds []*Block
+}
+
+// Edge is one control transfer. Cond is non-nil for the two arms of a
+// boolean branch: the edge is taken when Cond evaluates to Val.
+type Edge struct {
+	To   *Block
+	Cond ast.Expr
+	Val  bool
+}
+
+// Fset returns the file set positioning the graph's nodes.
+func (g *Graph) Fset() *token.FileSet { return g.fset }
+
+// Info returns the type information for the graph's package.
+func (g *Graph) Info() *types.Info { return g.info }
+
+// builder holds the construction state for one function.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// frames tracks enclosing breakable/continuable regions, innermost
+	// last. continueTo is nil for switch/select frames.
+	frames []frame
+	// pendingLabel names the label attached to the next loop or switch.
+	pendingLabel string
+	// fallTo, during switch construction, is the body block of the next
+	// case, the target of a fallthrough in the current one.
+	fallTo *Block
+}
+
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+// New builds the graph for fn, which must be a *ast.FuncDecl with a body
+// or a *ast.FuncLit.
+func New(fn ast.Node, fset *token.FileSet, info *types.Info) *Graph {
+	g := &Graph{Func: fn, fset: fset, info: info}
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		g.Name = fn.Name.Name
+		body = fn.Body
+	case *ast.FuncLit:
+		g.Name = fmt.Sprintf("func@%d", fset.Position(fn.Pos()).Line)
+		body = fn.Body
+	default:
+		panic(fmt.Sprintf("cfg: not a function: %T", fn))
+	}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = &Block{} // appended last, after construction
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit, nil, false) // fall off the end
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, val bool) {
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, Val: val})
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// terminate ends the current path: subsequent statements land in a fresh,
+// unreachable block.
+func (b *builder) terminate() { b.cur = b.newBlock() }
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		join := b.newBlock()
+		b.edge(condBlk, thenBlk, s.Cond, true)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, join, nil, false)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk, s.Cond, false)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, join, nil, false)
+		} else {
+			b.edge(condBlk, join, s.Cond, false)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head, nil, false)
+		}
+		b.edge(b.cur, head, nil, false)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, exit, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: exit, continueTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, post, nil, false)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(b.cur, head, nil, false)
+		// The ranged expression is the head node. (The per-iteration
+		// key/value assignment is implicit; using the whole RangeStmt as a
+		// node would make its source span swallow the loop body, which
+		// breaks span-containment queries like BlockOf.)
+		head.Nodes = append(head.Nodes, s.X)
+		b.edge(head, body, nil, false)
+		b.edge(head, exit, nil, false)
+		b.frames = append(b.frames, frame{label: label, breakTo: exit, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, head, nil, false)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.cases(s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.cases(s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		b.cases(nil, s.Body.List)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit, nil, false)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.add(s)
+			if t := b.findFrame(s.Label, false); t != nil {
+				b.edge(b.cur, t, nil, false)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			b.add(s)
+			if t := b.findFrame(s.Label, true); t != nil {
+				b.edge(b.cur, t, nil, false)
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			if b.fallTo != nil {
+				b.edge(b.cur, b.fallTo, nil, false)
+			}
+			b.terminate()
+		case token.GOTO:
+			b.g.HasGoto = true
+			b.add(s)
+			b.edge(b.cur, b.g.Exit, nil, false)
+			b.terminate()
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.noReturn(call) {
+			b.terminate()
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements.
+		b.add(s)
+	}
+}
+
+// cases builds the shared shape of switch, type switch and select: a set
+// of alternative bodies entered from the current block, breaking to a
+// common join. caseList carries *ast.CaseClause, commList *ast.CommClause.
+func (b *builder) cases(caseList []ast.Stmt, commList []ast.Stmt) {
+	label := b.takeLabel()
+	head := b.cur
+	join := b.newBlock()
+	list := caseList
+	isSelect := false
+	if list == nil {
+		list = commList
+		isSelect = true
+	}
+	// Create all body blocks first so fallthrough can target the next one.
+	bodies := make([]*Block, len(list))
+	hasDefault := false
+	for i := range list {
+		bodies[i] = b.newBlock()
+		switch c := list[i].(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: join})
+	for i, cs := range list {
+		b.edge(head, bodies[i], nil, false)
+		b.cur = bodies[i]
+		var body []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				b.add(c.Comm)
+			}
+			body = c.Body
+		}
+		b.fallTo = nil
+		if i+1 < len(bodies) {
+			b.fallTo = bodies[i+1]
+		}
+		b.stmtList(body)
+		b.fallTo = nil
+		b.edge(b.cur, join, nil, false)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	// A switch without a default can skip every case; a select cannot
+	// fall through (an empty select blocks forever).
+	if !hasDefault && !isSelect {
+		b.edge(head, join, nil, false)
+	}
+	if isSelect && len(list) == 0 {
+		// select{} blocks forever: join is unreachable, and that is the
+		// truth of the matter.
+		_ = join
+	}
+	b.cur = join
+}
+
+// takeLabel consumes the label attached to the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame resolves a break/continue target; nil label means innermost.
+func (b *builder) findFrame(label *ast.Ident, needContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if needContinue {
+			return f.continueTo
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+// noReturn reports whether call provably never returns: the panic builtin,
+// os.Exit, or runtime.Goexit.
+func (b *builder) noReturn(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := b.g.info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := analysis.Callee(b.g.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "os.Exit", "runtime.Goexit":
+		return true
+	}
+	return false
+}
+
+// BlockOf returns the block and node index of the innermost node whose
+// source span contains pos, or (nil, -1) when no node covers it.
+func (g *Graph) BlockOf(pos token.Pos) (*Block, int) {
+	var bestB *Block
+	bestI := -1
+	var bestSpan token.Pos = -1
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				span := n.End() - n.Pos()
+				if bestSpan < 0 || span < bestSpan {
+					bestB, bestI, bestSpan = blk, i, span
+				}
+			}
+		}
+	}
+	return bestB, bestI
+}

@@ -1,0 +1,285 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/cfg"
+)
+
+// build parses and type-checks src and returns a graph per top-level
+// function.
+func build(t *testing.T, src string) map[string]*cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	graphs := make(map[string]*cfg.Graph)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			graphs[fd.Name.Name] = cfg.New(fd, fset, info)
+		}
+	}
+	return graphs
+}
+
+// checkInvariants asserts the structural contract every graph must hold:
+// consistent indices, symmetric edges, position lookup that lands on the
+// owning block, and entry dominating everything reachable.
+func checkInvariants(t *testing.T, name string, g *cfg.Graph) {
+	t.Helper()
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatalf("%s: graph without entry or exit", name)
+	}
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Errorf("%s: block %d carries index %d", name, i, b.Index)
+		}
+		for _, e := range b.Succs {
+			if !hasPred(e.To, b) {
+				t.Errorf("%s: edge b%d->b%d missing from preds", name, b.Index, e.To.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !hasSucc(p, b) {
+				t.Errorf("%s: pred b%d of b%d has no matching succ", name, p.Index, b.Index)
+			}
+		}
+		for j, n := range b.Nodes {
+			bb, jj := g.BlockOf(n.Pos())
+			if bb != b || jj != j {
+				t.Errorf("%s: BlockOf(node %d of b%d) = (b%v, %d)", name, j, b.Index, blockIndex(bb), jj)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if g.Reaches(g.Entry, b) && !g.Dominates(g.Entry, b) {
+			t.Errorf("%s: entry does not dominate reachable b%d", name, b.Index)
+		}
+	}
+}
+
+func hasPred(b, p *cfg.Block) bool {
+	for _, q := range b.Preds {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSucc(b, s *cfg.Block) bool {
+	for _, e := range b.Succs {
+		if e.To == s {
+			return true
+		}
+	}
+	return false
+}
+
+func blockIndex(b *cfg.Block) int {
+	if b == nil {
+		return -1
+	}
+	return b.Index
+}
+
+const shapesSrc = `package p
+
+func early(x int) int {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+func loops(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+		s += i
+	}
+	for s > 100 {
+		s /= 2
+	}
+	return s
+}
+
+func ranges(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func selects(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}
+
+func deferred(f func()) {
+	defer f()
+	f()
+}
+
+func jump() int {
+	i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+	return i
+}
+
+func diverges(x int) int {
+	if x > 0 {
+		panic("positive")
+	}
+	return x
+}
+`
+
+func TestBuilderShapes(t *testing.T) {
+	graphs := build(t, shapesSrc)
+	for name, g := range graphs {
+		checkInvariants(t, name, g)
+	}
+
+	// Early return: both returns edge into the exit.
+	if n := len(graphs["early"].Exit.Preds); n < 2 {
+		t.Errorf("early: exit has %d preds, want >= 2", n)
+	}
+
+	// Loops: a back edge exists (some block and a successor reach each
+	// other), and break/continue did not mark the graph irreducible.
+	g := graphs["loops"]
+	if g.HasGoto {
+		t.Errorf("loops: break/continue must not set HasGoto")
+	}
+	backEdge := false
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if b != e.To && g.Reaches(b, e.To) && g.Reaches(e.To, b) {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Errorf("loops: no back edge found")
+	}
+	if !g.Reaches(g.Entry, g.Exit) {
+		t.Errorf("loops: exit unreachable")
+	}
+
+	// Range: the loop head has both a body edge and an exit edge.
+	if !graphs["ranges"].Reaches(graphs["ranges"].Entry, graphs["ranges"].Exit) {
+		t.Errorf("ranges: exit unreachable")
+	}
+
+	// Select: the returning clause and the fallthrough-to-join clause
+	// both terminate the function eventually.
+	if n := len(graphs["selects"].Exit.Preds); n < 2 {
+		t.Errorf("selects: exit has %d preds, want >= 2", n)
+	}
+
+	// Defer is recorded.
+	if n := len(graphs["deferred"].Defers); n != 1 {
+		t.Errorf("deferred: %d defers recorded, want 1", n)
+	}
+
+	// Goto marks the graph so path-sensitive analyzers skip it.
+	if !graphs["jump"].HasGoto {
+		t.Errorf("jump: goto must set HasGoto")
+	}
+
+	// A panic-terminated block has no successors: the leak walk treats
+	// that path as dead rather than leaking.
+	dead := false
+	for _, b := range graphs["diverges"].Blocks {
+		if b != graphs["diverges"].Exit && len(b.Nodes) > 0 && len(b.Succs) == 0 {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Errorf("diverges: no terminated block for the panic arm")
+	}
+}
+
+// TestCoreServerShapes builds a CFG for every function of the real
+// internal/core package — the serve loop's select/early-return/defer
+// shapes are exactly what the span and durability analyzers walk — and
+// asserts the structural invariants hold on all of them.
+func TestCoreServerShapes(t *testing.T) {
+	root, modpath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	loader := analysis.NewLoader()
+	loader.ModuleRoot, loader.ModulePath = root, modpath
+	pkgs, err := loader.LoadDir(modpath+"/internal/core", filepath.Join(root, "internal", "core"))
+	if err != nil {
+		t.Fatalf("load internal/core: %v", err)
+	}
+	funcs := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("internal/core does not type-check: %v", terr)
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var g *cfg.Graph
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body == nil {
+						return true
+					}
+					g = cfg.New(fn, pkg.Fset, pkg.Info)
+					checkInvariants(t, fn.Name.Name, g)
+				case *ast.FuncLit:
+					g = cfg.New(fn, pkg.Fset, pkg.Info)
+					checkInvariants(t, pkg.Fset.Position(fn.Pos()).String(), g)
+				default:
+					return true
+				}
+				funcs++
+				if !g.HasGoto && len(g.Exit.Preds) == 0 && g.Reaches(g.Entry, g.Exit) {
+					t.Errorf("graph with reachable exit but no exit preds")
+				}
+				return true
+			})
+		}
+	}
+	if funcs < 50 {
+		t.Errorf("built %d graphs from internal/core, expected a full package (>= 50)", funcs)
+	}
+}

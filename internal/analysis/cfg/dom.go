@@ -1,0 +1,140 @@
+package cfg
+
+import "go/ast"
+
+// ensureOrder computes a reverse postorder over the blocks reachable from
+// Entry. Unreachable blocks are excluded.
+func (g *Graph) ensureOrder() {
+	if g.order != nil {
+		return
+	}
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if !seen[e.To.Index] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	g.order = make([]*Block, len(post))
+	for i, b := range post {
+		g.order[len(post)-1-i] = b
+	}
+}
+
+// ensureDom computes immediate dominators with the Cooper–Harvey–Kennedy
+// iterative algorithm over the reverse postorder.
+func (g *Graph) ensureDom() {
+	if g.idom != nil {
+		return
+	}
+	g.ensureOrder()
+	n := len(g.Blocks)
+	g.idom = make([]int, n)
+	rpo := make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+		rpo[i] = -1
+	}
+	for i, b := range g.order {
+		rpo[b.Index] = i
+	}
+	g.idom[g.Entry.Index] = g.Entry.Index
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.order[1:] {
+			newIdom := -1
+			for _, p := range b.Preds {
+				if rpo[p.Index] < 0 || g.idom[p.Index] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p.Index
+				} else {
+					newIdom = g.intersect(newIdom, p.Index, rpo)
+				}
+			}
+			if newIdom >= 0 && g.idom[b.Index] != newIdom {
+				g.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (g *Graph) intersect(a, b int, rpo []int) int {
+	for a != b {
+		for rpo[a] > rpo[b] {
+			a = g.idom[a]
+		}
+		for rpo[b] > rpo[a] {
+			b = g.idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether every path from Entry to b passes through a
+// (reflexively). Unreachable blocks are dominated by nothing.
+func (g *Graph) Dominates(a, b *Block) bool {
+	g.ensureDom()
+	if g.idom[b.Index] < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		next := g.idom[b.Index]
+		if next == b.Index {
+			return false // reached Entry without meeting a
+		}
+		b = g.Blocks[next]
+	}
+}
+
+// NodeDominates reports whether node a executes before node b on every
+// path that reaches b: a's block strictly dominates b's, or they share a
+// block and a comes first. Nodes the graph cannot place are never
+// dominated.
+func (g *Graph) NodeDominates(a, b ast.Node) bool {
+	ba, ia := g.BlockOf(a.Pos())
+	bb, ib := g.BlockOf(b.Pos())
+	if ba == nil || bb == nil {
+		return false
+	}
+	if ba == bb {
+		return ia < ib
+	}
+	return g.Dominates(ba, bb)
+}
+
+// Reaches reports whether some path leads from block a to block b
+// (reflexively).
+func (g *Graph) Reaches(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{a}
+	seen[a.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range blk.Succs {
+			if e.To == b {
+				return true
+			}
+			if !seen[e.To.Index] {
+				seen[e.To.Index] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,300 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FactSet is a small bit set over an analyzer-chosen universe of
+// must-happen-before facts ("a journal barrier has been issued").
+type FactSet uint64
+
+// AllFacts is the lattice top: the initial value of unvisited blocks.
+const AllFacts = ^FactSet(0)
+
+// Flow is the result of a forward must-analysis: for every program point,
+// the facts that hold on every path from function entry to that point.
+type Flow struct {
+	g   *Graph
+	gen func(ast.Node) FactSet
+	in  []FactSet
+}
+
+// ForwardMust runs a forward must-dataflow over the graph. gen returns the
+// facts a node establishes; facts merge by intersection at joins, so a
+// fact holds at a point only if every path to it passed a generating node.
+// Facts are never killed — once established on a path, they persist to the
+// function's end.
+func (g *Graph) ForwardMust(gen func(ast.Node) FactSet) *Flow {
+	g.ensureOrder()
+	n := len(g.Blocks)
+	in := make([]FactSet, n)
+	out := make([]FactSet, n)
+	for i := range in {
+		in[i], out[i] = AllFacts, AllFacts
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.order {
+			var newIn FactSet
+			if b == g.Entry {
+				newIn = 0
+			} else {
+				newIn = AllFacts
+				for _, p := range b.Preds {
+					newIn &= out[p.Index]
+				}
+			}
+			newOut := newIn
+			for _, nd := range b.Nodes {
+				newOut |= gen(nd)
+			}
+			if newIn != in[b.Index] || newOut != out[b.Index] {
+				in[b.Index], out[b.Index] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+	return &Flow{g: g, gen: gen, in: in}
+}
+
+// Before returns the facts guaranteed to hold immediately before node n
+// executes. Nodes in unreachable code report AllFacts (vacuous truth).
+func (f *Flow) Before(n ast.Node) FactSet {
+	b, i := f.g.BlockOf(n.Pos())
+	if b == nil {
+		return 0
+	}
+	s := f.in[b.Index]
+	for j := 0; j < i; j++ {
+		s |= f.gen(b.Nodes[j])
+	}
+	return s
+}
+
+// Obligation describes a must-discharge query: from Start, every path to
+// the function's exit must pass a Discharge node first. Reaching a Kill
+// node (typically a reassignment of the tracked value) undischarged is
+// also a violation, witnessed by that node.
+type Obligation struct {
+	Start     ast.Node
+	Discharge func(ast.Node) bool
+	Kill      func(ast.Node) bool
+}
+
+// Leak walks the graph from ob.Start and reports whether some path
+// reaches the exit (or a Kill node) without passing a Discharge node. The
+// walk is path-sensitive over stable guards: boolean conditions of the
+// form `x != nil`, `x == nil`, `x`, or `!x` — where x is a variable the
+// function assigns at most once and never takes the address of — that are
+// known at Start (because Start sits inside their taken arm) prune the
+// contradicting branch later. That is what lets
+//
+//	if rec != nil { sp = rec.Start(...) }
+//	...
+//	if rec != nil { sp.End(...) }
+//
+// verify: given the span started, rec is non-nil, so the second guard's
+// false arm is unreachable.
+//
+// witness is the Kill node or the last node of the exiting block (usually
+// its return statement); it may be nil when the leak is a fall-off-end.
+func (g *Graph) Leak(ob Obligation) (leaked bool, witness ast.Node) {
+	startB, idx := g.BlockOf(ob.Start.Pos())
+	if startB == nil {
+		return false, nil
+	}
+	facts := g.condFactsAt(startB)
+	type item struct {
+		b *Block
+		i int
+	}
+	work := []item{{startB, idx + 1}}
+	visited := make(map[*Block]bool)
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		if it.b == g.Exit {
+			return true, nil
+		}
+		discharged := false
+		var kill ast.Node
+		for i := it.i; i < len(it.b.Nodes); i++ {
+			n := it.b.Nodes[i]
+			if ob.Discharge(n) {
+				discharged = true
+				break
+			}
+			if ob.Kill != nil && ob.Kill(n) {
+				kill = n
+				break
+			}
+		}
+		if kill != nil {
+			return true, kill
+		}
+		if discharged {
+			continue
+		}
+		for _, e := range it.b.Succs {
+			if e.Cond != nil {
+				if key, flip, ok := g.stableCondKey(e.Cond); ok {
+					if want, known := facts[key]; known && want != (e.Val != flip) {
+						continue // contradicts a guard known at Start
+					}
+				}
+			}
+			if e.To == g.Exit {
+				var w ast.Node
+				if len(it.b.Nodes) > 0 {
+					w = it.b.Nodes[len(it.b.Nodes)-1]
+				}
+				return true, w
+			}
+			if !visited[e.To] {
+				visited[e.To] = true
+				work = append(work, item{e.To, 0})
+			}
+		}
+	}
+	return false, nil
+}
+
+// condFactsAt collects the stable guard values known to hold whenever
+// control is at blk: for each two-way branch on a stable condition, if one
+// arm's block (solely entered from that branch) dominates blk, the
+// condition's value on that arm is a fact.
+func (g *Graph) condFactsAt(blk *Block) map[string]bool {
+	facts := make(map[string]bool)
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			key, flip, ok := g.stableCondKey(e.Cond)
+			if !ok {
+				continue
+			}
+			t := e.To
+			if len(t.Preds) == 1 && t.Preds[0] == b && g.Dominates(t, blk) {
+				facts[key] = e.Val != flip
+			}
+		}
+	}
+	return facts
+}
+
+// stableCondKey canonicalizes a guard condition. It recognizes
+//
+//	x != nil   -> ("x", flip=false)
+//	x == nil   -> ("x", flip=true)
+//	x          -> ("x", flip=false)
+//	!x         -> ("x", flip=true)
+//
+// where x is a stable variable (assigned at most once in the function,
+// address never taken). The fact's value is condValue != flip.
+func (g *Graph) stableCondKey(cond ast.Expr) (key string, flip bool, ok bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.Ident:
+		if g.stableVar(e) {
+			return e.Name, false, true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			if id, isID := ast.Unparen(e.X).(*ast.Ident); isID && g.stableVar(id) {
+				return id.Name, true, true
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op != token.EQL && e.Op != token.NEQ {
+			break
+		}
+		x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+		if isNil(g.info, x) {
+			x, y = y, x
+		}
+		if !isNil(g.info, y) {
+			break
+		}
+		id, isID := x.(*ast.Ident)
+		if !isID || !g.stableVar(id) {
+			break
+		}
+		return id.Name, e.Op == token.EQL, true
+	}
+	return "", false, false
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := info.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// stableVar reports whether id names a variable that is assigned at most
+// once inside this function and whose address is never taken, so its value
+// at two program points separated only by this function's code is the
+// same.
+func (g *Graph) stableVar(id *ast.Ident) bool {
+	obj := g.info.Uses[id]
+	if obj == nil {
+		obj = g.info.Defs[id]
+	}
+	v, isVar := obj.(*types.Var)
+	if !isVar {
+		return false
+	}
+	counts := g.assignCounts()
+	return counts[v] <= 1
+}
+
+// assignCounts counts assignments per variable object in the function,
+// treating an address-taken variable as assigned many times.
+func (g *Graph) assignCounts() map[*types.Var]int {
+	if g.assigns != nil {
+		return g.assigns
+	}
+	counts := make(map[*types.Var]int)
+	bump := func(e ast.Expr, by int) {
+		if e == nil {
+			return
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := g.info.Defs[id]; obj != nil {
+				if v, okv := obj.(*types.Var); okv {
+					counts[v] += by
+				}
+				return
+			}
+			if v, okv := g.info.Uses[id].(*types.Var); okv {
+				counts[v] += by
+			}
+		}
+	}
+	ast.Inspect(g.Func, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				bump(lhs, 1)
+			}
+		case *ast.IncDecStmt:
+			bump(n.X, 1)
+		case *ast.RangeStmt:
+			bump(n.Key, 1)
+			if n.Value != nil {
+				bump(n.Value, 1)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				bump(n.X, 1000) // address taken: not stable
+			}
+		}
+		return true
+	})
+	g.assigns = counts
+	return counts
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"regexp"
 	"strings"
@@ -21,9 +22,14 @@ type allowKey struct {
 
 // scanDirectives collects the package's //bridgevet:allow suppressions.
 // A trailing directive suppresses its own line; a directive alone on a
-// line suppresses the line below it. A directive naming an analyzer not in
-// known is reported as a diagnostic (analyzer "directive") instead of
-// being honored — a typo must never silently disable a check.
+// line suppresses the statement that starts on the line below — all of it,
+// even when the statement wraps over several lines, so a finding anchored
+// on a wrapped argument is still covered. For a compound statement (if,
+// for, switch, select) the cover stops at the body's opening brace: the
+// header is suppressed, findings inside the body still report. A directive
+// naming an analyzer not in known is reported as a diagnostic (analyzer
+// "directive") instead of being honored — a typo must never silently
+// disable a check.
 func scanDirectives(pkg *Package, known map[string]bool) (map[allowKey]bool, []Diagnostic) {
 	allows := make(map[allowKey]bool)
 	var diags []Diagnostic
@@ -44,15 +50,66 @@ func scanDirectives(pkg *Package, known map[string]bool) (map[allowKey]bool, []D
 					})
 					continue
 				}
-				line := pos.Line
 				if standalone(pkg.Src[pos.Filename], pos.Offset) {
-					line++
+					start, end := coveredSpan(f, pkg.Fset, pos.Line+1)
+					for l := start; l <= end; l++ {
+						allows[allowKey{pos.Filename, l, name}] = true
+					}
+					continue
 				}
-				allows[allowKey{pos.Filename, line, name}] = true
+				allows[allowKey{pos.Filename, pos.Line, name}] = true
 			}
 		}
 	}
 	return allows, diags
+}
+
+// coveredSpan returns the line range a standalone directive above `line`
+// suppresses: the outermost statement or declaration beginning on that
+// line, through its last line. Compound statements are clamped at their
+// body's opening brace so the suppression covers the header only. When no
+// statement starts on the line, the single line is returned.
+func coveredSpan(f *ast.File, fset *token.FileSet, line int) (int, int) {
+	var node ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || node != nil {
+			return false
+		}
+		start := fset.Position(n.Pos()).Line
+		if start == line {
+			switch n.(type) {
+			case ast.Stmt, ast.Decl:
+				node = n
+				return false
+			}
+		}
+		return start <= line && line <= fset.Position(n.End()).Line
+	})
+	if node == nil {
+		return line, line
+	}
+	end := fset.Position(node.End()).Line
+	var body *ast.BlockStmt
+	switch s := node.(type) {
+	case *ast.IfStmt:
+		body = s.Body
+	case *ast.ForStmt:
+		body = s.Body
+	case *ast.RangeStmt:
+		body = s.Body
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	case *ast.FuncDecl:
+		body = s.Body
+	}
+	if body != nil {
+		end = fset.Position(body.Pos()).Line
+	}
+	return line, end
 }
 
 // standalone reports whether the comment starting at offset is the first

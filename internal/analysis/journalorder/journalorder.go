@@ -1,0 +1,176 @@
+// Package journalorder checks the write-ahead ordering contract of the
+// EFS intent journal (internal/efs/journal.go).
+//
+// A journaled volume is crash-consistent only if, within group commit,
+// every deferred home write is applied after the journal records that
+// describe it are on stable storage, and a checkpoint invalidates those
+// records (by bumping the header epoch) only after the home writes they
+// guard are themselves stable. Both orderings are one misplaced line away
+// from silent corruption that only a crash at the wrong virtual time can
+// reveal, so this analyzer proves them on the control-flow graph with a
+// forward must-happen-before lattice:
+//
+//   - A WriteBlock whose address derives from a homeWrite (the commit
+//     plan's deferred-apply record) must have a Sync barrier on every path
+//     from function entry — the journal records written before the barrier
+//     are what make the apply redoable.
+//   - A function applying homeWrites must also append journal records
+//     (a WriteBlock addressed through the journal cursor).
+//   - An increment of a journal epoch field must have a Sync on every
+//     path from function entry — checkpoint may not invalidate records
+//     whose home writes are still volatile.
+//
+// The analyzer only runs on internal/efs. The homeWrite type, the journal
+// cursor field, and the epoch field are the contract's named carriers;
+// renaming them is an API change that should revisit this check.
+package journalorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/cfg"
+)
+
+// Analyzer is the journalorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "journalorder",
+	Doc: "flag journal write-ahead ordering violations in internal/efs\n\n" +
+		"Deferred home writes must be dominated by a Sync barrier (after " +
+		"the journal records are appended), and a checkpoint's epoch bump " +
+		"must be dominated by a Sync of the applied home writes.",
+	Run: run,
+}
+
+const (
+	synced cfg.FactSet = 1 << iota
+)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !strings.HasSuffix(pass.Pkg.Path(), "internal/efs") {
+		return nil
+	}
+	graphs := cfg.PackageGraphs(pass)
+	graphs.All(func(g *cfg.Graph) {
+		if g.HasGoto || analysis.IsTestFile(pass.Fset, g.Func.Pos()) {
+			return
+		}
+		checkFunc(pass, g)
+	})
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, g *cfg.Graph) {
+	info := pass.TypesInfo
+	var homeApplies []*ast.CallExpr // WriteBlock of a homeWrite-derived address
+	var journalAppends int          // WriteBlock addressed through the journal cursor
+	var epochBumps []ast.Node
+
+	ast.Inspect(g.Func, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if ast.Node(n) != g.Func {
+				return false // belongs to its own graph
+			}
+		case *ast.CallExpr:
+			fn := analysis.Callee(info, n)
+			if fn == nil || fn.Name() != "WriteBlock" || len(n.Args) < 2 {
+				return true
+			}
+			addr := n.Args[1]
+			if refsField(info, addr, "addr", "homeWrite") {
+				homeApplies = append(homeApplies, n)
+			}
+			if refsField(info, addr, "cursor", "journal") {
+				journalAppends++
+			}
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC && isEpochField(info, n.X) {
+				epochBumps = append(epochBumps, n)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isEpochField(info, n.Lhs[0]) {
+				epochBumps = append(epochBumps, n)
+			}
+		}
+		return true
+	})
+	if len(homeApplies) == 0 && len(epochBumps) == 0 {
+		return
+	}
+
+	flow := g.ForwardMust(func(n ast.Node) cfg.FactSet {
+		var facts cfg.FactSet
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if fn := analysis.Callee(info, call); fn != nil && fn.Name() == "Sync" {
+					facts |= synced
+				}
+			}
+			return true
+		})
+		return facts
+	})
+
+	for _, call := range homeApplies {
+		if flow.Before(call)&synced == 0 {
+			pass.Reportf(call.Pos(),
+				"home write applied before the journal barrier: this WriteBlock lands a deferred homeWrite, so a d.Sync hardening the journal records must dominate it")
+		}
+	}
+	if len(homeApplies) > 0 && journalAppends == 0 {
+		pass.Reportf(homeApplies[0].Pos(),
+			"home writes applied in %s without appending journal records: write intent records through the journal cursor before applying", g.Name)
+	}
+	for _, bump := range epochBumps {
+		if flow.Before(bump)&synced == 0 {
+			pass.Reportf(bump.Pos(),
+				"journal epoch bumped before the applied home writes are synced: checkpoint must Sync before invalidating its intent records")
+		}
+	}
+}
+
+// refsField reports whether expr contains a selector .field on a value
+// of the named (possibly pointered) type typeName from this package.
+func refsField(info *types.Info, expr ast.Expr, field, typeName string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return true
+		}
+		if namedTypeName(info.TypeOf(sel.X)) == typeName {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isEpochField reports whether expr is a selector .epoch on a journal.
+func isEpochField(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "epoch" {
+		return false
+	}
+	return namedTypeName(info.TypeOf(sel.X)) == "journal"
+}
+
+// namedTypeName returns the name of t's named type, dereferencing one
+// pointer, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

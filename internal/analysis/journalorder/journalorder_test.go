@@ -1,0 +1,14 @@
+package journalorder_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/journalorder"
+)
+
+func TestJournalOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{journalorder.Analyzer},
+		"bridge/internal/efs")
+}

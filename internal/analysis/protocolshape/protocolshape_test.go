@@ -1,0 +1,14 @@
+package protocolshape_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/protocolshape"
+)
+
+func TestProtocolShape(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{protocolshape.Analyzer},
+		"bridge/internal/lfs")
+}

@@ -12,6 +12,7 @@ import (
 // names of the analyzers being run are used.
 func Check(pkg *Package, analyzers []*Analyzer, known []string) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	shared := NewShared()
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -19,6 +20,7 @@ func Check(pkg *Package, analyzers []*Analyzer, known []string) ([]Diagnostic, e
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Shared:    shared,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {

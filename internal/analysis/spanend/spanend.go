@@ -1,0 +1,289 @@
+// Package spanend checks that every obs span started in a function is
+// ended on every return path — the lostcancel shape, applied to
+// obs.Recorder.Start / SpanRef.End.
+//
+// PR 5's recorder audits (OpenSpans, DoubleEnds, DroppedSpans) catch a
+// leaked or double-ended span at run time, on the paths a test happens to
+// execute. This analyzer proves the property per function over the control
+// flow graph: from each `sp := rec.Start(...)`, every path to the
+// function's exit must pass an `sp.End(...)` or `sp.EndErr(...)` —
+// directly or in a deferred closure — before the span variable is
+// overwritten. The walk is path-sensitive over stable guards, so the
+// ubiquitous
+//
+//	if rec != nil { sp = rec.Start(...) }
+//	...
+//	if rec != nil { sp.EndErr(...) }
+//
+// verifies without a directive. A span that escapes the function — stored
+// in a struct field, passed as an argument, returned, or captured by a
+// non-deferred closure — transfers the obligation to its new owner and is
+// not checked here.
+//
+// A second End that is dominated by a first End of the same span (with no
+// restart between) is reported as a double end.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/cfg"
+)
+
+// Analyzer is the spanend check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "flag obs spans not ended on every return path\n\n" +
+		"Every obs.Recorder.Start must be matched by End/EndErr on all " +
+		"paths out of the function (a deferred end counts), before the " +
+		"span variable is overwritten. Escaping spans (stored, passed, " +
+		"returned) hand the obligation to their new owner.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	graphs := cfg.PackageGraphs(pass)
+	graphs.All(func(g *cfg.Graph) {
+		if g.HasGoto || analysis.IsTestFile(pass.Fset, g.Func.Pos()) {
+			return
+		}
+		checkFunc(pass, g)
+	})
+	return nil
+}
+
+// isSpanStart reports whether call is obs.Recorder.Start.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	return fn != nil && fn.Name() == "Start" && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), "internal/obs")
+}
+
+// isEndName reports whether a method name discharges a span.
+func isEndName(name string) bool { return name == "End" || name == "EndErr" }
+
+// spanStart is one tracked Start site.
+type spanStart struct {
+	assign *ast.AssignStmt // the statement binding the span variable
+	call   *ast.CallExpr
+	obj    *types.Var
+}
+
+func checkFunc(pass *analysis.Pass, g *cfg.Graph) {
+	info := pass.TypesInfo
+	var starts []*spanStart
+	g.WalkFunc(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if enclosingLit(g, stack) != nil {
+				return true // reported by the literal's own graph
+			}
+			if call, ok := n.X.(*ast.CallExpr); ok && isSpanStart(info, call) {
+				pass.Reportf(call.Pos(),
+					"span start result discarded: bind the SpanRef and end it on every path, or the recorder reports it in DroppedSpans")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpanStart(info, call) {
+				return true
+			}
+			if enclosingLit(g, stack) != nil {
+				return true // tracked by the literal's own graph
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored straight into a field/element: escapes
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"span start result discarded: bind the SpanRef and end it on every path, or the recorder reports it in DroppedSpans")
+				return true
+			}
+			obj, _ := info.Defs[id].(*types.Var)
+			if obj == nil {
+				obj, _ = info.Uses[id].(*types.Var)
+			}
+			if obj != nil {
+				starts = append(starts, &spanStart{assign: n, call: call, obj: obj})
+			}
+		}
+		return true
+	})
+	for _, st := range starts {
+		checkStart(pass, g, st, starts)
+	}
+}
+
+// useKind classifies one use of the span variable.
+type uses struct {
+	escaped   bool
+	discharge []token.Pos // End/EndErr call positions (incl. deferred)
+	endCalls  []*ast.CallExpr
+	kills     []token.Pos // overwrites of the variable
+}
+
+func collectUses(g *cfg.Graph, st *spanStart) *uses {
+	info := g.Info()
+	u := &uses{}
+	g.WalkFunc(func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != st.obj {
+			return true
+		}
+		// Method call on the span: sel.X == id, called.
+		if sel, call := selCall(id, stack); sel != nil {
+			if isEndName(sel.Sel.Name) {
+				if lit := enclosingLit(g, stack); lit != nil && !litIsDeferred(lit, stack) {
+					u.escaped = true // ended by a closure that may run anywhere
+					return true
+				}
+				u.discharge = append(u.discharge, call.Pos())
+				u.endCalls = append(u.endCalls, call)
+				return true
+			}
+			// Annotate, SetQueueWait, ID, ...: neutral observation.
+			return true
+		}
+		// Overwrite: id on the left of an assignment (other than the
+		// tracked start itself).
+		if as, isLhs := lhsOf(id, stack); isLhs {
+			if as != st.assign {
+				u.kills = append(u.kills, as.Pos())
+			}
+			return true
+		}
+		// Anything else — argument, return value, composite literal, field
+		// store, comparison, capture — escapes.
+		u.escaped = true
+		return true
+	})
+	return u
+}
+
+func checkStart(pass *analysis.Pass, g *cfg.Graph, st *spanStart, all []*spanStart) {
+	u := collectUses(g, st)
+	if u.escaped {
+		return
+	}
+	pos := func(set []token.Pos) func(ast.Node) bool {
+		return func(n ast.Node) bool {
+			for _, p := range set {
+				if n.Pos() <= p && p < n.End() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Re-reaching the start without an end is also a leak (loop restart).
+	kills := append([]token.Pos{st.assign.Pos()}, u.kills...)
+	leaked, witness := g.Leak(cfg.Obligation{
+		Start:     st.assign,
+		Discharge: pos(u.discharge),
+		Kill:      pos(kills),
+	})
+	if leaked {
+		where := "a path to return"
+		if witness != nil {
+			where = "the path through " + pass.Fset.Position(witness.Pos()).String()
+		}
+		pass.Reportf(st.call.Pos(),
+			"span started here is not ended on %s: call End/EndErr on every path (or defer it), or the recorder reports it in DroppedSpans",
+			where)
+		return
+	}
+	// Double end: one End dominating another with no restart between.
+	for _, a := range u.endCalls {
+		for _, b := range u.endCalls {
+			if a == b || !g.NodeDominates(a, b) {
+				continue
+			}
+			restarted := false
+			for _, other := range all {
+				if other.obj == st.obj &&
+					g.NodeDominates(a, other.assign) && g.NodeDominates(other.assign, b) {
+					restarted = true
+					break
+				}
+			}
+			if !restarted {
+				pass.Reportf(b.Pos(),
+					"span already ended at %s: a second End double-ends it, and the recorder reports it in DoubleEnds",
+					pass.Fset.Position(a.Pos()))
+			}
+		}
+	}
+}
+
+// selCall returns the selector and call when id is the receiver of a
+// method call (stack: ... CallExpr, SelectorExpr -> id).
+func selCall(id *ast.Ident, stack []ast.Node) (*ast.SelectorExpr, *ast.CallExpr) {
+	if len(stack) < 2 {
+		return nil, nil
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		return nil, nil
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || call.Fun != sel {
+		return nil, nil
+	}
+	return sel, call
+}
+
+// lhsOf reports whether id appears on the left of an assignment, returning
+// that assignment.
+func lhsOf(id *ast.Ident, stack []ast.Node) (*ast.AssignStmt, bool) {
+	if len(stack) == 0 {
+		return nil, false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok {
+		return nil, false
+	}
+	for _, l := range as.Lhs {
+		if l == id {
+			return as, true
+		}
+	}
+	return nil, false
+}
+
+// enclosingLit returns the innermost function literal on the stack that is
+// not the graph's own function, or nil.
+func enclosingLit(g *cfg.Graph, stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok && ast.Node(lit) != g.Func {
+			return lit
+		}
+	}
+	return nil
+}
+
+// litIsDeferred reports whether lit is the function of a deferred call
+// (defer func(){...}()), so its body runs exactly once at function exit.
+func litIsDeferred(lit *ast.FuncLit, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		if stack[i] != ast.Node(lit) {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != ast.Expr(lit) {
+			return false
+		}
+		if i >= 2 {
+			d, ok := stack[i-2].(*ast.DeferStmt)
+			return ok && d.Call == call
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{spanend.Analyzer},
+		"spanend_flag", "spanend_clean")
+}

@@ -6,11 +6,15 @@ package suite
 import (
 	"bridge/internal/analysis"
 	"bridge/internal/analysis/errcmp"
+	"bridge/internal/analysis/journalorder"
 	"bridge/internal/analysis/lockedblock"
 	"bridge/internal/analysis/maporder"
 	"bridge/internal/analysis/obsexport"
+	"bridge/internal/analysis/protocolshape"
 	"bridge/internal/analysis/rawgoroutine"
 	"bridge/internal/analysis/simdeterminism"
+	"bridge/internal/analysis/spanend"
+	"bridge/internal/analysis/syncerr"
 )
 
 // All returns every analyzer in the bridgevet suite, in report order.
@@ -22,6 +26,10 @@ func All() []*analysis.Analyzer {
 		lockedblock.Analyzer,
 		errcmp.Analyzer,
 		obsexport.Analyzer,
+		spanend.Analyzer,
+		journalorder.Analyzer,
+		protocolshape.Analyzer,
+		syncerr.Analyzer,
 	}
 }
 

@@ -15,7 +15,8 @@ func TestDirectiveFixture(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
-	want := []string{"simdeterminism", "maporder", "rawgoroutine", "lockedblock", "errcmp", "obsexport"}
+	want := []string{"simdeterminism", "maporder", "rawgoroutine", "lockedblock", "errcmp", "obsexport",
+		"spanend", "journalorder", "protocolshape", "syncerr"}
 	got := suite.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -1,0 +1,234 @@
+// Package syncerr checks that durability errors are not discarded.
+//
+// A Sync, Flush, commit, checkpoint, or durability-store Close that fails
+// means data believed stable is not; dropping the error converts a
+// reportable failure into silent corruption after the next crash. The
+// compiler does not care — Go lets an error result fall on the floor — so
+// this analyzer flags, for calls to durability methods of this module:
+//
+//   - a call used as a bare statement (the error vanishes),
+//   - a deferred call (defer discards results),
+//   - an error bound to the blank identifier,
+//   - an error bound to a variable that some path then abandons —
+//     reassigned or fallen out of scope — without ever reading it. This
+//     last check runs on the control-flow graph, so an error checked in
+//     one arm but dropped in another is caught.
+//
+// Close counts as a durability method only when the receiver's type also
+// has a Sync method — that is what distinguishes a store whose Close
+// completes a durability contract from an ordinary resource close.
+package syncerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/cfg"
+)
+
+// Analyzer is the syncerr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc: "flag discarded errors from Sync/Flush/commit/durability-Close calls\n\n" +
+		"Durability errors must be read on every path: not dropped as a " +
+		"bare statement, not deferred away, not bound to _ or to a " +
+		"variable that is never checked.",
+	Run: run,
+}
+
+// durableNames are method names whose error result reports a failed
+// durability barrier.
+var durableNames = map[string]bool{
+	"Sync": true, "SyncAll": true, "Flush": true,
+	"Commit": true, "commit": true,
+	"Checkpoint": true, "checkpoint": true,
+}
+
+func run(pass *analysis.Pass) error {
+	graphs := cfg.PackageGraphs(pass)
+	graphs.All(func(g *cfg.Graph) {
+		if analysis.IsTestFile(pass.Fset, g.Func.Pos()) {
+			return
+		}
+		checkFunc(pass, g)
+	})
+	return nil
+}
+
+// isDurableCall reports whether call is a durability call from this
+// module whose last result is an error.
+func isDurableCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Pkg() != pass.Pkg && !strings.HasPrefix(fn.Pkg().Path(), "bridge/") {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Implements(last, errorIface) {
+		return "", false
+	}
+	name := fn.Name()
+	if durableNames[name] {
+		return name, true
+	}
+	if name == "Close" && sig.Recv() != nil && hasSyncMethod(sig.Recv().Type(), fn.Pkg()) {
+		return name, true
+	}
+	return "", false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// hasSyncMethod reports whether t's method set includes Sync.
+func hasSyncMethod(t types.Type, pkg *types.Package) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, "Sync")
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+func checkFunc(pass *analysis.Pass, g *cfg.Graph) {
+	type binding struct {
+		assign *ast.AssignStmt
+		call   *ast.CallExpr
+		name   string
+		obj    *types.Var
+	}
+	var bindings []*binding
+	g.WalkFunc(func(n ast.Node, stack []ast.Node) bool {
+		if inNestedLit(g, stack) {
+			return true // reported by the literal's own graph
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := isDurableCall(pass, call); ok {
+					pass.Reportf(call.Pos(),
+						"error result of %s discarded: a dropped durability error hides a failed barrier — check it", name)
+				}
+			}
+		case *ast.DeferStmt:
+			if name, ok := isDurableCall(pass, n.Call); ok {
+				pass.Reportf(n.Call.Pos(),
+					"error result of deferred %s discarded: capture it in the deferred closure and check it", name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isDurableCall(pass, call)
+			if !ok {
+				return true
+			}
+			errLhs := n.Lhs[len(n.Lhs)-1]
+			id, isID := errLhs.(*ast.Ident)
+			if !isID {
+				return true // stored into a field or element: its owner checks it
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"error result of %s assigned to _: a dropped durability error hides a failed barrier — check it", name)
+				return true
+			}
+			obj, _ := pass.TypesInfo.Defs[id].(*types.Var)
+			if obj == nil {
+				obj, _ = pass.TypesInfo.Uses[id].(*types.Var)
+			}
+			if obj != nil {
+				bindings = append(bindings, &binding{assign: n, call: call, name: name, obj: obj})
+			}
+		}
+		return true
+	})
+	if g.HasGoto {
+		return // the flow check needs a structured graph
+	}
+	info := pass.TypesInfo
+	for _, b := range bindings {
+		var reads, writes []token.Pos
+		escaped := false
+		g.WalkFunc(func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || info.Uses[id] != b.obj {
+				return true
+			}
+			if inNestedLit(g, stack) {
+				escaped = true // closure may read it anywhere
+				return true
+			}
+			if len(stack) > 0 {
+				if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok && onLhs(as, id) {
+					if as != b.assign {
+						writes = append(writes, as.Pos())
+					}
+					return true
+				}
+				if ue, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					escaped = true
+					return true
+				}
+			}
+			reads = append(reads, id.Pos())
+			return true
+		})
+		if escaped {
+			continue
+		}
+		within := func(set []token.Pos) func(ast.Node) bool {
+			return func(n ast.Node) bool {
+				for _, p := range set {
+					if n.Pos() <= p && p < n.End() {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		leaked, witness := g.Leak(cfg.Obligation{
+			Start:     b.assign,
+			Discharge: within(reads),
+			Kill:      within(writes),
+		})
+		if leaked {
+			where := "a path to return"
+			if witness != nil {
+				where = "the path through " + pass.Fset.Position(witness.Pos()).String()
+			}
+			pass.Reportf(b.call.Pos(),
+				"error from %s is never checked on %s: a dropped durability error hides a failed barrier", b.name, where)
+		}
+	}
+}
+
+// inNestedLit reports whether the stack passes through a function literal
+// other than g's own function.
+func inNestedLit(g *cfg.Graph, stack []ast.Node) bool {
+	for _, n := range stack {
+		if lit, ok := n.(*ast.FuncLit); ok && ast.Node(lit) != g.Func {
+			return true
+		}
+	}
+	return false
+}
+
+// onLhs reports whether id is one of as's left-hand sides.
+func onLhs(as *ast.AssignStmt, id *ast.Ident) bool {
+	for _, l := range as.Lhs {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}

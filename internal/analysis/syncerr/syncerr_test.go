@@ -1,0 +1,14 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"bridge/internal/analysis"
+	"bridge/internal/analysis/analysistest"
+	"bridge/internal/analysis/syncerr"
+)
+
+func TestSyncErr(t *testing.T) {
+	analysistest.Run(t, "../testdata", []*analysis.Analyzer{syncerr.Analyzer},
+		"syncerr_flag", "syncerr_clean")
+}

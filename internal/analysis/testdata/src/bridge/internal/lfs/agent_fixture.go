@@ -1,0 +1,22 @@
+package lfs
+
+// A second wire protocol in the same package, in its own file: its kinds
+// form their own universe, so the main protocol's dispatchers are not
+// measured against it and vice versa.
+type (
+	SpawnReq  struct{ Name string }
+	SpawnResp struct{ Err string }
+
+	// Fire-and-forget by design; the escape hatch records why there is
+	// no reply type.
+	FlushReq struct{} //bridgevet:allow protocolshape — fire-and-forget op, no reply by design
+)
+
+// Covers 1 of this file's 2 Req kinds: under the 60% bar, exempt.
+func agentKind(body any) string {
+	switch body.(type) {
+	case SpawnReq:
+		return "spawn"
+	}
+	return "unknown"
+}

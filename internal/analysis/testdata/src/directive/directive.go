@@ -29,6 +29,28 @@ func TwoAnalyzers() {
 
 func use(n int) {}
 
+// A standalone directive covers the whole statement starting on the next
+// line, even when it wraps: the finding anchors on the wrapped argument
+// two lines below the directive.
+func MultiLine() int64 {
+	//bridgevet:allow simdeterminism — host-side log stamp spanning a wrapped call
+	return stamp(
+		"report",
+		time.Now().UnixNano(),
+	)
+}
+
+func stamp(label string, ns int64) int64 { return ns }
+
+// The cover of a compound statement stops at its body's opening brace:
+// the header is suppressed, findings inside the body still report.
+func HeaderOnly() {
+	//bridgevet:allow simdeterminism — feature probe in the guard, outside the measured run
+	if time.Now().UnixNano() > 0 {
+		time.Sleep(time.Millisecond) // want `time\.Sleep is wall-clock`
+	}
+}
+
 // Naming an analyzer that does not exist must be reported, never silently
 // honored.
 func Unknown() {

@@ -1,0 +1,80 @@
+// Package spanend_clean holds span shapes that must verify without
+// directives: the guard-correlated start/end idiom from the product serve
+// loops, deferred ends, ends on every branch, escaping spans, and the
+// //bridgevet:allow escape hatch.
+package spanend_clean
+
+import (
+	"errors"
+
+	"bridge/internal/obs"
+)
+
+func work(fail bool) error {
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// The product idiom: start and end both guarded by the same stable nil
+// check. Given the span started, rec is non-nil, so the unended path is
+// unreachable.
+func Guarded(rec *obs.Recorder, fail bool) error {
+	var sp obs.SpanRef
+	if rec != nil {
+		sp = rec.Start(0, 1, 0, "op", 0)
+	}
+	err := work(fail)
+	if rec != nil {
+		sp.EndErr(1, "")
+	}
+	return err
+}
+
+// A deferred closure ends the span exactly once at function exit.
+func Deferred(rec *obs.Recorder, fail bool) error {
+	sp := rec.Start(0, 1, 0, "op", 0)
+	defer func() { sp.End(9, nil) }()
+	if fail {
+		return errors.New("early")
+	}
+	return work(fail)
+}
+
+// Every branch ends the span before returning.
+func AllBranches(rec *obs.Recorder, mode int) {
+	sp := rec.Start(0, 1, 0, "op", 0)
+	switch mode {
+	case 0:
+		sp.End(1, nil)
+	case 1:
+		sp.EndErr(1, "mode 1")
+	default:
+		sp.End(2, nil)
+	}
+}
+
+// Returning the span transfers the obligation to the caller.
+func StartOp(rec *obs.Recorder) obs.SpanRef {
+	sp := rec.Start(0, 1, 0, "op", 0)
+	sp.Annotate("handed off")
+	return sp
+}
+
+type holder struct{ sp obs.SpanRef }
+
+// Storing the span transfers the obligation to the holder.
+func StartInto(rec *obs.Recorder, h *holder) {
+	sp := rec.Start(0, 1, 0, "op", 0)
+	h.sp = sp
+}
+
+// The escape hatch, with a reason.
+func Allowed(rec *obs.Recorder, fail bool) {
+	sp := rec.Start(0, 1, 0, "op", 0) //bridgevet:allow spanend — fixture asserts DroppedSpans accounting, leak is the point
+	if fail {
+		return
+	}
+	sp.End(1, nil)
+}

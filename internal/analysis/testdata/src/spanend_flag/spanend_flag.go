@@ -1,0 +1,49 @@
+// Package spanend_flag exercises every spanend finding: a span leaked on
+// an early return, a leaked loop restart, a discarded start, and a double
+// end.
+package spanend_flag
+
+import (
+	"errors"
+
+	"bridge/internal/obs"
+)
+
+func work() error { return errors.New("boom") }
+
+// A path (the early return) exits without ending the span.
+func LeakOnError(rec *obs.Recorder, fail bool) error {
+	sp := rec.Start(0, 1, 0, "op", 0) // want `span started here is not ended`
+	if fail {
+		return errors.New("early")
+	}
+	sp.End(1, nil)
+	return nil
+}
+
+// The continue path restarts the loop and overwrites the still-open span.
+func LeakOnRestart(rec *obs.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		sp := rec.Start(0, 1, 0, "iter", 0) // want `span started here is not ended`
+		if i%2 == 0 {
+			continue
+		}
+		sp.End(1, nil)
+	}
+}
+
+// Dropping the SpanRef leaks the span unconditionally.
+func DiscardStmt(rec *obs.Recorder) {
+	rec.Start(0, 1, 0, "op", 0) // want `span start result discarded`
+}
+
+func DiscardBlank(rec *obs.Recorder) {
+	_ = rec.Start(0, 1, 0, "op", 0) // want `span start result discarded`
+}
+
+// The second End is dominated by the first: a double end.
+func DoubleEnd(rec *obs.Recorder, err error) {
+	sp := rec.Start(0, 1, 0, "op", 0)
+	sp.End(1, err)
+	sp.End(2, nil) // want `span already ended`
+}

@@ -1,0 +1,47 @@
+// Package syncerr_clean holds durability-error shapes that must verify:
+// checked errors, propagated errors, non-durability closes, and the
+// //bridgevet:allow escape hatch.
+package syncerr_clean
+
+type store struct{ dirty bool }
+
+func (s *store) Sync() error  { return nil }
+func (s *store) Flush() error { return nil }
+func (s *store) Close() error { return s.Sync() }
+
+// plain has no Sync method: its Close is an ordinary resource close, not
+// a durability barrier.
+type plain struct{}
+
+func (p *plain) Close() error { return nil }
+
+func Checked(s *store) error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func Propagated(s *store) error {
+	return s.Sync()
+}
+
+func CheckedOnEveryPath(s *store, fast bool) error {
+	err := s.Sync()
+	if fast {
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	return s.Flush()
+}
+
+func PlainClose(p *plain) {
+	defer p.Close()
+}
+
+// Best-effort flush on shutdown, with the reason recorded.
+func Allowed(s *store) {
+	s.Sync() //bridgevet:allow syncerr — best-effort flush on shutdown; failure resurfaces via scrub
+}

@@ -1,0 +1,42 @@
+// Package syncerr_flag exercises every syncerr finding: durability errors
+// dropped as bare statements, deferred away, blanked, or bound but never
+// checked on some path.
+package syncerr_flag
+
+type store struct{ dirty bool }
+
+func (s *store) Sync() error                 { return nil }
+func (s *store) Flush() error                { return nil }
+func (s *store) Close() error                { return s.Sync() }
+func (s *store) Write(b []byte) (int, error) { return len(b), nil }
+
+func BareStmt(s *store) {
+	s.Sync() // want `error result of Sync discarded`
+}
+
+// Close on a type with a Sync method completes a durability contract;
+// defer discards its result.
+func DeferredClose(s *store) {
+	defer s.Close() // want `error result of deferred Close discarded`
+}
+
+func Blank(s *store) {
+	_ = s.Flush() // want `error result of Flush assigned to _`
+}
+
+// The error is read on one arm and dropped on the other: the flow check
+// catches the dropping path.
+func DroppedOnBranch(s *store, fast bool) error {
+	err := s.Sync() // want `error from Sync is never checked on`
+	if fast {
+		return nil
+	}
+	return err
+}
+
+// Overwritten before anyone reads it.
+func Overwritten(s *store) error {
+	err := s.Sync() // want `error from Sync is never checked on`
+	err = s.Flush()
+	return err
+}

@@ -148,7 +148,9 @@ func StartNode(rt sim.Runtime, net *msg.Network, id msg.NodeID, cfg Config, exis
 				return nil, fmt.Errorf("lfs: node %d: %w", id, err)
 			}
 			if d, err = disk.NewWithStore(dcfg, st); err != nil {
-				st.Close()
+				if cerr := st.Close(); cerr != nil {
+					return nil, fmt.Errorf("lfs: node %d: %w (and closing store: %v)", id, err, cerr)
+				}
 				return nil, fmt.Errorf("lfs: node %d: %w", id, err)
 			}
 			// A store that already holds blocks is a prior life of this
@@ -356,6 +358,8 @@ func respStatusText(body any) string {
 	case StatResp:
 		err = r.Status.Err()
 	case SyncResp:
+		err = r.Status.Err()
+	case PingResp:
 		err = r.Status.Err()
 	case CheckResp:
 		err = r.Status.Err()
