@@ -81,6 +81,15 @@ type (
 	Mirror = replica.Mirror
 	// Parity is a parity-protected file.
 	Parity = replica.Parity
+	// RS is a Reed–Solomon k+m erasure-coded file: data striped over k
+	// nodes, m parity columns, any m simultaneous losses survivable at
+	// (k+m)/k storage overhead.
+	RS = replica.RS
+	// RSOptions selects the Reed–Solomon geometry (K data columns, M
+	// parity columns, cell size).
+	RSOptions = replica.RSOptions
+	// DeleteStats reports a parallel delete tool run.
+	DeleteStats = tools.DeleteStats
 	// RetryPolicy tunes capped exponential backoff with deterministic
 	// jitter for retransmitting timed-out calls.
 	RetryPolicy = core.RetryPolicy
@@ -155,8 +164,14 @@ var (
 	// marked Dead, so the call failed immediately instead of timing out.
 	ErrNodeDown = core.ErrNodeDown
 	// ErrDegradedWrite reports a parity append whose data landed but whose
-	// parity update could not; Parity.Rebuild restores redundancy.
+	// parity update could not; Parity.Rebuild (or RS.Rebuild) restores
+	// redundancy.
 	ErrDegradedWrite = replica.ErrDegradedWrite
+	// ErrDeferredWrite reports that previously acknowledged write-behind
+	// blocks failed to reach the disks: the file was rolled back to its
+	// durable prefix, and this error surfaced exactly once on the first
+	// operation to touch the file afterwards. See Config.WriteBehind.
+	ErrDeferredWrite = core.ErrDeferredWrite
 	// ErrBothCopiesLost reports a mirror read with neither copy reachable.
 	ErrBothCopiesLost = replica.ErrBothCopiesLost
 	// ErrTooManyFailures reports parity reconstruction needing more than
@@ -240,6 +255,20 @@ type Config struct {
 	// asynchronously. 0 (the default) keeps the paper's measured
 	// one-block-per-round-trip behavior.
 	ReadAhead int
+	// WriteBehind enables the Bridge Server's group-commit append cache:
+	// sequential appends are acknowledged once buffered, and windows of
+	// WriteBehind stripes (WriteBehind×Nodes blocks) are committed as
+	// coalesced per-node vectored writes while the client keeps running.
+	// Reads, overwrites, Stat, and Flush/Sync all drain the buffer first,
+	// so the relaxation is never observable through the API; a commit that
+	// fails rolls the file back to its durable prefix and surfaces
+	// ErrDeferredWrite exactly once on the next operation touching the
+	// file. 0 (the default) keeps every append synchronous.
+	WriteBehind int
+	// ParallelDelete routes Session.Delete through the tool-mode parallel
+	// delete: each storage node walks and frees its own chain locally, so
+	// an n-block delete costs O(n/p) disk time instead of O(n).
+	ParallelDelete bool
 	// Fault, if non-nil, attaches this deterministic fault injector to the
 	// network and every disk, and drives its node crash/restart schedule
 	// against the cluster. Scheduled events only fire while the session
@@ -322,10 +351,11 @@ func (s *System) Run(fn func(*Session) error) error {
 		},
 		Servers: s.cfg.Servers,
 		Server: core.Config{
-			LFSTimeout: s.cfg.LFSTimeout,
-			LFSRetry:   retry,
-			Health:     s.cfg.Health,
-			ReadAhead:  s.cfg.ReadAhead,
+			LFSTimeout:  s.cfg.LFSTimeout,
+			LFSRetry:    retry,
+			Health:      s.cfg.Health,
+			ReadAhead:   s.cfg.ReadAhead,
+			WriteBehind: s.cfg.WriteBehind,
 		},
 	})
 	if err != nil {
@@ -372,6 +402,7 @@ func (s *System) Run(fn func(*Session) error) error {
 			c:      cl.NewClient(proc, 0, "session"),
 			tracer: tr,
 			rec:    rec,
+			pdel:   s.cfg.ParallelDelete,
 		}
 		if retry != nil {
 			// A distinct stream label keeps the session's jitter sequence
@@ -404,6 +435,7 @@ type Session struct {
 	c      *core.Client
 	tracer *trace.Tracer
 	rec    *obs.Recorder // nil = observability off
+	pdel   bool          // Config.ParallelDelete
 }
 
 // startSampler runs the observability gauge sampler: every interval of
@@ -461,8 +493,16 @@ func (s *Session) CreateDisordered(name string) (FileInfo, error) {
 	return s.c.CreateDisordered(name)
 }
 
-// Delete removes a file, returning the number of blocks freed.
-func (s *Session) Delete(name string) (int, error) { return s.c.Delete(name) }
+// Delete removes a file, returning the number of blocks freed. With
+// Config.ParallelDelete it runs as a tool: the name is released in one
+// server round and every node frees its own chain locally, in parallel.
+func (s *Session) Delete(name string) (int, error) {
+	if s.pdel {
+		st, err := tools.Delete(s.proc, s.c, name)
+		return st.Freed, err
+	}
+	return s.c.Delete(name)
+}
 
 // Open opens a file and returns its structure; like the paper's open, it is
 // a hint — there is no close.
@@ -632,9 +672,24 @@ func (s *Session) RepairNode(i int) (int, error) { return s.c.RepairNode(i) }
 // Sync flushes every live storage node's volume — a journal commit plus a
 // disk barrier — making everything written so far durable: with
 // Config.DataDir set, a later process that remounts the same directory
-// recovers it. Run also syncs on clean shutdown, so an explicit Sync is
-// only needed to bound what a crash can lose mid-session.
-func (s *Session) Sync() error { return s.cl.SyncAll(s.proc) }
+// recovers it. With Config.WriteBehind it first drains every buffered
+// append, so Sync is the full barrier: once it returns, every
+// acknowledged write is on the media. Run also syncs on clean shutdown,
+// so an explicit Sync is only needed to bound what a crash can lose
+// mid-session.
+func (s *Session) Sync() error {
+	if _, err := s.c.FlushAll(); err != nil {
+		return err
+	}
+	return s.cl.SyncAll(s.proc)
+}
+
+// Flush drains one file's write-behind buffer and syncs its constituent
+// nodes, returning how many buffered blocks it committed. A deferred
+// write failure on the file surfaces here as ErrDeferredWrite. Without
+// Config.WriteBehind it still syncs the nodes, so Flush is always a
+// per-file durability barrier.
+func (s *Session) Flush(name string) (int, error) { return s.c.Flush(name) }
 
 // Fsck runs a full consistency check of storage node i's local file system
 // — superblock, directory, bitmap, chain invariants, and block checksums —
@@ -660,6 +715,20 @@ func (s *Session) OpenMirror(name string) (*Mirror, error) {
 // OpenParity reopens an existing parity-protected file.
 func (s *Session) OpenParity(name string) (*Parity, error) {
 	return replica.OpenParity(s.proc, s.c, name, s.Nodes())
+}
+
+// NewRS creates a Reed–Solomon erasure-coded file: data striped over
+// opts.K nodes, opts.M parity columns on the next M nodes. Any M
+// simultaneous losses remain readable, at (K+M)/K storage overhead —
+// RS(6,2) costs 1.33x where Mirror costs 2x.
+func (s *Session) NewRS(name string, opts RSOptions) (*RS, error) {
+	return replica.CreateRS(s.proc, s.c, name, opts)
+}
+
+// OpenRS reopens an existing Reed–Solomon file; opts must match the
+// geometry it was created with.
+func (s *Session) OpenRS(name string, opts RSOptions) (*RS, error) {
+	return replica.OpenRS(s.proc, s.c, name, opts)
 }
 
 // SetTimeout bounds each Bridge Server call from this session; failures
@@ -950,6 +1019,7 @@ func WriteMetricsDoc(w io.Writer) error {
 		}
 		reg := s.cl.Net.Stats().Registry()
 		replica.RegisterMetrics(reg)
+		tools.RegisterMetrics(reg)
 		sets = append(sets, reg.Values(), s.cl.Nodes[0].Disk.Stats().Registry().Values())
 		return nil
 	})

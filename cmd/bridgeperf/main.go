@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bridgeperf [-out BENCH_pr6.json] [-check BENCH_pr6.json] [-tolerance 0.10] [-trace out.json]
+//	bridgeperf [-out BENCH_pr8.json] [-check BENCH_pr8.json] [-tolerance 0.10] [-trace out.json]
 //
 // -trace additionally writes the observed batched-read run's Chrome
 // trace_event JSON (load in about://tracing or Perfetto).
@@ -25,7 +25,7 @@ import (
 	"bridge/internal/experiments"
 )
 
-// Report is the BENCH_pr6.json schema. All *SimMs fields are simulated
+// Report is the BENCH_pr8.json schema. All *SimMs fields are simulated
 // milliseconds (lower is better); RecPerSec is simulated throughput
 // (higher is better).
 type Report struct {
@@ -61,6 +61,19 @@ type Report struct {
 	BatchedWriteBlkSimMs    float64 `json:"batched_write_blk_sim_ms"`
 	BatchedWriteJnlBlkSimMs float64 `json:"batched_write_jnl_blk_sim_ms"`
 	JournalOverheadFrac     float64 `json:"journal_overhead_frac"`
+
+	// Write-path campaign: sequential appends through the write-behind
+	// group-commit cache versus synchronous per-block appends, the
+	// tool-mode parallel delete versus the server's serial chain walk,
+	// and Reed–Solomon RS(6,2) append cost and storage overhead versus
+	// the 2x mirror.
+	WBWriteBlkSimMs      float64 `json:"wb_write_blk_sim_ms"`
+	WBWriteSpeedup       float64 `json:"wb_write_speedup"`
+	PDeleteTotSimMs      float64 `json:"pdelete_total_sim_ms"`
+	PDeleteSpeedup       float64 `json:"pdelete_speedup"`
+	MirrorAppendBlkSimMs float64 `json:"mirror_append_blk_sim_ms"`
+	RSAppendBlkSimMs     float64 `json:"rs_append_blk_sim_ms"`
+	RSStorageOverhead    float64 `json:"rs_storage_overhead"`
 }
 
 func main() {
@@ -74,7 +87,7 @@ func simMs(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 func run() error {
 	var (
-		out       = flag.String("out", "BENCH_pr6.json", "where to write the metrics report")
+		out       = flag.String("out", "BENCH_pr8.json", "where to write the metrics report")
 		check     = flag.String("check", "", "baseline report to compare against (empty = no comparison)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression per metric")
 		traceOut  = flag.String("trace", "", "write the observed batched-read run's Chrome trace JSON here")
@@ -110,9 +123,14 @@ func run() error {
 		return fmt.Errorf("journal overhead: %w", err)
 	}
 	jo := jnlPts[0]
+	wcPts, err := experiments.WriteCampaign(cfg)
+	if err != nil {
+		return fmt.Errorf("write campaign: %w", err)
+	}
+	wc := wcPts[0]
 
 	rep := Report{
-		PR:                  6,
+		PR:                  8,
 		Scale:               "quick",
 		P:                   p,
 		NaiveReadBlkSimMs:   simMs(pt.ReadPerBlock),
@@ -132,6 +150,14 @@ func run() error {
 		BatchedWriteBlkSimMs:    simMs(jo.Plain),
 		BatchedWriteJnlBlkSimMs: simMs(jo.Journaled),
 		JournalOverheadFrac:     jo.Overhead(),
+
+		WBWriteBlkSimMs:      simMs(wc.WBWritePerBlock),
+		WBWriteSpeedup:       wc.WriteSpeedup(),
+		PDeleteTotSimMs:      simMs(wc.ParallelDeleteTotal),
+		PDeleteSpeedup:       wc.DeleteSpeedup(),
+		MirrorAppendBlkSimMs: simMs(wc.MirrorAppendPerBlock),
+		RSAppendBlkSimMs:     simMs(wc.RSAppendPerBlock),
+		RSStorageOverhead:    wc.RSOverhead,
 	}
 	if rep.BatchedReadBlkSimMs > 0 {
 		rep.BatchedReadSpeedup = rep.NaiveReadBlkSimMs / rep.BatchedReadBlkSimMs
@@ -145,12 +171,15 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\nbatched write%7.3f ms/blk\nwith journal%8.3f ms/blk (%+.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwrote %s\n",
+	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\nbatched write%7.3f ms/blk\nwith journal%8.3f ms/blk (%+.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwb write    %8.3f ms/blk (%.1fx)\npar. delete %8.0f ms (%.1fx)\nRS(6,2) app %8.3f ms/blk (%.3fx storage; mirror %.3f ms/blk at 2x)\nwrote %s\n",
 		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup,
 		rep.BatchedReadScrubBlkSimMs, 100*rep.ScrubOverheadFrac,
 		rep.BatchedReadObsBlkSimMs, 100*rep.ObsOverheadFrac,
 		rep.BatchedWriteBlkSimMs, rep.BatchedWriteJnlBlkSimMs, 100*rep.JournalOverheadFrac,
-		rep.CopyToolSimMs, rep.CopyRecPerSec, *out)
+		rep.CopyToolSimMs, rep.CopyRecPerSec,
+		rep.WBWriteBlkSimMs, rep.WBWriteSpeedup,
+		rep.PDeleteTotSimMs, rep.PDeleteSpeedup,
+		rep.RSAppendBlkSimMs, rep.RSStorageOverhead, rep.MirrorAppendBlkSimMs, *out)
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -189,6 +218,21 @@ func run() error {
 	if rep.JournalOverheadFrac > 0.05 {
 		return fmt.Errorf("journaling overhead %.1f%% on the batched write exceeds the 5%% budget", 100*rep.JournalOverheadFrac)
 	}
+	// Write-behind gate: group commit must make sequential appends at
+	// least 5x cheaper per block than the synchronous path at p=8.
+	if rep.WBWriteSpeedup < 5.0 {
+		return fmt.Errorf("write-behind speedup %.2fx fell below the required 5x", rep.WBWriteSpeedup)
+	}
+	// Parallel-delete gate: the tool-mode delete must beat the server's
+	// serial chain walk by at least 4x at p=8.
+	if rep.PDeleteSpeedup < 4.0 {
+		return fmt.Errorf("parallel delete speedup %.2fx fell below the required 4x", rep.PDeleteSpeedup)
+	}
+	// Erasure-coding gate: RS(6,2)'s measured storage overhead must stay
+	// ~1.33x ((6+2)/6 plus partial-stripe rounding), far below Mirror's 2x.
+	if rep.RSStorageOverhead < 1.30 || rep.RSStorageOverhead > 1.40 {
+		return fmt.Errorf("RS(6,2) storage overhead %.3fx out of the ~1.33x band", rep.RSStorageOverhead)
+	}
 	if *check == "" {
 		return nil
 	}
@@ -216,6 +260,9 @@ func run() error {
 		{"batched_read_obs_blk_sim_ms", rep.BatchedReadObsBlkSimMs, base.BatchedReadObsBlkSimMs},
 		{"batched_write_blk_sim_ms", rep.BatchedWriteBlkSimMs, base.BatchedWriteBlkSimMs},
 		{"batched_write_jnl_blk_sim_ms", rep.BatchedWriteJnlBlkSimMs, base.BatchedWriteJnlBlkSimMs},
+		{"wb_write_blk_sim_ms", rep.WBWriteBlkSimMs, base.WBWriteBlkSimMs},
+		{"pdelete_total_sim_ms", rep.PDeleteTotSimMs, base.PDeleteTotSimMs},
+		{"rs_append_blk_sim_ms", rep.RSAppendBlkSimMs, base.RSAppendBlkSimMs},
 	}
 	var failed bool
 	for _, m := range lower {

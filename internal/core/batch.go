@@ -188,19 +188,14 @@ func abortAfter(s *Server, calls []vecCall, i int, err error) error {
 	return err
 }
 
-// lfsWriteN stores consecutive global blocks starting at start, one
-// vectored LFS call per node, each carrying its own OpID for dedup. All
-// replies are gathered (no early abort: later nodes' writes may have
-// landed and their hints matter); the return value counts the contiguous
-// prefix of global blocks that succeeded, with the first failure — in
-// global block order — as the error.
-func (s *Server) lfsWriteN(p sim.Proc, ent *dirent, start int64, payloads [][]byte) (int, error) {
-	if len(payloads) == 0 {
-		return 0, nil
-	}
+// startWriteVec scatters a write of consecutive global blocks from start:
+// one vectored LFS call per node, each carrying its own OpID for dedup, all
+// started before any is awaited. On a start failure every already-started
+// call is discarded and nothing is in flight.
+func (s *Server) startWriteVec(ent *dirent, start int64, payloads [][]byte) ([]vecCall, error) {
 	l, err := ent.meta.Layout()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	runs := splitRange(ent, l, start, len(payloads))
 	calls := make([]vecCall, 0, len(runs))
@@ -222,12 +217,21 @@ func (s *Server) lfsWriteN(p sim.Proc, ent *dirent, start int64, payloads [][]by
 			for _, started := range calls {
 				s.lc.Discard(started.id)
 			}
-			return 0, err
+			return nil, err
 		}
 		calls = append(calls, c)
 	}
-	okBlock := make([]bool, len(payloads))
-	blockErr := make([]error, len(payloads))
+	return calls, nil
+}
+
+// gatherWriteVec collects the replies of a startWriteVec covering count
+// blocks from start. All replies are gathered (no early abort: later nodes'
+// writes may have landed and their hints matter); the return value counts
+// the contiguous prefix of global blocks that succeeded, with the first
+// failure — in global block order — as the error.
+func (s *Server) gatherWriteVec(p sim.Proc, ent *dirent, calls []vecCall, start int64, count int) (int, error) {
+	okBlock := make([]bool, count)
+	blockErr := make([]error, count)
 	var callErr error
 	for _, c := range calls {
 		m, err := s.awaitVec(p, c)
@@ -285,6 +289,21 @@ func (s *Server) lfsWriteN(p sim.Proc, ent *dirent, start int64, payloads [][]by
 	return prefix, fmt.Errorf("%w: block %d failed", ErrLFSFailed, start+int64(prefix))
 }
 
+// lfsWriteN stores consecutive global blocks starting at start: the
+// synchronous scatter-gather write (startWriteVec + gatherWriteVec in one
+// step). The write-behind cache uses the two phases separately to overlap
+// one window's flush with the next window's fill.
+func (s *Server) lfsWriteN(p sim.Proc, ent *dirent, start int64, payloads [][]byte) (int, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	calls, err := s.startWriteVec(ent, start, payloads)
+	if err != nil {
+		return 0, err
+	}
+	return s.gatherWriteVec(p, ent, calls, start, len(payloads))
+}
+
 // seqReadN reads up to max blocks at the client's cursor — the batched
 // naive path. Formulaic files go through the read-ahead cache when one is
 // configured, or a direct scatter-gather read; disordered files follow
@@ -299,6 +318,9 @@ func (s *Server) seqReadN(p sim.Proc, client msg.Addr, name string, max int) ([]
 	ent, ok := s.dir[name]
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return nil, false, err
 	}
 	key := cursorKey{client: client, name: name}
 	cur, ok := s.cursors[key]
@@ -378,6 +400,9 @@ func (s *Server) readAtN(p sim.Proc, name string, blockNum int64, count int) ([]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return nil, err
+	}
 	if blockNum < 0 || blockNum >= ent.meta.Blocks {
 		return nil, fmt.Errorf("%w: block %d of %d", ErrEOF, blockNum, ent.meta.Blocks)
 	}
@@ -423,6 +448,11 @@ func (s *Server) writeAtN(p sim.Proc, name string, blockNum int64, payloads [][]
 	}
 	if len(payloads) > maxBatchBlocks {
 		return 0, fmt.Errorf("%w: batch of %d exceeds %d blocks", ErrBadArg, len(payloads), maxBatchBlocks)
+	}
+	// The batched path writes directly, so any write-behind state for the
+	// file drains first (it may own the tail this run starts at).
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return 0, err
 	}
 	if blockNum < 0 {
 		blockNum = ent.meta.Blocks

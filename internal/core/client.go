@@ -76,6 +76,8 @@ func nameOf(body any) (string, bool) {
 		return b.Name, true
 	case StatReq:
 		return b.Name, true
+	case ReleaseReq:
+		return b.Name, true
 	case SeqReadReq:
 		return b.Name, true
 	case SeqReadNReq:
@@ -176,7 +178,8 @@ func (c *Client) callOnce(to msg.Addr, body any) (*msg.Message, error) {
 // sentinels used to reconstruct typed errors from transported strings.
 var sentinels = []error{
 	ErrNotFound, ErrExists, ErrEOF, ErrBadBlock, ErrNoJob, ErrBadArg,
-	ErrNodeDown, ErrLFSFailed, efs.ErrCorrupt, distrib.ErrNeedSize,
+	ErrNodeDown, ErrLFSFailed, ErrDeferredWrite, efs.ErrCorrupt,
+	distrib.ErrNeedSize,
 }
 
 // decodeErr rebuilds a sentinel-wrapped error from its transported string
@@ -259,6 +262,56 @@ func (c *Client) Delete(name string) (int, error) {
 	}
 	r := m.Body.(DeleteResp)
 	return r.Freed, decodeErr(r.Err)
+}
+
+// Flush forces the server's write-behind buffer for the file down to the
+// LFS layer and syncs the touched nodes — the explicit group-commit
+// barrier. It returns how many buffered blocks the barrier pushed out. A
+// deferred failure of an already-acknowledged write surfaces here, wrapped
+// in ErrDeferredWrite, after the file's size has been rolled back to the
+// contiguous prefix that landed.
+func (c *Client) Flush(name string) (int, error) {
+	m, err := c.callAt(c.serverFor(name), FlushReq{Name: name, OpID: c.opID()})
+	if err != nil {
+		return 0, err
+	}
+	r := m.Body.(FlushResp)
+	return r.Flushed, decodeErr(r.Err)
+}
+
+// FlushAll flushes every buffered file on every server — the whole-session
+// barrier Session.Sync uses. The first deferred error is returned after all
+// servers have been flushed.
+func (c *Client) FlushAll() (int, error) {
+	total := 0
+	var firstErr error
+	for _, srv := range c.servers {
+		m, err := c.callAt(srv, FlushReq{OpID: c.opID()})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r := m.Body.(FlushResp)
+		total += r.Flushed
+		if err := decodeErr(r.Err); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// Release atomically unregisters a file from the Bridge directory and
+// returns its final metadata — the parallel delete tool's first step. The
+// constituent LFS files are untouched; freeing them is the caller's job.
+func (c *Client) Release(name string) (Meta, error) {
+	m, err := c.call(ReleaseReq{Name: name, OpID: c.opID()})
+	if err != nil {
+		return Meta{}, err
+	}
+	r := m.Body.(ReleaseResp)
+	return r.Meta, decodeErr(r.Err)
 }
 
 // Open opens a file: the server refreshes its size and resets this client's

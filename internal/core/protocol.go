@@ -51,6 +51,12 @@ var (
 	// target node dead, so the server refuses the LFS call immediately
 	// instead of waiting out LFSTimeout.
 	ErrNodeDown = errors.New("bridge: node marked down")
+	// ErrDeferredWrite reports that a write the server already acknowledged
+	// under write-behind later failed to land. It surfaces exactly once, on
+	// the next operation touching the file (or its explicit Flush), after
+	// the server has rolled the file's size back to the contiguous prefix
+	// that did land.
+	ErrDeferredWrite = errors.New("bridge: deferred write-behind write failed")
 )
 
 // ErrCorrupt is efs.ErrCorrupt re-exported: a block failed checksum
@@ -341,6 +347,37 @@ type (
 	// RandWriteResp acknowledges a random write.
 	RandWriteResp struct{ Err string }
 
+	// FlushReq forces the server's write-behind buffer down to the LFS
+	// layer and syncs the touched nodes — the explicit group-commit
+	// barrier. Name selects one file; "" flushes every buffered file on
+	// the server. A deferred write failure parked on a flushed file is
+	// surfaced (and consumed) here.
+	FlushReq struct {
+		Name string
+		OpID uint64
+	}
+	// FlushResp reports how many buffered blocks the barrier pushed out.
+	FlushResp struct {
+		Flushed int
+		Err     string
+	}
+
+	// ReleaseReq atomically unregisters a file from the Bridge directory
+	// and returns its final structural metadata: the parallel delete
+	// tool's first step. After a release no new opens or reads can reach
+	// the file through the server, so the tool can free the constituent
+	// LFS files without racing the naive path. Write-behind state for the
+	// file is quiesced and dropped.
+	ReleaseReq struct {
+		Name string
+		OpID uint64
+	}
+	// ReleaseResp returns the released file's metadata.
+	ReleaseResp struct {
+		Meta Meta
+		Err  string
+	}
+
 	// StatReq returns a file's metadata without opening it.
 	StatReq struct{ Name string }
 	// StatResp carries the metadata.
@@ -529,7 +566,11 @@ func WireSize(body any) int {
 		return 64
 	case OpenReq:
 		return 8 + len(b.Name)
-	case OpenResp, StatResp:
+	case FlushReq:
+		return 16 + len(b.Name)
+	case ReleaseReq:
+		return 16 + len(b.Name)
+	case OpenResp, StatResp, ReleaseResp:
 		return 64
 	case ParallelOpenReq:
 		return 16 + len(b.Name) + 8*len(b.Workers)

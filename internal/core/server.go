@@ -47,6 +47,13 @@ type Config struct {
 	// prefetches the next window asynchronously. Off by default so the
 	// naive per-block path keeps the paper's measured behavior.
 	ReadAhead int
+	// WriteBehind, when positive, acknowledges sequential appends to
+	// formulaic files as soon as they are buffered and flushes them in
+	// windows of WriteBehind stripes (WriteBehind×p blocks) as vectored
+	// group commits, overlapping one window's flush with the next window's
+	// fill. Every read, overwrite, or size query drains the buffer first;
+	// Flush is the explicit durability barrier. Off by default.
+	WriteBehind int
 }
 
 func (c *Config) applyDefaults() {
@@ -82,6 +89,7 @@ type Server struct {
 	retry     *retrier       // nil = no LFS retransmission
 	health    *healthTracker // nil = no monitoring
 	ra        *raCache       // nil = no read-ahead
+	wb        *wbCache       // nil = no write-behind
 	monStop   *msg.Port
 	nextLFSOp uint64
 	dedup     map[dedupKey]any
@@ -194,6 +202,9 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 	if cfg.ReadAhead > 0 {
 		s.ra = newRACache(cfg.ReadAhead)
 	}
+	if cfg.WriteBehind > 0 {
+		s.wb = newWBCache(cfg.WriteBehind)
+	}
 	rt.Go(s.port.Addr().String(), func(p sim.Proc) { s.run(p) })
 	return s
 }
@@ -278,6 +289,10 @@ func opIDOf(body any) (uint64, bool) {
 		return b.OpID, true
 	case FsckReq:
 		return b.OpID, true
+	case FlushReq:
+		return b.OpID, true
+	case ReleaseReq:
+		return b.OpID, true
 	default:
 		return 0, false
 	}
@@ -305,6 +320,10 @@ func respErr(body any) string {
 	case FsckResp:
 		return b.Err
 	case RecoveryResp:
+		return b.Err
+	case FlushResp:
+		return b.Err
+	case ReleaseResp:
 		return b.Err
 	default:
 		return ""
@@ -352,6 +371,12 @@ func (s *Server) handle(p sim.Proc, req *msg.Message) any {
 	case StatReq:
 		meta, err := s.stat(p, r.Name)
 		return StatResp{Meta: meta, Err: errString(err)}
+	case FlushReq:
+		flushed, err := s.flush(p, r.Name)
+		return FlushResp{Flushed: flushed, Err: errString(err)}
+	case ReleaseReq:
+		meta, err := s.release(p, r.Name)
+		return ReleaseResp{Meta: meta, Err: errString(err)}
 	case SeqReadReq:
 		data, eof, err := s.seqRead(p, req.From, r.Name)
 		return SeqReadResp{Data: data, EOF: eof, Err: errString(err)}
@@ -524,6 +549,7 @@ func (s *Server) delete(p sim.Proc, name string) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	s.raInvalidate(name)
+	s.wbDrop(p, ent)
 	op := lfs.DeleteReq{FileID: ent.meta.LFSFileID}
 	ids := make([]uint64, 0, len(ent.meta.Nodes))
 	for _, n := range ent.meta.Nodes {
@@ -561,11 +587,86 @@ func (s *Server) delete(p sim.Proc, name string) (int, error) {
 	return freed, nil
 }
 
+// flush drains the write-behind state of one file (or of every file when
+// name is empty) and then syncs the touched storage nodes, making every
+// acknowledged write durable. It is the explicit group-commit barrier; a
+// deferred write failure surfaces here, wrapped in ErrDeferredWrite.
+func (s *Server) flush(p sim.Proc, name string) (int, error) {
+	if name == "" {
+		flushed, err := s.wbBarrierAll(p)
+		if err != nil {
+			return flushed, err
+		}
+		return flushed, s.syncNodes(p, s.nodes)
+	}
+	ent, ok := s.dir[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	flushed, err := s.wbBarrier(p, ent)
+	if err != nil {
+		return flushed, err
+	}
+	return flushed, s.syncNodes(p, ent.meta.Nodes)
+}
+
+// syncNodes issues a parallel metadata sync to the given storage nodes —
+// the scatter-gather barrier behind an explicit Flush.
+func (s *Server) syncNodes(p sim.Proc, nodes []msg.NodeID) error {
+	op := lfs.SyncReq{}
+	ids := make([]uint64, 0, len(nodes))
+	for _, n := range nodes {
+		if s.health != nil && s.health.get(n) == Dead {
+			return fmt.Errorf("%w: n%d", ErrNodeDown, n)
+		}
+		id, err := s.lc.Start(msg.Addr{Node: n, Port: lfs.PortName}, op, lfs.WireSize(op))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		ids = append(ids, id)
+	}
+	ms, err := s.lc.GatherTimeout(ids, s.cfg.LFSTimeout)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	for _, m := range ms {
+		if err := m.Body.(lfs.SyncResp).Status.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+	}
+	return nil
+}
+
+// release atomically unregisters a file from the Bridge directory and
+// returns its final metadata, without touching the constituent LFS files:
+// the caller — the toolkit's parallel delete — owns freeing them on the
+// nodes. Write-behind state is quiesced and dropped (the file is being
+// destroyed), cursors and read-ahead windows are discarded.
+func (s *Server) release(p sim.Proc, name string) (Meta, error) {
+	ent, ok := s.dir[name]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	s.raInvalidate(name)
+	s.wbDrop(p, ent)
+	meta := ent.meta
+	delete(s.dir, name)
+	for k := range s.cursors {
+		if k.name == name {
+			delete(s.cursors, k)
+		}
+	}
+	return meta, nil
+}
+
 // refreshSize recomputes the file's block count by statting every
 // constituent LFS file in parallel — the startup work that Open pays for.
 // Disordered files keep their count in the chain state (tools cannot write
 // them behind the server's back, since only the server knows the chain).
 func (s *Server) refreshSize(p sim.Proc, ent *dirent) error {
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return err
+	}
 	if ent.meta.Spec.Kind == distrib.Disordered {
 		var total int64
 		for _, c := range ent.meta.Chain.LocalCounts {
@@ -754,6 +855,12 @@ func (s *Server) repairNode(p sim.Proc, idx int) (int, error) {
 		return 0, fmt.Errorf("%w: node index %d of %d", ErrBadArg, idx, len(s.nodes))
 	}
 	node := s.nodes[idx]
+	// Acknowledged writes must land (or fail visibly) before the sweep
+	// re-registers files: an in-flight group commit to the restarted node
+	// surfaces here as a deferred-write error rather than being lost.
+	if _, err := s.wbBarrierAll(p); err != nil {
+		return 0, err
+	}
 	if s.ra != nil {
 		// Any buffered or in-flight block might predate the crash.
 		s.ra.invalidateAll(s)
@@ -797,6 +904,10 @@ func (s *Server) fsck(p sim.Proc, r FsckReq) (efs.CheckReport, int, error) {
 	if r.Node < 0 || r.Node >= len(s.nodes) {
 		return efs.CheckReport{}, 0, fmt.Errorf("%w: node index %d of %d", ErrBadArg, r.Node, len(s.nodes))
 	}
+	// Drain write-behind first so the checker sees every acknowledged block.
+	if _, err := s.wbBarrierAll(p); err != nil {
+		return efs.CheckReport{}, 0, err
+	}
 	req := lfs.CheckReq{Repair: r.Repair}
 	m, err := s.lfsCall(p, s.nodes[r.Node], req, lfs.WireSize(req))
 	if err != nil {
@@ -825,6 +936,10 @@ func (s *Server) scrub(p sim.Proc, idx int) (efs.ScrubReport, error) {
 	if idx < 0 || idx >= len(s.nodes) {
 		return efs.ScrubReport{}, fmt.Errorf("%w: node index %d of %d", ErrBadArg, idx, len(s.nodes))
 	}
+	// Drain write-behind first so the sweep sees every acknowledged block.
+	if _, err := s.wbBarrierAll(p); err != nil {
+		return efs.ScrubReport{}, err
+	}
 	req := lfs.ScrubReq{Full: true}
 	m, err := s.lfsCall(p, s.nodes[idx], req, lfs.WireSize(req))
 	if err != nil {
@@ -838,6 +953,9 @@ func (s *Server) seqRead(p sim.Proc, client msg.Addr, name string) ([]byte, bool
 	ent, ok := s.dir[name]
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return nil, false, err
 	}
 	key := cursorKey{client: client, name: name}
 	cur, ok := s.cursors[key]
@@ -904,6 +1022,9 @@ func (s *Server) writeAt(p sim.Proc, name string, blockNum int64, payload []byte
 		if ent.meta.Spec.Kind == distrib.Disordered {
 			return s.appendDisordered(p, ent, payload)
 		}
+		if s.wb != nil {
+			return s.wbAppend(p, ent, payload)
+		}
 		if err := s.lfsWrite(p, ent, ent.meta.Blocks, payload); err != nil {
 			return err
 		}
@@ -911,6 +1032,15 @@ func (s *Server) writeAt(p sim.Proc, name string, blockNum int64, payload []byte
 		return nil
 	}
 	if blockNum > ent.meta.Blocks {
+		return fmt.Errorf("%w: block %d beyond size %d", ErrBadArg, blockNum, ent.meta.Blocks)
+	}
+	// Overwrites go straight to the LFS layer, so the write-behind state —
+	// which may still own the target block — drains first. The barrier can
+	// shrink the file on a deferred failure, hence the re-check.
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return err
+	}
+	if blockNum >= ent.meta.Blocks {
 		return fmt.Errorf("%w: block %d beyond size %d", ErrBadArg, blockNum, ent.meta.Blocks)
 	}
 	if ent.meta.Spec.Kind == distrib.Disordered {
@@ -923,6 +1053,9 @@ func (s *Server) readAt(p sim.Proc, name string, blockNum int64) ([]byte, error)
 	ent, ok := s.dir[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return nil, err
 	}
 	if blockNum < 0 || blockNum >= ent.meta.Blocks {
 		return nil, fmt.Errorf("%w: block %d of %d", ErrEOF, blockNum, ent.meta.Blocks)
@@ -968,6 +1101,9 @@ func (s *Server) parallelRead(p sim.Proc, jobID uint64) (int, bool, error) {
 	ent, ok := s.dir[j.name]
 	if !ok {
 		return 0, false, fmt.Errorf("%w: %s", ErrNotFound, j.name)
+	}
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return 0, false, err
 	}
 	l, err := ent.meta.Layout()
 	if err != nil {
@@ -1046,6 +1182,9 @@ func (s *Server) parallelWrite(p sim.Proc, jobID uint64) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, j.name)
 	}
 	s.raInvalidate(j.name)
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return 0, err
+	}
 	t := len(j.workers)
 	pWidth := ent.meta.Spec.P
 	written := 0

@@ -15,6 +15,10 @@ func opName(body any) string {
 		return "open"
 	case StatReq:
 		return "stat"
+	case FlushReq:
+		return "flush"
+	case ReleaseReq:
+		return "release"
 	case SeqReadReq:
 		return "seqread"
 	case SeqReadNReq:
@@ -104,6 +108,10 @@ type srvMetrics struct {
 	raMisses          obs.Counter
 	raFills           obs.Counter
 	raInvalidations   obs.Counter
+	wbBuffered        obs.Counter
+	wbFlushes         obs.Counter
+	wbFlushedBlocks   obs.Counter
+	wbDeferredErrors  obs.Counter
 	healthTransitions obs.Counter
 }
 
@@ -116,6 +124,10 @@ func newSrvMetrics(r *obs.Registry) srvMetrics {
 		raMisses:          r.Counter("bridge.ra_misses", "blocks", "Sequential-read blocks that waited for a synchronous window fetch."),
 		raFills:           r.Counter("bridge.ra_fills", "windows", "Asynchronous prefetch windows gathered into the read-ahead buffer."),
 		raInvalidations:   r.Counter("bridge.ra_invalidations", "files", "Read-ahead buffer invalidations caused by file mutations."),
+		wbBuffered:        r.Counter("bridge.wb_buffered", "blocks", "Appends acknowledged into the write-behind buffer before landing."),
+		wbFlushes:         r.Counter("bridge.wb_flushes", "windows", "Write-behind windows flushed as vectored group commits."),
+		wbFlushedBlocks:   r.Counter("bridge.wb_flushed_blocks", "blocks", "Blocks pushed to the LFS layer by write-behind flushes."),
+		wbDeferredErrors:  r.Counter("bridge.wb_deferred_errors", "errors", "Acknowledged write-behind writes that later failed to land."),
 		healthTransitions: r.Counter("health.transitions", "transitions", "Health-monitor state changes (healthy/suspect/dead) across all nodes."),
 	}
 }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bridge/internal/sim"
+)
+
+// wbCfg is a fast cluster with server write-behind on.
+func wbCfg(p, stripes int) ClusterConfig {
+	cfg := fastCfg(p)
+	cfg.Server = Config{WriteBehind: stripes}
+	return cfg
+}
+
+// Acknowledged appends must be fully readable and counted: every read and
+// size query drains the buffer first, and an explicit Flush reports how
+// many blocks it pushed down.
+func TestWriteBehindRoundTrip(t *testing.T) {
+	withCluster(t, wbCfg(4, 2), func(p sim.Proc, cl *Cluster, c *Client) {
+		if _, err := c.Create("f"); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		const n = 30
+		for i := 0; i < n; i++ {
+			if err := c.SeqWrite("f", payload(i)); err != nil {
+				t.Fatalf("SeqWrite %d: %v", i, err)
+			}
+		}
+		meta, err := c.Stat("f")
+		if err != nil || meta.Blocks != n {
+			t.Fatalf("Stat = %+v, %v; want %d blocks", meta, err, n)
+		}
+		if _, err := c.Open("f"); err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			data, eof, err := c.SeqRead("f")
+			if err != nil || eof || !bytes.Equal(data, payload(i)) {
+				t.Fatalf("read %d: eof=%v err=%v", i, eof, err)
+			}
+		}
+		if _, eof, err := c.SeqRead("f"); err != nil || !eof {
+			t.Fatalf("expected EOF, got eof=%v err=%v", eof, err)
+		}
+
+		// The reads drained the buffer, so a flush now has nothing to push.
+		if flushed, err := c.Flush("f"); err != nil || flushed != 0 {
+			t.Fatalf("Flush after drain = %d, %v; want 0", flushed, err)
+		}
+		// Three more acknowledged appends flush on the explicit barrier.
+		for i := n; i < n+3; i++ {
+			if err := c.SeqWrite("f", payload(i)); err != nil {
+				t.Fatalf("SeqWrite %d: %v", i, err)
+			}
+		}
+		if flushed, err := c.Flush("f"); err != nil || flushed != 3 {
+			t.Fatalf("Flush = %d, %v; want 3", flushed, err)
+		}
+		if flushed, err := c.FlushAll(); err != nil || flushed != 0 {
+			t.Fatalf("FlushAll = %d, %v; want 0", flushed, err)
+		}
+	})
+}
+
+// With write-behind and read-ahead both on, no read may ever see data the
+// write path still owns: overwrites drain the buffer and invalidate the
+// read windows before touching the LFS layer, and appends acknowledged
+// into the buffer are visible to the very next read.
+func TestWriteBehindNeverServesStaleReads(t *testing.T) {
+	cfg := fastCfg(4)
+	cfg.Server = Config{ReadAhead: 2, WriteBehind: 2}
+	withCluster(t, cfg, func(p sim.Proc, cl *Cluster, c *Client) {
+		if _, err := c.Create("f"); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		const n = 24
+		for i := 0; i < n; i++ {
+			if err := c.SeqWrite("f", payload(i)); err != nil {
+				t.Fatalf("SeqWrite %d: %v", i, err)
+			}
+		}
+		if _, err := c.Open("f"); err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		// Warm the read-ahead window, then overwrite a block it covers.
+		for i := 0; i < 4; i++ {
+			data, _, err := c.SeqRead("f")
+			if err != nil || !bytes.Equal(data, payload(i)) {
+				t.Fatalf("warm read %d: %v", i, err)
+			}
+		}
+		if err := c.WriteAt("f", 5, payload(105)); err != nil {
+			t.Fatalf("WriteAt 5: %v", err)
+		}
+		for i := 4; i < n; i++ {
+			want := payload(i)
+			if i == 5 {
+				want = payload(105)
+			}
+			data, eof, err := c.SeqRead("f")
+			if err != nil || eof || !bytes.Equal(data, want) {
+				t.Fatalf("read %d after overwrite: eof=%v err=%v", i, eof, err)
+			}
+		}
+		// Appends acknowledged into the buffer are visible immediately:
+		// the cursor sits at EOF, so these reads only see the new blocks
+		// if the size advanced and the data is served fresh.
+		for i := n; i < n+4; i++ {
+			if err := c.SeqWrite("f", payload(i)); err != nil {
+				t.Fatalf("SeqWrite %d: %v", i, err)
+			}
+		}
+		for i := n; i < n+4; i++ {
+			data, eof, err := c.SeqRead("f")
+			if err != nil || eof || !bytes.Equal(data, payload(i)) {
+				t.Fatalf("read %d after buffered append: eof=%v err=%v", i, eof, err)
+			}
+		}
+	})
+}
+
+// A group commit that fails after its blocks were acknowledged surfaces
+// exactly once, wrapped in ErrDeferredWrite, with the file rolled back to
+// the landed prefix; the next operation proceeds cleanly.
+func TestWriteBehindDeferredErrorSurfacesOnce(t *testing.T) {
+	withCluster(t, wbCfg(4, 2), func(p sim.Proc, cl *Cluster, c *Client) {
+		if _, err := c.Create("f"); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		// Window is 8: blocks 0..15 land via the first two group commits,
+		// 16..19 are acknowledged but still buffered when the node dies.
+		for i := 0; i < 20; i++ {
+			if err := c.SeqWrite("f", payload(i)); err != nil {
+				t.Fatalf("SeqWrite %d: %v", i, err)
+			}
+		}
+		cl.FailNode(1)
+
+		if _, err := c.ReadAt("f", 0); !errors.Is(err, ErrDeferredWrite) {
+			t.Fatalf("first op after failed commit = %v; want ErrDeferredWrite", err)
+		}
+		// The failure was consumed: block 0 lives on a healthy node and
+		// reads cleanly now.
+		data, err := c.ReadAt("f", 0)
+		if err != nil || !bytes.Equal(data, payload(0)) {
+			t.Fatalf("ReadAt 0 after rollback: %v", err)
+		}
+		if data, err := c.ReadAt("f", 15); err != nil || !bytes.Equal(data, payload(15)) {
+			t.Fatalf("ReadAt 15 (landed before failure): %v", err)
+		}
+		// The rolled-back tail is gone.
+		if _, err := c.ReadAt("f", 19); !errors.Is(err, ErrEOF) {
+			t.Fatalf("ReadAt 19 = %v; want ErrEOF after rollback", err)
+		}
+	})
+}
+
+// Deleting a file with buffered writes quiesces them; a recreated file
+// under the same name never sees the old data.
+func TestWriteBehindDeleteThenRecreate(t *testing.T) {
+	withCluster(t, wbCfg(4, 2), func(p sim.Proc, cl *Cluster, c *Client) {
+		if _, err := c.Create("f"); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := c.SeqWrite("f", payload(i)); err != nil {
+				t.Fatalf("SeqWrite %d: %v", i, err)
+			}
+		}
+		if _, err := c.Delete("f"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if _, err := c.Create("f"); err != nil {
+			t.Fatalf("recreate: %v", err)
+		}
+		for i := 0; i < 6; i++ {
+			if err := c.SeqWrite("f", payload(100+i)); err != nil {
+				t.Fatalf("SeqWrite new %d: %v", i, err)
+			}
+		}
+		meta, err := c.Stat("f")
+		if err != nil || meta.Blocks != 6 {
+			t.Fatalf("Stat = %+v, %v; want 6 blocks", meta, err)
+		}
+		for i := 0; i < 6; i++ {
+			data, err := c.ReadAt("f", int64(i))
+			if err != nil || !bytes.Equal(data, payload(100+i)) {
+				t.Fatalf("ReadAt %d: stale or failed read: %v", i, err)
+			}
+		}
+	})
+}
+
+// With paper-speed disks, write-behind must make acknowledged appends
+// substantially cheaper than the naive synchronous path: the group
+// commits overlap the client's feed, so the visible cost converges on the
+// request round trip.
+func TestWriteBehindSpeedsUpAppends(t *testing.T) {
+	const n = 64
+	elapsed := func(cfg ClusterConfig) (d int64) {
+		withCluster(t, cfg, func(p sim.Proc, cl *Cluster, c *Client) {
+			if _, err := c.Create("f"); err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			start := p.Now()
+			for i := 0; i < n; i++ {
+				if err := c.SeqWrite("f", payload(i)); err != nil {
+					t.Fatalf("SeqWrite %d: %v", i, err)
+				}
+			}
+			if _, err := c.Flush("f"); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+			d = int64(p.Now() - start)
+		})
+		return d
+	}
+	naive := elapsed(wrenCfg(4))
+	wb := wrenCfg(4)
+	wb.Server = Config{WriteBehind: 2}
+	behind := elapsed(wb)
+	if behind*3 >= naive {
+		t.Fatalf("write-behind %dns vs naive %dns: want at least 3x faster", behind, naive)
+	}
+}

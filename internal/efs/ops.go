@@ -179,6 +179,148 @@ func (fs *FS) appendBlock(p sim.Proc, bb *bucketBlock, e *dirEntry, fileID uint3
 	return addr, nil
 }
 
+// AppendRun appends a run of blocks in one operation: the whole run is
+// allocated up front (near-chained for locality), every new block is written
+// once with its final links already in place, and the old tail's next
+// pointer is fixed exactly once for the entire run — one device access per
+// block plus one tail fix, instead of the two accesses per block the
+// per-block append path pays. startBlock must equal the file's current size
+// (the caller's view of the append point; a stale view gets ErrNotAppend so
+// the caller can fall back to the per-block path).
+//
+// The run is atomic: the old tail's pointer is rewritten only after every
+// new block is durably down, so a failure mid-run frees the whole
+// allocation and leaves the file exactly as it was — the written blocks are
+// unreachable and their bitmap bits are cleared, the same freed-but-flagged
+// state a fast delete leaves, which the bitmap-authoritative liveData guard
+// and Fsck already tolerate.
+func (fs *FS) AppendRun(p sim.Proc, fileID, startBlock uint32, datas [][]byte) ([]int32, error) {
+	if len(datas) == 0 {
+		return nil, nil
+	}
+	for _, d := range datas {
+		if len(d) > DataBytes {
+			return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(d))
+		}
+	}
+	bb, i, err := fs.findEntry(p, fileID)
+	if err != nil {
+		return nil, err
+	}
+	e := &bb.b.Entries[i]
+	if startBlock != uint32(e.Blocks) {
+		return nil, fmt.Errorf("%w: run at block %d of file %d (size %d)", ErrNotAppend, startBlock, fileID, e.Blocks)
+	}
+	// Allocate the whole run first so a full volume fails before any write.
+	addrs := make([]int32, len(datas))
+	near := nilAddr
+	if e.Last != nilAddr {
+		near = e.Last + 1
+	}
+	for j := range addrs {
+		addrs[j] = fs.allocBlock(near)
+		if addrs[j] == nilAddr {
+			for _, a := range addrs[:j] {
+				fs.freeBlock(a)
+			}
+			return nil, ErrNoSpace
+		}
+		near = addrs[j] + 1
+	}
+	if fs.jnl != nil {
+		for _, a := range addrs {
+			if fs.jnl.logged[a] {
+				// A reused address still has a live intent record; retire the
+				// old records before writing through it (see appendBlock).
+				if err := fs.checkpoint(p); err != nil {
+					for _, a := range addrs {
+						fs.freeBlock(a)
+					}
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	head := e.First
+	if e.Blocks == 0 {
+		head = addrs[0]
+	}
+	for j, data := range datas {
+		h := blockHeader{
+			FileID:   fileID,
+			BlockNum: startBlock + uint32(j),
+			Next:     head, // tail wraps to head
+			Prev:     addrs[j],
+			DataLen:  uint16(len(data)),
+			Flags:    flagUsed,
+		}
+		if j+1 < len(addrs) {
+			h.Next = addrs[j+1]
+		}
+		if j > 0 {
+			h.Prev = addrs[j-1]
+		} else if e.Blocks > 0 {
+			h.Prev = e.Last
+		}
+		buf := make([]byte, BlockSize)
+		encodeHeader(buf, h)
+		copy(buf[HeaderBytes:], data)
+		if err := fs.writeThrough(p, addrs[j], buf); err != nil {
+			// Nothing links to the run yet: freeing every allocation (written
+			// blocks included) restores the file exactly.
+			for _, a := range addrs {
+				fs.invalidate(a)
+				fs.freeBlock(a)
+			}
+			return nil, err
+		}
+	}
+	if e.Blocks > 0 {
+		// One tail fix for the whole run.
+		old, err := fs.readCached(p, e.Last)
+		if err == nil {
+			err = verifyData(e.Last, old)
+		}
+		if err != nil {
+			fs.invalidate(e.Last)
+			for _, a := range addrs {
+				fs.invalidate(a)
+				fs.freeBlock(a)
+			}
+			return nil, fmt.Errorf("tail of file %d: %w", fileID, err)
+		}
+		oh := decodeHeader(old)
+		if oh.FileID != fileID || oh.Flags&flagUsed == 0 {
+			for _, a := range addrs {
+				fs.invalidate(a)
+				fs.freeBlock(a)
+			}
+			return nil, fmt.Errorf("%w: tail of file %d at %d is not its block", ErrCorrupt, fileID, e.Last)
+		}
+		oh.Next = addrs[0]
+		encodeHeader(old, oh)
+		if fs.jnl != nil {
+			fs.deferFix(e.Last, old)
+		} else if err := fs.writeThrough(p, e.Last, old); err != nil {
+			for _, a := range addrs {
+				fs.invalidate(a)
+				fs.freeBlock(a)
+			}
+			return nil, err
+		}
+	} else {
+		e.First = addrs[0]
+	}
+	e.Last = addrs[len(addrs)-1]
+	e.Blocks += int32(len(datas))
+	bb.dirty = true
+	if err := fs.maybeCommit(p); err != nil {
+		return addrs, err
+	}
+	return addrs, nil
+}
+
 // overwriteBlock rewrites an existing block's data in place, preserving its
 // links. If the target block itself fails verification, the overwrite still
 // succeeds: the block is rebuilt from its verified chain neighbors — this is
@@ -350,6 +492,22 @@ func (fs *FS) confirmLink(p sim.Proc, cand int32, fileID, num uint32, back int32
 // block — the O(n/p) algorithm the paper measured at ~20 ms per block. It
 // returns the number of blocks freed.
 func (fs *FS) Delete(p sim.Proc, fileID uint32) (int, error) {
+	return fs.deleteFile(p, fileID, false)
+}
+
+// DeleteFast removes a file without the per-block flag-clear rewrite: the
+// chain is still walked and verified, but blocks are freed in the bitmap
+// only. That is exactly the state journal-mode deletes already leave (the
+// chain stays intact on disk; the bitmap is authoritative, enforced by the
+// liveData guard, and Fsck accepts freed-but-flagged blocks), so the only
+// thing given up is the legacy EFS flag-clear resiliency on unjournaled
+// volumes — in exchange the per-block device write disappears and a delete
+// costs only the chain's track reads.
+func (fs *FS) DeleteFast(p sim.Proc, fileID uint32) (int, error) {
+	return fs.deleteFile(p, fileID, true)
+}
+
+func (fs *FS) deleteFile(p sim.Proc, fileID uint32, fast bool) (int, error) {
 	bb, i, err := fs.findEntry(p, fileID)
 	if err != nil {
 		return 0, err
@@ -381,6 +539,12 @@ func (fs *FS) Delete(p sim.Proc, fileID uint32) (int, error) {
 			fs.jnl.dropDeferred(addr)
 			fs.invalidate(addr)
 			fs.deferFree(addr)
+		} else if fast {
+			// Fast free: bitmap only; the stale on-disk header is harmless
+			// because block resolution never trusts a header the bitmap
+			// doesn't vouch for.
+			fs.invalidate(addr)
+			fs.freeBlock(addr)
 		} else {
 			// Explicitly mark the block free on disk, as EFS did for
 			// resiliency.

@@ -55,6 +55,10 @@ type Config struct {
 	// (windows of ReadAhead stripes). 0 — the default, used by the
 	// paper-fidelity experiments — keeps the measured per-block behavior.
 	ReadAhead int
+	// WriteBehind enables the Bridge Server's group-commit append cache
+	// (windows of WriteBehind stripes). 0 — the default, used by the
+	// paper-fidelity experiments — keeps every append synchronous.
+	WriteBehind int
 	// Scrub enables each node's idle-time background scrubber, for the
 	// integrity-overhead experiments. Nil — the default — leaves it off.
 	Scrub *lfs.ScrubConfig
@@ -125,7 +129,7 @@ func clusterFor(rt sim.Runtime, p int, cfg Config) (*core.Cluster, error) {
 		},
 		// A full-scale delete legitimately takes minutes of simulated
 		// time at small p; the failure-detection timeout must dwarf it.
-		Server: core.Config{LFSTimeout: cfg.LFSTimeout, ReadAhead: cfg.ReadAhead},
+		Server: core.Config{LFSTimeout: cfg.LFSTimeout, ReadAhead: cfg.ReadAhead, WriteBehind: cfg.WriteBehind},
 	})
 }
 

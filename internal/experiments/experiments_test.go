@@ -368,3 +368,35 @@ func TestFaultsAblation(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestWriteCampaignShapes(t *testing.T) {
+	cfg := tinyScale()
+	cfg.Ps = []int{4, 8}
+	pts, err := WriteCampaign(cfg)
+	if err != nil {
+		t.Fatalf("WriteCampaign: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		// Group commit must beat the synchronous append comfortably even
+		// at tiny scale.
+		if s := pt.WriteSpeedup(); s < 2 {
+			t.Errorf("p=%d: write-behind speedup %.2fx, want >= 2x", pt.P, s)
+		}
+		// The tool-mode delete frees each node's column locally.
+		if s := pt.DeleteSpeedup(); s < 2 {
+			t.Errorf("p=%d: parallel delete speedup %.2fx, want >= 2x", pt.P, s)
+		}
+		// RS(p-2, 2) must never store more than the 2x mirror (at p=4 the
+		// geometry is RS(2,2), which legitimately matches it).
+		if pt.RSOverhead <= 1 || pt.RSOverhead > pt.MirrorOverhead {
+			t.Errorf("p=%d: RS overhead %.3fx vs mirror %.1fx", pt.P, pt.RSOverhead, pt.MirrorOverhead)
+		}
+	}
+	// RS(6,2) at p=8 sits near (6+2)/6.
+	if o := pts[1].RSOverhead; o < 1.30 || o > 1.40 {
+		t.Errorf("RS(6,2) overhead %.3fx, want ~1.33x", o)
+	}
+}

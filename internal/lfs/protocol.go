@@ -123,8 +123,14 @@ type (
 	// CreateResp acknowledges a CreateReq.
 	CreateResp struct{ Status Status }
 
-	// DeleteReq removes a local file.
-	DeleteReq struct{ FileID uint32 }
+	// DeleteReq removes a local file. Fast skips the per-block flag-clear
+	// rewrite on unjournaled volumes (bitmap-only free), the mode the
+	// parallel delete tool uses; journaled volumes already free through the
+	// bitmap alone, so Fast changes nothing there.
+	DeleteReq struct {
+		FileID uint32
+		Fast   bool
+	}
 	// DeleteResp reports the number of blocks freed.
 	DeleteResp struct {
 		Freed  int

@@ -1,6 +1,7 @@
 package lfs
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -425,6 +426,48 @@ func (n *Node) scrubTick(p sim.Proc) {
 	}
 }
 
+// appendRunVec serves a WriteVecReq whose blocks form one consecutive
+// append run through efs.AppendRun: the whole run is allocated in one
+// scatter round and every block is written once with its links already in
+// place, instead of the two device accesses per block the per-block loop
+// pays. ran is false when the vector is not such a run (not consecutive, or
+// not starting at the file's size) and the caller should fall back to the
+// per-block path. The run is all-or-nothing: on failure every block reports
+// the same error and the file is unchanged, which the Bridge Server's
+// contiguous-prefix accounting handles as a zero-length prefix.
+func (n *Node) appendRunVec(p sim.Proc, r WriteVecReq) (resp WriteVecResp, allOK, ran bool) {
+	if len(r.Blocks) < 2 {
+		return WriteVecResp{}, false, false
+	}
+	for i, w := range r.Blocks {
+		if w.BlockNum != r.Blocks[0].BlockNum+uint32(i) {
+			return WriteVecResp{}, false, false
+		}
+	}
+	datas := make([][]byte, len(r.Blocks))
+	for i, w := range r.Blocks {
+		datas[i] = w.Data
+	}
+	addrs, err := n.fs.AppendRun(p, r.FileID, r.Blocks[0].BlockNum, datas)
+	if errors.Is(err, efs.ErrNotAppend) {
+		// The run does not start at the file's append point (an overwrite
+		// batch, or a stale size): per-block dispatch decides block by block.
+		return WriteVecResp{}, false, false
+	}
+	resp = WriteVecResp{Blocks: make([]VecWritten, len(r.Blocks))}
+	if err != nil {
+		st := statusFor(err)
+		for i := range resp.Blocks {
+			resp.Blocks[i] = VecWritten{Addr: -1, Status: st}
+		}
+		return resp, false, true
+	}
+	for i, addr := range addrs {
+		resp.Blocks[i] = VecWritten{Addr: addr}
+	}
+	return resp, true, true
+}
+
 // dedupPut caches a successful write reply under the FIFO capacity bound.
 func (n *Node) dedupPut(key writeKey, resp any) {
 	if len(n.dedupQ) >= writeDedupCap {
@@ -441,7 +484,13 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 	case CreateReq:
 		return CreateResp{Status: statusFor(n.fs.Create(p, r.FileID))}
 	case DeleteReq:
-		freed, err := n.fs.Delete(p, r.FileID)
+		var freed int
+		var err error
+		if r.Fast {
+			freed, err = n.fs.DeleteFast(p, r.FileID)
+		} else {
+			freed, err = n.fs.Delete(p, r.FileID)
+		}
 		return DeleteResp{Freed: freed, Status: statusFor(err)}
 	case ReadReq:
 		data, addr, err := n.fs.ReadBlock(p, r.FileID, r.BlockNum, r.Hint)
@@ -486,16 +535,19 @@ func (n *Node) handle(p sim.Proc, req *msg.Message) any {
 				return resp
 			}
 		}
-		resp := WriteVecResp{Blocks: make([]VecWritten, len(r.Blocks))}
-		hint := r.Hint
-		allOK := true
-		for i, w := range r.Blocks {
-			addr, err := n.fs.WriteBlock(p, r.FileID, w.BlockNum, w.Data, hint)
-			resp.Blocks[i] = VecWritten{Addr: addr, Status: statusFor(err)}
-			if err == nil {
-				hint = addr
-			} else {
-				allOK = false
+		resp, allOK, ran := n.appendRunVec(p, r)
+		if !ran {
+			resp = WriteVecResp{Blocks: make([]VecWritten, len(r.Blocks))}
+			hint := r.Hint
+			allOK = true
+			for i, w := range r.Blocks {
+				addr, err := n.fs.WriteBlock(p, r.FileID, w.BlockNum, w.Data, hint)
+				resp.Blocks[i] = VecWritten{Addr: addr, Status: statusFor(err)}
+				if err == nil {
+					hint = addr
+				} else {
+					allOK = false
+				}
 			}
 		}
 		if r.OpID != 0 && allOK {
@@ -581,6 +633,17 @@ func (c *Client) Create(node msg.NodeID, fileID uint32) error {
 // Delete removes a file on the target node, returning blocks freed.
 func (c *Client) Delete(node msg.NodeID, fileID uint32) (int, error) {
 	m, err := c.C.Call(lfsAddr(node), DeleteReq{FileID: fileID}, WireSize(DeleteReq{}))
+	if err != nil {
+		return 0, err
+	}
+	r := m.Body.(DeleteResp)
+	return r.Freed, r.Status.Err()
+}
+
+// DeleteFast removes a file with the bitmap-only fast free (no per-block
+// flag-clear rewrite) — the mode the parallel delete tool uses.
+func (c *Client) DeleteFast(node msg.NodeID, fileID uint32) (int, error) {
+	m, err := c.C.Call(lfsAddr(node), DeleteReq{FileID: fileID, Fast: true}, WireSize(DeleteReq{}))
 	if err != nil {
 		return 0, err
 	}

@@ -35,6 +35,11 @@ type repairMetrics struct {
 	readRepairMirror     obs.Counter
 	readRepairParity     obs.Counter
 	readRepairBlocks     obs.Counter
+	rsParityWrites       obs.Counter
+	rsDegradedWrites     obs.Counter
+	rsReconstructions    obs.Counter
+	rsReadRepairs        obs.Counter
+	rsRebuilt            obs.Counter
 }
 
 // RegisterMetrics registers the replica layer's metric descriptions on r
@@ -53,6 +58,11 @@ func metricsOn(r *obs.Registry) repairMetrics {
 		readRepairMirror:     r.Counter("bridge.readrepair_mirror", "repairs", "Corrupt blocks rewritten in place from the healthy mirror copy."),
 		readRepairParity:     r.Counter("bridge.readrepair_parity", "repairs", "Corrupt blocks rewritten in place from parity reconstruction."),
 		readRepairBlocks:     r.Counter("bridge.readrepair_blocks", "blocks", "Total blocks repaired on read across all replica schemes."),
+		rsParityWrites:       r.Counter("bridge.rs_parity_writes", "cells", "Parity cell writes (fresh or read-modify-write) by Reed–Solomon appends."),
+		rsDegradedWrites:     r.Counter("bridge.rs_degraded_writes", "stripes", "Reed–Solomon stripes left stale by a degraded append."),
+		rsReconstructions:    r.Counter("bridge.rs_reconstructions", "blocks", "Data blocks decoded from k surviving cells of a Reed–Solomon stripe."),
+		rsReadRepairs:        r.Counter("bridge.rs_readrepairs", "repairs", "Corrupt blocks rewritten in place from Reed–Solomon reconstruction."),
+		rsRebuilt:            r.Counter("bridge.rs_rebuilt", "cells", "Data and parity cells rewritten by a Reed–Solomon rebuild."),
 	}
 }
 

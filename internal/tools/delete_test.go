@@ -1,0 +1,74 @@
+package tools
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bridge/internal/core"
+	"bridge/internal/sim"
+	"bridge/internal/workload"
+)
+
+func TestParallelDeleteFreesEverything(t *testing.T) {
+	withCluster(t, fastCfg(4), func(p sim.Proc, cl *core.Cluster, c *core.Client) {
+		want := workload.Records(1, 41, 64)
+		if err := workload.Fill(p, c, "f", want); err != nil {
+			t.Error(err)
+			return
+		}
+		st, err := Delete(p, c, "f")
+		if err != nil {
+			t.Errorf("Delete: %v", err)
+			return
+		}
+		if st.Freed != 41 {
+			t.Errorf("freed %d blocks, want 41", st.Freed)
+		}
+		if _, err := c.Stat("f"); !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("Stat after delete = %v; want ErrNotFound", err)
+		}
+		// The name and every block are reusable immediately.
+		if err := workload.Fill(p, c, "f", workload.Records(2, 12, 64)); err != nil {
+			t.Errorf("recreate: %v", err)
+		}
+		// Deleting a missing file reports not-found, not a worker error.
+		if _, err := Delete(p, c, "gone"); !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("Delete missing = %v; want ErrNotFound", err)
+		}
+	})
+}
+
+// With paper-speed disks the tool-mode delete must beat the server's
+// serial-per-node path by roughly the interleaving factor: each node walks
+// and frees only its own column, concurrently.
+func TestParallelDeleteSpeedsUp(t *testing.T) {
+	const blocks = 160
+	run := func(parallel bool) (d time.Duration) {
+		withCluster(t, wrenCfg(8), func(p sim.Proc, cl *core.Cluster, c *core.Client) {
+			if err := workload.Fill(p, c, "f", workload.Records(3, blocks, 64)); err != nil {
+				t.Error(err)
+				return
+			}
+			start := p.Now()
+			if parallel {
+				if _, err := Delete(p, c, "f"); err != nil {
+					t.Errorf("tool delete: %v", err)
+					return
+				}
+			} else {
+				if _, err := c.Delete("f"); err != nil {
+					t.Errorf("naive delete: %v", err)
+					return
+				}
+			}
+			d = p.Now() - start
+		})
+		return d
+	}
+	naive := run(false)
+	fast := run(true)
+	if fast*3 >= naive {
+		t.Fatalf("parallel delete %v vs naive %v: want at least 3x faster", fast, naive)
+	}
+}

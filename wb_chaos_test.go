@@ -1,0 +1,282 @@
+package bridge
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"bridge/internal/efs"
+)
+
+// TestWriteBehindCrashMidGroupCommit kill-9s every node while a
+// write-behind group commit is in flight. The contract: blocks covered
+// by the last Flush survive, unflushed acknowledgements may be lost, and
+// every remounted volume replays its journal to a clean, fsck-verified
+// state — a torn group commit never corrupts a chain.
+func TestWriteBehindCrashMidGroupCommit(t *testing.T) {
+	const nodes, flushed, buffered = 4, 16, 13
+	dir := t.TempDir()
+	cfg := Config{Nodes: nodes, DiskBlocks: 512, Journal: 64, DataDir: dir, WriteBehind: 2}
+
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	err = sys.Run(func(s *Session) error {
+		if err := s.Create("f"); err != nil {
+			return err
+		}
+		for i := 0; i < flushed; i++ {
+			if err := s.Append("f", robustPayload(i)); err != nil {
+				return err
+			}
+		}
+		// The durability point: drain the buffer and sync f's nodes.
+		if _, err := s.Flush("f"); err != nil {
+			return err
+		}
+		// Refill the buffer; at window 2 stripes (8 blocks) this leaves a
+		// vectored group commit in flight and more blocks still buffered.
+		for i := 0; i < buffered; i++ {
+			if err := s.Append("f", robustPayload(flushed+i)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			if err := s.CrashNode(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("write run: %v", err)
+	}
+
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New (remount): %v", err)
+	}
+	err = sys2.Run(func(s *Session) error {
+		chain := 0
+		for i := 0; i < nodes; i++ {
+			rep, err := s.Inspect().Recovery(i)
+			if err != nil {
+				t.Errorf("node %d: recovery report: %v", i, err)
+				continue
+			}
+			if !rep.Journaled || !rep.Clean() {
+				t.Errorf("node %d: remount recovery not clean: journaled %v, fsck err %q, problems %v",
+					i, rep.Journaled, rep.FsckErr, rep.Fsck.Problems)
+			}
+			ck, err := s.Fsck(i)
+			if err != nil {
+				t.Errorf("node %d: fsck: %v", i, err)
+				continue
+			}
+			if len(ck.Problems) != 0 {
+				t.Errorf("node %d: fsck problems after torn group commit: %v", i, ck.Problems)
+			}
+			chain += ck.ChainBlocks
+		}
+		if chain < flushed || chain > flushed+buffered {
+			t.Errorf("remounted volumes hold %d chain blocks, want %d..%d",
+				chain, flushed, flushed+buffered)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("remount run: %v", err)
+	}
+}
+
+// TestParallelDeleteCrashRecovery kill-9s every node right after a
+// parallel delete returns, before any sync barrier: some nodes' frees
+// reach the media and others' do not. Remounted volumes must replay
+// their journals cleanly, and FsckRepair must converge each bitmap with
+// its reachable chains, leaving every volume clean and fully usable.
+func TestParallelDeleteCrashRecovery(t *testing.T) {
+	const nodes, blocks = 4, 24
+	dir := t.TempDir()
+	cfg := Config{Nodes: nodes, DiskBlocks: 512, Journal: 64, DataDir: dir, ParallelDelete: true}
+
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var fileID uint32
+	err = sys.Run(func(s *Session) error {
+		if err := s.Create("f"); err != nil {
+			return err
+		}
+		for i := 0; i < blocks; i++ {
+			if err := s.Append("f", robustPayload(i)); err != nil {
+				return err
+			}
+		}
+		if err := s.Sync(); err != nil {
+			return err
+		}
+		meta, err := s.Stat("f")
+		if err != nil {
+			return err
+		}
+		fileID = meta.LFSFileID
+		freed, err := s.Delete("f")
+		if err != nil {
+			return err
+		}
+		if freed != blocks {
+			t.Errorf("parallel delete freed %d blocks, want %d", freed, blocks)
+		}
+		if _, err := s.Stat("f"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Stat after delete = %v; want ErrNotFound", err)
+		}
+		for i := 0; i < nodes; i++ {
+			if err := s.CrashNode(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("delete run: %v", err)
+	}
+
+	sys2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New (remount): %v", err)
+	}
+	err = sys2.Run(func(s *Session) error {
+		for i := 0; i < nodes; i++ {
+			rep, err := s.Inspect().Recovery(i)
+			if err != nil {
+				t.Errorf("node %d: recovery report: %v", i, err)
+				continue
+			}
+			if !rep.Journaled || !rep.Clean() {
+				t.Errorf("node %d: remount recovery not clean: journaled %v, fsck err %q, problems %v",
+					i, rep.Journaled, rep.FsckErr, rep.Fsck.Problems)
+			}
+		}
+		// Re-drive the torn delete: the per-node fast delete is idempotent
+		// (a node whose free reached the media reports not-found), so
+		// replaying it converges every volume to the deleted state.
+		if _, err := s.RunTool("edelete-replay", func(ctx *ToolCtx) (any, error) {
+			freed, err := ctx.LFS.DeleteFast(ctx.Node, fileID)
+			if errors.Is(err, efs.ErrNotFound) {
+				return 0, nil
+			}
+			return freed, err
+		}); err != nil {
+			return err
+		}
+		// Converge each bitmap with its reachable chains and verify clean.
+		for i := 0; i < nodes; i++ {
+			if _, _, err := s.FsckRepair(i); err != nil {
+				t.Errorf("node %d: fsck repair: %v", i, err)
+				continue
+			}
+			ck, err := s.Fsck(i)
+			if err != nil {
+				t.Errorf("node %d: fsck after repair: %v", i, err)
+				continue
+			}
+			if len(ck.Problems) != 0 {
+				t.Errorf("node %d: problems after repair: %v", i, ck.Problems)
+			}
+		}
+		// The volumes stay fully usable: a fresh file round-trips.
+		if err := s.Create("g"); err != nil {
+			return err
+		}
+		for i := 0; i < blocks; i++ {
+			if err := s.Append("g", robustPayload(100+i)); err != nil {
+				return err
+			}
+		}
+		got, err := s.ReadAll("g")
+		if err != nil {
+			return err
+		}
+		for i, b := range got {
+			if !bytes.Equal(b, robustPayload(100+i)) {
+				t.Errorf("block %d differs after recovery", i)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("remount run: %v", err)
+	}
+}
+
+// TestWriteCampaignTraceDeterministic runs the whole PR 8 write path —
+// write-behind appends, an explicit Flush, a parallel delete, and a
+// recreate — twice under the span recorder and requires byte-identical
+// Chrome traces: the relaxed write path keeps the simulation replayable.
+func TestWriteCampaignTraceDeterministic(t *testing.T) {
+	run := func() string {
+		t.Helper()
+		sys, err := New(Config{
+			Nodes:          4,
+			DiskBlocks:     256,
+			DiskLatency:    time.Millisecond,
+			WriteBehind:    2,
+			ParallelDelete: true,
+			Obs:            &ObsConfig{SampleEvery: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var insp Inspector
+		if err := sys.Run(func(s *Session) error {
+			if err := s.Create("f"); err != nil {
+				return err
+			}
+			for i := 0; i < 20; i++ {
+				if err := s.Append("f", robustPayload(i)); err != nil {
+					return err
+				}
+			}
+			if _, err := s.Flush("f"); err != nil {
+				return err
+			}
+			if _, err := s.Delete("f"); err != nil {
+				return err
+			}
+			if err := s.Create("f"); err != nil {
+				return err
+			}
+			for i := 0; i < 8; i++ {
+				if err := s.Append("f", robustPayload(50+i)); err != nil {
+					return err
+				}
+			}
+			if err := s.Sync(); err != nil {
+				return err
+			}
+			m := s.Metrics()
+			if m.Counter("bridge.wb_flushes") == 0 {
+				t.Error("no write-behind flushes recorded")
+			}
+			if m.Counter("bridge.pdel_files") != 1 {
+				t.Errorf("pdel_files = %d, want 1", m.Counter("bridge.pdel_files"))
+			}
+			insp = s.Inspect()
+			return nil
+		}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var tr bytes.Buffer
+		if err := insp.WriteChromeTrace(&tr); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		return tr.String()
+	}
+	if run() != run() {
+		t.Error("Chrome traces differ between identical write-campaign runs")
+	}
+}
