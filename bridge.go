@@ -47,6 +47,7 @@ import (
 	"bridge/internal/lfs"
 	"bridge/internal/msg"
 	"bridge/internal/obs"
+	"bridge/internal/raft"
 	"bridge/internal/replica"
 	"bridge/internal/sim"
 	"bridge/internal/tools"
@@ -130,6 +131,9 @@ type (
 	// OpSpan is one recorded operation span: virtual start/end, queue wait,
 	// node, and causal links.
 	OpSpan = obs.Span
+	// RaftStatus is one replica's consensus state (role, term, commit
+	// index), as reported by Inspector.Raft in replicated mode.
+	RaftStatus = raft.Status
 )
 
 // Health states, re-exported.
@@ -185,6 +189,11 @@ var (
 	ErrCorrupt = core.ErrCorrupt
 	// ErrObsDisabled reports an Inspector trace export without Config.Obs.
 	ErrObsDisabled = obs.ErrNoRecorder
+	// ErrNotLeader reports a request that reached a replica which is not
+	// the current consensus leader; the session's client follows the
+	// attached redirect automatically, so user code only sees this when
+	// no replica can lead (for example, a partitioned majority).
+	ErrNotLeader = core.ErrNotLeader
 )
 
 // NewFaultInjector creates a deterministic fault injector seeded for exact
@@ -202,6 +211,18 @@ type Config struct {
 	// the distributed-server variant the paper sketches for heavy server
 	// loads.
 	Servers int
+	// Replicas, when > 1 (3 is the useful minimum), replaces the single
+	// Bridge Server with that many replicated copies behind a Raft-style
+	// log: every directory mutation commits to a quorum before it is
+	// acknowledged, a killed leader is replaced by election, and clients
+	// follow NotLeader redirects transparently. Mutually exclusive with
+	// Servers > 1. With DataDir set, each replica's consensus state
+	// persists in <DataDir>/raft<i>.disk. Kill and revive replicas with
+	// Session.CrashServer/RestartServer or a FaultInjector server
+	// schedule; inspect elections with Inspect().Raft(). Replicated mode
+	// runs the paper's ordered placements only (no disordered files, no
+	// parallel-open jobs) and disables Health and ReadAhead.
+	Replicas int
 	// DiskBlocks is each node's capacity in 1 KB blocks. Default 8192.
 	DiskBlocks int
 	// Journal reserves that many blocks per node for a write-ahead intent
@@ -340,6 +361,12 @@ func (s *System) Run(fn func(*Session) error) error {
 		p := retry.WithSeed(s.cfg.Fault.Seed(), "bridge.retry")
 		retry = &p
 	}
+	// Replica election jitter joins the same single-seed determinism
+	// contract: with a fault injector, its seed drives the elections too.
+	var raftSeed int64
+	if s.cfg.Fault != nil {
+		raftSeed = s.cfg.Fault.Seed()
+	}
 	cl, err := core.StartCluster(rt, core.ClusterConfig{
 		P: s.cfg.Nodes,
 		Node: lfs.Config{
@@ -349,7 +376,10 @@ func (s *System) Run(fn func(*Session) error) error {
 			DiskDir:    s.cfg.DataDir,
 			EFS:        efs.Options{JournalBlocks: s.cfg.Journal},
 		},
-		Servers: s.cfg.Servers,
+		Servers:  s.cfg.Servers,
+		Replicas: s.cfg.Replicas,
+		RaftSeed: raftSeed,
+		RaftDir:  s.cfg.DataDir,
 		Server: core.Config{
 			LFSTimeout:  s.cfg.LFSTimeout,
 			LFSRetry:    retry,
@@ -388,7 +418,15 @@ func (s *System) Run(fn func(*Session) error) error {
 		for i, n := range cl.Nodes {
 			s.cfg.Fault.AttachDisk(n.Disk, fmt.Sprintf("disk%d", i))
 		}
+		for i, d := range cl.RaftDisks() {
+			if d != nil {
+				s.cfg.Fault.AttachDisk(d, fmt.Sprintf("raftdisk%d", i))
+			}
+		}
 		s.cfg.Fault.Drive(rt, cl)
+		if len(cl.Replicas) > 0 {
+			s.cfg.Fault.DriveServers(rt, cl)
+		}
 	}
 	var fnErr error
 	rt.Go("bridge-session", func(proc sim.Proc) {
@@ -502,6 +540,12 @@ func (s *Session) Delete(name string) (int, error) {
 		return st.Freed, err
 	}
 	return s.c.Delete(name)
+}
+
+// Rename atomically renames a file, returning its metadata under the new
+// name. The target must not exist.
+func (s *Session) Rename(name, newName string) (FileInfo, error) {
+	return s.c.Rename(name, newName)
 }
 
 // Open opens a file and returns its structure; like the paper's open, it is
@@ -668,6 +712,48 @@ func (s *Session) RestartNode(i int) error {
 // it should hold, returning how many were repaired. Run it after
 // RestartNode and before replica-level repair.
 func (s *Session) RepairNode(i int) (int, error) { return s.c.RepairNode(i) }
+
+// CrashServer kills replica server i (0-based) with kill-9 semantics: its
+// volatile state — write-behind buffers, requests in flight — vanishes,
+// and its consensus disk drops unsynced writes. The surviving majority
+// elects a new leader and the session's client follows the redirects;
+// with write-behind, acknowledged-but-unlanded appends surface
+// ErrDeferredWrite exactly once after the failover, the same contract a
+// flush failure has. Requires Config.Replicas.
+func (s *Session) CrashServer(i int) error {
+	if len(s.cl.Replicas) == 0 {
+		return errors.New("bridge: CrashServer requires Config.Replicas")
+	}
+	if i < 0 || i >= len(s.cl.Replicas) {
+		return fmt.Errorf("bridge: no replica %d", i)
+	}
+	s.cl.CrashServer(i, s.proc.Now())
+	return nil
+}
+
+// RestartServer boots a fresh process for a crashed replica: it reloads
+// its term, log, and snapshot from the surviving consensus state, rebuilds
+// the directory by replay, and rejoins the group as a follower.
+func (s *Session) RestartServer(i int) error {
+	if len(s.cl.Replicas) == 0 {
+		return errors.New("bridge: RestartServer requires Config.Replicas")
+	}
+	if i < 0 || i >= len(s.cl.Replicas) {
+		return fmt.Errorf("bridge: no replica %d", i)
+	}
+	s.cl.RestartServer(i)
+	return nil
+}
+
+// LeaderServer returns the index of the replica currently leading with an
+// authoritative directory, or -1 when none is (mid-election, or without
+// Config.Replicas).
+func (s *Session) LeaderServer() int {
+	if len(s.cl.Replicas) == 0 {
+		return -1
+	}
+	return s.cl.LeaderServer()
+}
 
 // Sync flushes every live storage node's volume — a journal commit plus a
 // disk barrier — making everything written so far durable: with
@@ -951,6 +1037,20 @@ func (i Inspector) Health() ([]NodeHealth, error) { return i.s.c.Health() }
 // or has no journal (Config.Journal unset).
 func (i Inspector) Recovery(idx int) (RecoveryReport, error) { return i.s.c.Recovery(idx) }
 
+// Raft returns every replica's consensus state — role, term, commit and
+// last log index, known leader — in replica-index order. Nil without
+// Config.Replicas. A crashed replica reports the state it died with.
+func (i Inspector) Raft() []RaftStatus {
+	if len(i.s.cl.Replicas) == 0 {
+		return nil
+	}
+	out := make([]RaftStatus, len(i.s.cl.Replicas))
+	for idx, r := range i.s.cl.Replicas {
+		out[idx] = r.RaftStatus()
+	}
+	return out
+}
+
 // Metrics snapshots every typed metric on the cluster's shared registry,
 // plus the per-op-kind latency histograms when Config.Obs is set. Metric
 // reads are atomic; the snapshot is safe to take while the system runs.
@@ -1005,8 +1105,9 @@ func (i Inspector) DroppedSpans() int { return i.s.rec.DroppedSpans() }
 // typed metric a booted system registers, with kind, unit, and help text.
 // It boots a small throwaway cluster so each layer's registrations run.
 func WriteMetricsDoc(w io.Writer) error {
-	// Journal on, so the journaling and recovery metrics register too.
-	sys, err := New(Config{Nodes: 2, DiskBlocks: 128, Journal: 16})
+	// Journal on, so the journaling and recovery metrics register too;
+	// replicated servers, so the consensus metrics register.
+	sys, err := New(Config{Nodes: 2, DiskBlocks: 128, Journal: 16, Replicas: 3})
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bridgeperf [-out BENCH_pr8.json] [-check BENCH_pr8.json] [-tolerance 0.10] [-trace out.json]
+//	bridgeperf [-out BENCH_pr9.json] [-check BENCH_pr9.json] [-tolerance 0.10] [-trace out.json]
 //
 // -trace additionally writes the observed batched-read run's Chrome
 // trace_event JSON (load in about://tracing or Perfetto).
@@ -25,7 +25,7 @@ import (
 	"bridge/internal/experiments"
 )
 
-// Report is the BENCH_pr8.json schema. All *SimMs fields are simulated
+// Report is the BENCH_pr9.json schema. All *SimMs fields are simulated
 // milliseconds (lower is better); RecPerSec is simulated throughput
 // (higher is better).
 type Report struct {
@@ -74,6 +74,12 @@ type Report struct {
 	MirrorAppendBlkSimMs float64 `json:"mirror_append_blk_sim_ms"`
 	RSAppendBlkSimMs     float64 `json:"rs_append_blk_sim_ms"`
 	RSStorageOverhead    float64 `json:"rs_storage_overhead"`
+
+	// Metadata HA: a replicated-mode leader-served Open, and the
+	// client-observed outage from a leader kill-9 to the first successful
+	// post-election Open (dead-leader timeout + election + takeover).
+	ReplicatedOpenSimMs float64 `json:"replicated_open_sim_ms"`
+	FailoverSimMs       float64 `json:"failover_sim_ms"`
 }
 
 func main() {
@@ -87,7 +93,7 @@ func simMs(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 func run() error {
 	var (
-		out       = flag.String("out", "BENCH_pr8.json", "where to write the metrics report")
+		out       = flag.String("out", "BENCH_pr9.json", "where to write the metrics report")
 		check     = flag.String("check", "", "baseline report to compare against (empty = no comparison)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression per metric")
 		traceOut  = flag.String("trace", "", "write the observed batched-read run's Chrome trace JSON here")
@@ -128,9 +134,14 @@ func run() error {
 		return fmt.Errorf("write campaign: %w", err)
 	}
 	wc := wcPts[0]
+	foPts, err := experiments.Failover(cfg)
+	if err != nil {
+		return fmt.Errorf("failover: %w", err)
+	}
+	fo := foPts[0]
 
 	rep := Report{
-		PR:                  8,
+		PR:                  9,
 		Scale:               "quick",
 		P:                   p,
 		NaiveReadBlkSimMs:   simMs(pt.ReadPerBlock),
@@ -158,6 +169,9 @@ func run() error {
 		MirrorAppendBlkSimMs: simMs(wc.MirrorAppendPerBlock),
 		RSAppendBlkSimMs:     simMs(wc.RSAppendPerBlock),
 		RSStorageOverhead:    wc.RSOverhead,
+
+		ReplicatedOpenSimMs: simMs(fo.SteadyOpen),
+		FailoverSimMs:       simMs(fo.FailoverTime),
 	}
 	if rep.BatchedReadBlkSimMs > 0 {
 		rep.BatchedReadSpeedup = rep.NaiveReadBlkSimMs / rep.BatchedReadBlkSimMs
@@ -171,7 +185,7 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\nbatched write%7.3f ms/blk\nwith journal%8.3f ms/blk (%+.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwb write    %8.3f ms/blk (%.1fx)\npar. delete %8.0f ms (%.1fx)\nRS(6,2) app %8.3f ms/blk (%.3fx storage; mirror %.3f ms/blk at 2x)\nwrote %s\n",
+	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\nbatched write%7.3f ms/blk\nwith journal%8.3f ms/blk (%+.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwb write    %8.3f ms/blk (%.1fx)\npar. delete %8.0f ms (%.1fx)\nRS(6,2) app %8.3f ms/blk (%.3fx storage; mirror %.3f ms/blk at 2x)\nrepl. open  %8.3f ms\nfailover    %8.0f ms outage\nwrote %s\n",
 		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup,
 		rep.BatchedReadScrubBlkSimMs, 100*rep.ScrubOverheadFrac,
 		rep.BatchedReadObsBlkSimMs, 100*rep.ObsOverheadFrac,
@@ -179,7 +193,8 @@ func run() error {
 		rep.CopyToolSimMs, rep.CopyRecPerSec,
 		rep.WBWriteBlkSimMs, rep.WBWriteSpeedup,
 		rep.PDeleteTotSimMs, rep.PDeleteSpeedup,
-		rep.RSAppendBlkSimMs, rep.RSStorageOverhead, rep.MirrorAppendBlkSimMs, *out)
+		rep.RSAppendBlkSimMs, rep.RSStorageOverhead, rep.MirrorAppendBlkSimMs,
+		rep.ReplicatedOpenSimMs, rep.FailoverSimMs, *out)
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -233,6 +248,15 @@ func run() error {
 	if rep.RSStorageOverhead < 1.30 || rep.RSStorageOverhead > 1.40 {
 		return fmt.Errorf("RS(6,2) storage overhead %.3fx out of the ~1.33x band", rep.RSStorageOverhead)
 	}
+	// Failover gate: the client-observed outage from a leader kill-9 to
+	// the first successful post-election Open must stay under 3 simulated
+	// seconds — one dead-leader detection timeout (1s) plus an election
+	// (≤0.3s) plus the takeover's bounded effect replay, with slack. A
+	// blown budget means failure detection, the election, or takeover
+	// replay got slower.
+	if rep.FailoverSimMs > 3000 {
+		return fmt.Errorf("failover outage %.0f ms exceeds the 3000 ms budget", rep.FailoverSimMs)
+	}
 	if *check == "" {
 		return nil
 	}
@@ -263,6 +287,8 @@ func run() error {
 		{"wb_write_blk_sim_ms", rep.WBWriteBlkSimMs, base.WBWriteBlkSimMs},
 		{"pdelete_total_sim_ms", rep.PDeleteTotSimMs, base.PDeleteTotSimMs},
 		{"rs_append_blk_sim_ms", rep.RSAppendBlkSimMs, base.RSAppendBlkSimMs},
+		{"replicated_open_sim_ms", rep.ReplicatedOpenSimMs, base.ReplicatedOpenSimMs},
+		{"failover_sim_ms", rep.FailoverSimMs, base.FailoverSimMs},
 	}
 	var failed bool
 	for _, m := range lower {

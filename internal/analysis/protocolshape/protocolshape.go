@@ -1,7 +1,7 @@
 // Package protocolshape checks the structural conventions of the wire
-// protocols in internal/lfs and internal/core.
+// protocols in internal/lfs, internal/core, and internal/raft.
 //
-// Both packages speak typed request/reply protocols: every XxxReq has an
+// These packages speak typed request/reply protocols: every XxxReq has an
 // XxxResp, serve loops dispatch on type switches that must stay exhaustive
 // as kinds are added, reply errors travel as strings and must be decoded
 // back into sentinels, and the write-dedup cache replays a reply only
@@ -38,7 +38,7 @@ import (
 // Analyzer is the protocolshape check.
 var Analyzer = &analysis.Analyzer{
 	Name: "protocolshape",
-	Doc: "flag wire-protocol shape violations in internal/lfs and internal/core\n\n" +
+	Doc: "flag wire-protocol shape violations in internal/lfs, internal/core, and internal/raft\n\n" +
 		"Req/Resp types must come in pairs, dispatch type switches must be " +
 		"exhaustive over their protocol's kinds, reply error strings must " +
 		"be decoded with decodeErr rather than rewrapped, and dedup replay " +
@@ -51,7 +51,8 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	path := pass.Pkg.Path()
-	if !strings.HasSuffix(path, "internal/lfs") && !strings.HasSuffix(path, "internal/core") {
+	if !strings.HasSuffix(path, "internal/lfs") && !strings.HasSuffix(path, "internal/core") &&
+		!strings.HasSuffix(path, "internal/raft") {
 		return nil
 	}
 	kinds := protocolKinds(pass)

@@ -10,5 +10,5 @@ import (
 
 func TestProtocolShape(t *testing.T) {
 	analysistest.Run(t, "../testdata", []*analysis.Analyzer{protocolshape.Analyzer},
-		"bridge/internal/lfs")
+		"bridge/internal/lfs", "bridge/internal/raft")
 }

@@ -1,0 +1,60 @@
+// Package raft is a fixture standing in for the real consensus wire
+// protocol: its import path ends in internal/raft, so the protocolshape
+// analyzer applies to its vote/append/snapshot message pairs too.
+package raft
+
+type (
+	VoteReq struct {
+		Term int
+		From int
+	}
+	VoteResp struct {
+		Term    int
+		Granted bool
+	}
+
+	AppendReq struct {
+		Term   int
+		Leader int
+	}
+	AppendResp struct {
+		Term int
+		OK   bool
+	}
+
+	SnapReq struct {
+		Term int
+		Data []byte
+	}
+	SnapResp struct{ Term int }
+
+	// An orphan request: no ProbeResp anywhere.
+	ProbeReq struct{ Term int } // want `request type ProbeReq has no matching ProbeResp`
+)
+
+// A consensus step dispatcher missing one request kind: the dropped
+// message class silently falls to the default arm.
+func step(body any) string {
+	switch body.(type) { // want `type switch covers 3 of 4 Req kinds; missing SnapReq`
+	case VoteReq:
+		return "vote"
+	case AppendReq:
+		return "append"
+	case ProbeReq:
+		return "probe"
+	}
+	return "ignore"
+}
+
+// The full reply dispatch verifies.
+func stepResp(body any) string {
+	switch body.(type) {
+	case VoteResp:
+		return "vote"
+	case AppendResp:
+		return "append"
+	case SnapResp:
+		return "snap"
+	}
+	return "ignore"
+}

@@ -30,6 +30,12 @@ type Client struct {
 	retry   *retrier // nil = no retransmission
 	nextOp  uint64
 	retries obs.Counter
+
+	// Replicated mode: servers are Raft replicas of one directory rather
+	// than hash partitions. All traffic routes to the leader guess, which
+	// NotLeader redirects and timeouts update.
+	replicated bool
+	leader     int
 }
 
 // NewClient creates a Bridge client for proc, homed on node, talking to the
@@ -52,10 +58,22 @@ func NewMultiClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name strin
 	}
 }
 
+// NewReplicatedClient creates a client over a Raft-replicated Bridge
+// Server group: the servers hold replicas of one directory, so every call
+// routes to the current leader, discovered by following NotLeader
+// redirects and rotating on timeout. The default timeout is short — it is
+// what detects a dead leader.
+func NewReplicatedClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, servers []msg.Addr) *Client {
+	c := NewMultiClient(proc, net, node, name, servers)
+	c.replicated = true
+	c.timeout = time.Second
+	return c
+}
+
 // serverFor routes a file name to its home server.
 func (c *Client) serverFor(name string) msg.Addr {
-	if len(c.servers) == 1 {
-		return c.servers[0]
+	if c.replicated || len(c.servers) == 1 {
+		return c.servers[c.leader]
 	}
 	h := uint32(2166136261)
 	for i := 0; i < len(name); i++ {
@@ -71,6 +89,8 @@ func nameOf(body any) (string, bool) {
 	case CreateReq:
 		return b.Name, true
 	case DeleteReq:
+		return b.Name, true
+	case RenameReq:
 		return b.Name, true
 	case OpenReq:
 		return b.Name, true
@@ -115,6 +135,16 @@ func (c *Client) opID() uint64 {
 	return c.nextOp
 }
 
+// targets lists the servers a cluster-wide operation must visit: every
+// hash partition, but only one replica of a replicated group — the
+// redirect loop finds the leader, which serves the whole namespace.
+func (c *Client) targets() []msg.Addr {
+	if c.replicated {
+		return c.servers[:1]
+	}
+	return c.servers
+}
+
 // Msg exposes the underlying message client, for tools that mix Bridge
 // calls with direct LFS traffic.
 func (c *Client) Msg() *msg.Client { return c.mc }
@@ -147,13 +177,19 @@ func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
 		c.mc.SetTrace(tr, sp.ID())
 		defer c.mc.SetTrace(0, 0)
 	}
-	m, err := c.callOnce(to, body)
-	if c.retry != nil {
-		for retry := 1; retry < c.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
-			c.mc.Proc().Sleep(c.retry.backoff(retry))
-			c.retries.Add(1)
-			sp.Annotate(fmt.Sprintf("retry %d", retry))
-			m, err = c.callOnce(to, body)
+	var m *msg.Message
+	var err error
+	if c.replicated {
+		m, err = c.callRedirect(body, sp)
+	} else {
+		m, err = c.callOnce(to, body)
+		if c.retry != nil {
+			for retry := 1; retry < c.retry.p.Attempts && errors.Is(err, msg.ErrTimeout); retry++ {
+				c.mc.Proc().Sleep(c.retry.backoff(retry))
+				c.retries.Add(1)
+				sp.Annotate(fmt.Sprintf("retry %d", retry))
+				m, err = c.callOnce(to, body)
+			}
 		}
 	}
 	if rec != nil {
@@ -168,6 +204,73 @@ func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
 	return m, err
 }
 
+// redirectBackoff paces the client's leader hunt so a replica set in the
+// middle of an election is not hammered with doomed requests.
+const redirectBackoff = 20 * time.Millisecond
+
+// callRedirect drives one call against the replica set: try the current
+// leader guess, follow the "(leader=N)" hint in NotLeader replies, rotate
+// to the next replica on timeout (the guessed leader may be dead), and
+// give up after a few sweeps of the whole set. Mutating requests carry
+// OpIDs, so a retry whose original was executed replays the recorded
+// reply instead of running twice.
+func (c *Client) callRedirect(body any, sp obs.SpanRef) (*msg.Message, error) {
+	attempts := 6 * len(c.servers)
+	var m *msg.Message
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.mc.Proc().Sleep(redirectBackoff)
+			c.retries.Add(1)
+			sp.Annotate(fmt.Sprintf("redirect %d to replica %d", attempt, c.leader))
+		}
+		m, err = c.callOnce(c.servers[c.leader], body)
+		if errors.Is(err, msg.ErrTimeout) {
+			c.leader = (c.leader + 1) % len(c.servers)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		es := respErrAny(m.Body)
+		if !strings.Contains(es, ErrNotLeader.Error()) {
+			return m, nil
+		}
+		if hint, ok := parseLeaderHint(es); ok && hint >= 0 && hint < len(c.servers) && hint != c.leader {
+			c.leader = hint
+		} else {
+			c.leader = (c.leader + 1) % len(c.servers)
+		}
+	}
+	// Out of attempts: surface whatever we last saw — a timeout or a
+	// NotLeader reply the caller decodes into ErrNotLeader.
+	return m, err
+}
+
+// parseLeaderHint extracts N from the "leader=N" fragment of a NotLeader
+// error string.
+func parseLeaderHint(s string) (int, bool) {
+	i := strings.Index(s, "leader=")
+	if i < 0 {
+		return 0, false
+	}
+	j := i + len("leader=")
+	neg := false
+	if j < len(s) && s[j] == '-' {
+		neg = true
+		j++
+	}
+	n, found := 0, false
+	for ; j < len(s) && s[j] >= '0' && s[j] <= '9'; j++ {
+		n = n*10 + int(s[j]-'0')
+		found = true
+	}
+	if neg {
+		n = -n
+	}
+	return n, found
+}
+
 func (c *Client) callOnce(to msg.Addr, body any) (*msg.Message, error) {
 	if c.timeout > 0 {
 		return c.mc.CallTimeout(to, body, WireSize(body), c.timeout)
@@ -178,8 +281,8 @@ func (c *Client) callOnce(to msg.Addr, body any) (*msg.Message, error) {
 // sentinels used to reconstruct typed errors from transported strings.
 var sentinels = []error{
 	ErrNotFound, ErrExists, ErrEOF, ErrBadBlock, ErrNoJob, ErrBadArg,
-	ErrNodeDown, ErrLFSFailed, ErrDeferredWrite, efs.ErrCorrupt,
-	distrib.ErrNeedSize,
+	ErrNodeDown, ErrLFSFailed, ErrDeferredWrite, ErrNotLeader,
+	efs.ErrCorrupt, distrib.ErrNeedSize,
 }
 
 // decodeErr rebuilds a sentinel-wrapped error from its transported string
@@ -285,7 +388,7 @@ func (c *Client) Flush(name string) (int, error) {
 func (c *Client) FlushAll() (int, error) {
 	total := 0
 	var firstErr error
-	for _, srv := range c.servers {
+	for _, srv := range c.targets() {
 		m, err := c.callAt(srv, FlushReq{OpID: c.opID()})
 		if err != nil {
 			if firstErr == nil {
@@ -300,6 +403,21 @@ func (c *Client) FlushAll() (int, error) {
 		}
 	}
 	return total, firstErr
+}
+
+// Rename atomically moves a file to a new name — a pure directory
+// mutation; no storage node is touched. With a hash-partitioned server
+// collection both names must land on the same partition.
+func (c *Client) Rename(name, newName string) (Meta, error) {
+	if !c.replicated && len(c.servers) > 1 && c.serverFor(name) != c.serverFor(newName) {
+		return Meta{}, fmt.Errorf("%w: rename across server partitions", ErrBadArg)
+	}
+	m, err := c.call(RenameReq{Name: name, NewName: newName, OpID: c.opID()})
+	if err != nil {
+		return Meta{}, err
+	}
+	r := m.Body.(RenameResp)
+	return r.Meta, decodeErr(r.Err)
 }
 
 // Release atomically unregisters a file from the Bridge directory and
@@ -422,7 +540,7 @@ func (c *Client) AppendN(name string, payloads [][]byte) (int, error) {
 // distributed server collection it aggregates all partitions.
 func (c *Client) List() ([]string, error) {
 	var all []string
-	for _, srv := range c.servers {
+	for _, srv := range c.targets() {
 		m, err := c.callAt(srv, ListReq{})
 		if err != nil {
 			return nil, err
@@ -445,7 +563,7 @@ func (c *Client) List() ([]string, error) {
 func (c *Client) Health() ([]NodeHealth, error) {
 	var out []NodeHealth
 	idx := make(map[msg.NodeID]int)
-	for _, srv := range c.servers {
+	for _, srv := range c.targets() {
 		m, err := c.callAt(srv, HealthReq{})
 		if err != nil {
 			return nil, err
@@ -475,7 +593,7 @@ func (c *Client) Health() ([]NodeHealth, error) {
 // resilvering.
 func (c *Client) RepairNode(i int) (int, error) {
 	total := 0
-	for _, srv := range c.servers {
+	for _, srv := range c.targets() {
 		m, err := c.callAt(srv, RepairNodeReq{Node: i, OpID: c.opID()})
 		if err != nil {
 			return total, err

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"bridge/internal/disk"
 	"bridge/internal/lfs"
 	"bridge/internal/msg"
+	"bridge/internal/raft"
 	"bridge/internal/sim"
 )
 
@@ -31,6 +33,21 @@ type ClusterConfig struct {
 	// Disks, if non-nil, supplies pre-loaded disks (for image
 	// persistence); len must equal P and each is mounted, not formatted.
 	Disks []*disk.Disk
+	// Replicas, when > 1, runs that many replicated Bridge Servers behind
+	// a Raft-style log instead of the single (or hash-partitioned)
+	// server. Mutually exclusive with Servers > 1. Each replica runs on
+	// its own processor node (P+1 .. P+Replicas) so partitions and
+	// crashes hit replicas independently.
+	Replicas int
+	// RaftSeed seeds the replicas' jittered election timeouts (derived
+	// per replica). Default 1.
+	RaftSeed int64
+	// RaftDir, when non-empty, backs each replica's consensus state with
+	// a durable file-backed disk (<RaftDir>/raft<i>.disk) so a killed
+	// replica recovers its log on restart. Empty keeps the log in memory
+	// (still survives Crash/Restart within one simulation, since the
+	// store object is reused).
+	RaftDir string
 }
 
 // Cluster is a running Bridge system.
@@ -40,8 +57,16 @@ type Cluster struct {
 	// them.
 	Server  *Server
 	Servers []*Server
-	Nodes   []*lfs.Node
-	rt      sim.Runtime
+	// Replicas lists the replicated servers when ClusterConfig.Replicas
+	// is set; Server/Servers stay nil in that mode.
+	Replicas []*ReplicaServer
+	Nodes    []*lfs.Node
+
+	rt        sim.Runtime
+	specs     []ReplicaSpec
+	raftDisks []*disk.Disk
+	repCfg    Config
+	nodeIDs   []msg.NodeID
 }
 
 // StartCluster boots the node and server processes on rt. The server runs
@@ -79,6 +104,15 @@ func StartCluster(rt sim.Runtime, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Servers == 0 {
 		cfg.Servers = 1
 	}
+	if cfg.Replicas > 1 {
+		if cfg.Servers > 1 {
+			return nil, fmt.Errorf("%w: Replicas and Servers > 1 are mutually exclusive", ErrBadArg)
+		}
+		if err := cl.startReplicas(rt, cfg, ids); err != nil {
+			return nil, err
+		}
+		return cl, nil
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		scfg := cfg.Server
 		scfg.Node = 0
@@ -93,14 +127,90 @@ func StartCluster(rt sim.Runtime, cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
-// ServerAddrs returns every Bridge Server's request address.
+// startReplicas boots the replicated-server variant: Replicas copies of
+// the Bridge Server, each on its own processor node past the storage
+// nodes, with consensus state optionally persisted through file-backed
+// disks.
+func (cl *Cluster) startReplicas(rt sim.Runtime, cfg ClusterConfig, ids []msg.NodeID) error {
+	if cfg.RaftSeed == 0 {
+		cfg.RaftSeed = 1
+	}
+	n := cfg.Replicas
+	peers := make([]msg.Addr, n)
+	for i := 0; i < n; i++ {
+		peers[i] = msg.Addr{Node: msg.NodeID(cfg.P + 1 + i), Port: cfg.Server.PortName}
+		if cfg.Server.PortName == "" {
+			peers[i].Port = PortName
+		}
+	}
+	cl.specs = make([]ReplicaSpec, n)
+	cl.raftDisks = make([]*disk.Disk, n)
+	for i := 0; i < n; i++ {
+		var store raft.Store
+		if cfg.RaftDir != "" {
+			dcfg := disk.Config{
+				BlockSize: 1024,
+				NumBlocks: 1024,
+				Timing:    disk.FixedTiming{Latency: 500 * time.Microsecond},
+				WriteBack: true,
+				SyncTime:  time.Millisecond,
+			}
+			st, err := disk.OpenFileStore(filepath.Join(cfg.RaftDir, fmt.Sprintf("raft%d.disk", i)), 1024, 1024)
+			if err != nil {
+				return fmt.Errorf("core: open raft disk %d: %w", i, err)
+			}
+			d, err := disk.NewWithStore(dcfg, st)
+			if err != nil {
+				return fmt.Errorf("core: raft disk %d: %w", i, err)
+			}
+			cl.raftDisks[i] = d
+			ds, err := raft.NewDiskStore(d)
+			if err != nil {
+				return fmt.Errorf("core: raft store %d: %w", i, err)
+			}
+			store = ds
+		} else {
+			store = &raft.MemStore{}
+		}
+		cl.specs[i] = ReplicaSpec{
+			ID:    i,
+			Peers: peers,
+			Seed:  DeriveSeed(cfg.RaftSeed, fmt.Sprintf("raft.replica.%d", i)),
+			Store: store,
+		}
+	}
+	cl.repCfg = cfg.Server
+	cl.nodeIDs = ids
+	for i := 0; i < n; i++ {
+		scfg := cfg.Server
+		scfg.Node = peers[i].Node
+		cl.Replicas = append(cl.Replicas, StartReplica(rt, cl.Net, scfg, ids, cl.specs[i]))
+	}
+	return nil
+}
+
+// ServerAddrs returns every Bridge Server's request address (the replica
+// addresses in replicated mode).
 func (cl *Cluster) ServerAddrs() []msg.Addr {
+	if len(cl.Replicas) > 0 {
+		addrs := make([]msg.Addr, len(cl.Replicas))
+		for i, r := range cl.Replicas {
+			addrs[i] = r.Addr()
+		}
+		return addrs
+	}
 	addrs := make([]msg.Addr, len(cl.Servers))
 	for i, s := range cl.Servers {
 		addrs[i] = s.Addr()
 	}
 	return addrs
 }
+
+// RaftDisks returns each replica's consensus disk, nil entries where the
+// log is memory-backed (no RaftDir) — and an empty slice outside
+// replicated mode. The facade attaches the fault injector's crash model
+// to them so kill-9 semantics govern the consensus state too.
+func (cl *Cluster) RaftDisks() []*disk.Disk { return cl.raftDisks }
 
 // NodeIDs returns the storage node ids in interleaving order.
 func (cl *Cluster) NodeIDs() []msg.NodeID {
@@ -117,6 +227,9 @@ func (cl *Cluster) Runtime() sim.Runtime { return cl.rt }
 // NewClient creates a Bridge client for proc homed on the given node,
 // wired to every server in the cluster.
 func (cl *Cluster) NewClient(proc sim.Proc, node msg.NodeID, name string) *Client {
+	if len(cl.Replicas) > 0 {
+		return NewReplicatedClient(proc, cl.Net, node, name, cl.ServerAddrs())
+	}
 	return NewMultiClient(proc, cl.Net, node, name, cl.ServerAddrs())
 }
 
@@ -148,9 +261,48 @@ func (cl *Cluster) Stop() {
 	for _, s := range cl.Servers {
 		s.Stop()
 	}
+	for _, r := range cl.Replicas {
+		r.Stop()
+	}
 	for _, n := range cl.Nodes {
 		n.Stop()
 	}
+}
+
+// CrashServer kills replica i with kill-9 semantics at virtual time now:
+// its port closes, volatile state (write-behind buffers, parked requests)
+// is gone, and the consensus disk drops unsynced writes. The signature
+// matches fault.ServerController.
+func (cl *Cluster) CrashServer(i int, now time.Duration) {
+	cl.Replicas[i].Crash()
+	if d := cl.raftDisks[i]; d != nil {
+		d.Crash(now)
+	}
+}
+
+// RestartServer boots a fresh process for crashed replica i: the
+// consensus disk comes back with its surviving blocks and the replica
+// reloads its term, log, and snapshot from it, rebuilding the directory
+// by replay.
+func (cl *Cluster) RestartServer(i int) {
+	if d := cl.raftDisks[i]; d != nil {
+		d.Restore()
+	}
+	scfg := cl.repCfg
+	scfg.Node = cl.specs[i].Peers[i].Node
+	cl.Replicas[i] = StartReplica(cl.rt, cl.Net, scfg, cl.nodeIDs, cl.specs[i])
+}
+
+// LeaderServer returns the index of the replica that currently leads with
+// an authoritative directory (ready to serve), or -1 when there is none.
+// The signature matches fault.ServerController.
+func (cl *Cluster) LeaderServer() int {
+	for i, r := range cl.Replicas {
+		if r.IsLeader() {
+			return i
+		}
+	}
+	return -1
 }
 
 // FailNode simulates the crash of storage node index i (0-based).

@@ -57,6 +57,11 @@ var (
 	// the server has rolled the file's size back to the contiguous prefix
 	// that did land.
 	ErrDeferredWrite = errors.New("bridge: deferred write-behind write failed")
+	// ErrNotLeader reports that a replicated Bridge Server refused an
+	// operation because it is not the Raft leader. The reply's error string
+	// carries a "(leader=N)" hint when the replica knows who is; the client
+	// redirect loop parses it and retries against that replica.
+	ErrNotLeader = errors.New("bridge: not leader")
 )
 
 // ErrCorrupt is efs.ErrCorrupt re-exported: a block failed checksum
@@ -243,6 +248,21 @@ type (
 	DeleteResp struct {
 		Freed int
 		Err   string
+	}
+
+	// RenameReq atomically moves a file to a new name within the flat
+	// namespace. It is a pure directory mutation — the constituent LFS
+	// files are keyed by file id, not name, so no storage node is
+	// touched. The OpID makes a retried rename safe.
+	RenameReq struct {
+		Name    string
+		NewName string
+		OpID    uint64
+	}
+	// RenameResp returns the moved file's metadata under its new name.
+	RenameResp struct {
+		Meta Meta
+		Err  string
 	}
 
 	// OpenReq opens a file. Open is a hint: the server refreshes its
@@ -566,6 +586,10 @@ func WireSize(body any) int {
 		return 64
 	case OpenReq:
 		return 8 + len(b.Name)
+	case RenameReq:
+		return 24 + len(b.Name) + len(b.NewName)
+	case RenameResp:
+		return 64
 	case FlushReq:
 		return 16 + len(b.Name)
 	case ReleaseReq:

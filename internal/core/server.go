@@ -177,6 +177,18 @@ func (s *Server) Restore(snap DirSnapshot) {
 // StartServer creates the Bridge Server process. nodes lists the storage
 // nodes in interleaving order.
 func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeID) *Server {
+	s := newServer(net, cfg, nodes)
+	if s.health != nil {
+		s.startMonitor(rt)
+	}
+	rt.Go(s.port.Addr().String(), func(p sim.Proc) { s.run(p) })
+	return s
+}
+
+// newServer builds a Server without spawning its request loop or health
+// monitor. The replicated server embeds one as its directory state machine
+// and LFS effect engine, driving a different loop on the same port.
+func newServer(net *msg.Network, cfg Config, nodes []msg.NodeID) *Server {
 	cfg.applyDefaults()
 	s := &Server{
 		net:     net,
@@ -197,7 +209,6 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 	}
 	if cfg.Health != nil {
 		s.health = newHealthTracker(*cfg.Health)
-		s.startMonitor(rt)
 	}
 	if cfg.ReadAhead > 0 {
 		s.ra = newRACache(cfg.ReadAhead)
@@ -205,7 +216,6 @@ func StartServer(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.NodeI
 	if cfg.WriteBehind > 0 {
 		s.wb = newWBCache(cfg.WriteBehind)
 	}
-	rt.Go(s.port.Addr().String(), func(p sim.Proc) { s.run(p) })
 	return s
 }
 
@@ -275,6 +285,8 @@ func opIDOf(body any) (uint64, bool) {
 		return b.OpID, true
 	case DeleteReq:
 		return b.OpID, true
+	case RenameReq:
+		return b.OpID, true
 	case SeqReadReq:
 		return b.OpID, true
 	case SeqReadNReq:
@@ -304,6 +316,8 @@ func respErr(body any) string {
 	case CreateResp:
 		return b.Err
 	case DeleteResp:
+		return b.Err
+	case RenameResp:
 		return b.Err
 	case SeqReadResp:
 		return b.Err
@@ -365,6 +379,9 @@ func (s *Server) handle(p sim.Proc, req *msg.Message) any {
 	case DeleteReq:
 		freed, err := s.delete(p, r.Name)
 		return DeleteResp{Freed: freed, Err: errString(err)}
+	case RenameReq:
+		meta, err := s.rename(p, r.Name, r.NewName)
+		return RenameResp{Meta: meta, Err: errString(err)}
 	case OpenReq:
 		meta, err := s.open(p, req.From, r.Name)
 		return OpenResp{Meta: meta, Err: errString(err)}
@@ -460,15 +477,36 @@ func errString(err error) string {
 }
 
 // create allocates a file id, builds the placement, and creates the
-// constituent LFS file on every node — starting all the LFS operations
-// before waiting for them, with sequential initiation (the paper's measured
-// behavior), or through the embedded binary tree when r.Tree is set.
+// constituent LFS file on every node.
 func (s *Server) create(p sim.Proc, r CreateReq) (Meta, error) {
+	meta, next, err := s.planCreate(r)
+	// Ids burn on placement failures past the allocation point, matching
+	// the historical behavior; planCreate reports how far it got.
+	s.nextID = next
+	if err != nil {
+		return Meta{}, err
+	}
+	if err := s.lfsCreate(p, meta.Nodes, meta.LFSFileID, r.Tree, false); err != nil {
+		return Meta{}, err
+	}
+	s.dir[r.Name] = &dirent{meta: meta, hints: make(map[msg.NodeID]int32)}
+	return meta, nil
+}
+
+// planCreate validates a create request against the current directory and
+// resolves its placement without touching any state: it returns the
+// metadata the file would get and the id counter value the caller must
+// adopt (advanced past the allocation point even on late errors, so the
+// single server's id-burning behavior is preserved). The replicated
+// server runs the same plan, ships the result through the log, and every
+// replica applies the identical insert.
+func (s *Server) planCreate(r CreateReq) (Meta, uint32, error) {
+	next := s.nextID
 	if r.Name == "" {
-		return Meta{}, fmt.Errorf("%w: empty name", ErrBadArg)
+		return Meta{}, next, fmt.Errorf("%w: empty name", ErrBadArg)
 	}
 	if _, dup := s.dir[r.Name]; dup {
-		return Meta{}, fmt.Errorf("%w: %s", ErrExists, r.Name)
+		return Meta{}, next, fmt.Errorf("%w: %s", ErrExists, r.Name)
 	}
 	spec := r.Spec
 	if spec.Kind == 0 {
@@ -478,53 +516,29 @@ func (s *Server) create(p sim.Proc, r CreateReq) (Meta, error) {
 		spec.P = len(s.nodes)
 	}
 	if spec.P > len(s.nodes) {
-		return Meta{}, fmt.Errorf("%w: P %d exceeds cluster size %d", ErrBadArg, spec.P, len(s.nodes))
+		return Meta{}, next, fmt.Errorf("%w: P %d exceeds cluster size %d", ErrBadArg, spec.P, len(s.nodes))
 	}
 	if spec.Kind == distrib.Chunked && spec.TotalBlocks == 0 {
-		return Meta{}, distrib.ErrNeedSize
+		return Meta{}, next, distrib.ErrNeedSize
 	}
 	if spec.Kind != distrib.Disordered {
 		if _, err := distrib.New(spec); err != nil {
-			return Meta{}, err
+			return Meta{}, next, err
 		}
 	}
-	s.nextID++
-	fileID := s.cfg.IDBase + s.nextID*s.cfg.IDStride
+	next++
+	fileID := s.cfg.IDBase + next*s.cfg.IDStride
 	nodes := append([]msg.NodeID(nil), s.nodes[:spec.P]...)
 	if len(r.Subset) > 0 {
 		if len(r.Subset) != spec.P {
-			return Meta{}, fmt.Errorf("%w: subset of %d nodes for P=%d", ErrBadArg, len(r.Subset), spec.P)
+			return Meta{}, next, fmt.Errorf("%w: subset of %d nodes for P=%d", ErrBadArg, len(r.Subset), spec.P)
 		}
 		nodes = nodes[:0]
 		for _, idx := range r.Subset {
 			if idx < 0 || idx >= len(s.nodes) {
-				return Meta{}, fmt.Errorf("%w: subset index %d out of range", ErrBadArg, idx)
+				return Meta{}, next, fmt.Errorf("%w: subset index %d out of range", ErrBadArg, idx)
 			}
 			nodes = append(nodes, s.nodes[idx])
-		}
-	}
-	op := lfs.CreateReq{FileID: fileID}
-	if r.Tree {
-		if err := lfs.TreeBroadcast(s.lc, nodes, op, lfs.WireSize(op)); err != nil {
-			return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
-		}
-	} else {
-		ids := make([]uint64, 0, len(nodes))
-		for _, n := range nodes {
-			id, err := s.lc.Start(msg.Addr{Node: n, Port: lfs.PortName}, op, lfs.WireSize(op))
-			if err != nil {
-				return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
-			}
-			ids = append(ids, id)
-		}
-		ms, err := s.lc.GatherTimeout(ids, s.cfg.LFSTimeout)
-		if err != nil {
-			return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
-		}
-		for _, m := range ms {
-			if err := m.Body.(lfs.CreateResp).Status.Err(); err != nil {
-				return Meta{}, fmt.Errorf("%w: %v", ErrLFSFailed, err)
-			}
 		}
 	}
 	meta := Meta{
@@ -537,8 +551,43 @@ func (s *Server) create(p sim.Proc, r CreateReq) (Meta, error) {
 	if spec.Kind == distrib.Disordered {
 		meta.Chain = &ChainInfo{LocalCounts: make([]int64, spec.P)}
 	}
-	s.dir[r.Name] = &dirent{meta: meta, hints: make(map[msg.NodeID]int32)}
-	return meta, nil
+	return meta, next, nil
+}
+
+// lfsCreate creates the constituent LFS file on every placement node —
+// starting all the LFS operations before waiting for them, with
+// sequential initiation (the paper's measured behavior), or through the
+// embedded binary tree when tree is set. tolerateExists makes it
+// idempotent for replay after a leader failover.
+func (s *Server) lfsCreate(p sim.Proc, nodes []msg.NodeID, fileID uint32, tree, tolerateExists bool) error {
+	op := lfs.CreateReq{FileID: fileID}
+	if tree {
+		if err := lfs.TreeBroadcast(s.lc, nodes, op, lfs.WireSize(op)); err != nil {
+			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		return nil
+	}
+	ids := make([]uint64, 0, len(nodes))
+	for _, n := range nodes {
+		id, err := s.lc.Start(msg.Addr{Node: n, Port: lfs.PortName}, op, lfs.WireSize(op))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+		ids = append(ids, id)
+	}
+	ms, err := s.lc.GatherTimeout(ids, s.cfg.LFSTimeout)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+	}
+	for _, m := range ms {
+		if err := m.Body.(lfs.CreateResp).Status.Err(); err != nil {
+			if tolerateExists && errors.Is(err, efs.ErrExists) {
+				continue
+			}
+			return fmt.Errorf("%w: %v", ErrLFSFailed, err)
+		}
+	}
+	return nil
 }
 
 // delete removes the constituent LFS files in parallel; each LFS traverses
@@ -585,6 +634,43 @@ func (s *Server) delete(p sim.Proc, name string) (int, error) {
 		return freed, fmt.Errorf("%w: %v", ErrLFSFailed, firstErr)
 	}
 	return freed, nil
+}
+
+// rename moves a file to a new name. The constituent LFS files are keyed
+// by file id, not name, so this is a pure directory mutation: no storage
+// node is touched. Dirty write-behind state is drained first so a deferred
+// failure surfaces against the name the writes were acknowledged under.
+func (s *Server) rename(p sim.Proc, name, newName string) (Meta, error) {
+	if name == "" || newName == "" {
+		return Meta{}, fmt.Errorf("%w: empty name", ErrBadArg)
+	}
+	ent, ok := s.dir[name]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if newName == name {
+		return ent.meta, nil
+	}
+	if _, exists := s.dir[newName]; exists {
+		return Meta{}, fmt.Errorf("%w: %s", ErrExists, newName)
+	}
+	if _, err := s.wbBarrier(p, ent); err != nil {
+		return Meta{}, err
+	}
+	s.raInvalidate(name)
+	delete(s.dir, name)
+	ent.meta.Name = newName
+	s.dir[newName] = ent
+	// Re-key open cursors so sequential readers keep their position.
+	for k, c := range s.cursors {
+		if k.name == name {
+			delete(s.cursors, k)
+			nk := k
+			nk.name = newName
+			s.cursors[nk] = c
+		}
+	}
+	return ent.meta, nil
 }
 
 // flush drains the write-behind state of one file (or of every file when

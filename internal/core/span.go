@@ -11,6 +11,8 @@ func opName(body any) string {
 		return "create"
 	case DeleteReq:
 		return "delete"
+	case RenameReq:
+		return "rename"
 	case OpenReq:
 		return "open"
 	case StatReq:

@@ -115,19 +115,20 @@ type Injector struct {
 	// on whichever simulated process consults the injector, and a shared
 	// unlocked rand.Rand would corrupt its own state — and with it the
 	// determinism contract. Never use global math/rand here.
-	mu         sync.Mutex
-	tracer     *trace.Tracer
-	rng        *rand.Rand
-	msgRules   []msgRule
-	partitions []partition
-	diskRules  []diskRule
-	badBlocks  map[diskBlock]bool
-	rotPending map[diskBlock]bool // one-shot bitrot applied at the next read
-	rotRules   []bitrotRule
-	misdirects map[misdirect]int // fromBn -> toBn, one-shot
-	schedule   []NodeEvent
-	crashModel CrashModel
-	blockSizes map[string]int // disk label -> block size, for torn draws
+	mu          sync.Mutex
+	tracer      *trace.Tracer
+	rng         *rand.Rand
+	msgRules    []msgRule
+	partitions  []partition
+	diskRules   []diskRule
+	badBlocks   map[diskBlock]bool
+	rotPending  map[diskBlock]bool // one-shot bitrot applied at the next read
+	rotRules    []bitrotRule
+	misdirects  map[misdirect]int // fromBn -> toBn, one-shot
+	schedule    []NodeEvent
+	srvSchedule []ServerEvent
+	crashModel  CrashModel
+	blockSizes  map[string]int // disk label -> block size, for torn draws
 }
 
 // injMetrics are the injector's typed metric handles: faults injected by
@@ -147,6 +148,8 @@ type injMetrics struct {
 	nodeCrashes     obs.Counter
 	nodeKills       obs.Counter
 	nodeRestarts    obs.Counter
+	serverKills     obs.Counter
+	serverRestarts  obs.Counter
 }
 
 func newInjMetrics(r *obs.Registry) injMetrics {
@@ -165,6 +168,8 @@ func newInjMetrics(r *obs.Registry) injMetrics {
 		nodeCrashes:     r.Counter("fault.node_crashes", "events", "Scheduled whole-node crashes executed."),
 		nodeKills:       r.Counter("fault.node_kills", "events", "Scheduled kill-9 power failures executed."),
 		nodeRestarts:    r.Counter("fault.node_restarts", "events", "Scheduled node restarts executed."),
+		serverKills:     r.Counter("fault.server_kills", "events", "Scheduled replica-server kill-9 power failures executed."),
+		serverRestarts:  r.Counter("fault.server_restarts", "events", "Scheduled replica-server restarts executed."),
 	}
 }
 

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"sort"
+	"time"
+
+	"bridge/internal/sim"
+)
+
+// ServerEvent is one scheduled action on a replicated Bridge Server
+// (0-based replica index). Server -1 resolves at fire time: a Crash/Kill
+// targets whichever replica currently leads — the canonical "kill the
+// leader mid-workload" chaos move, written without knowing election
+// outcomes in advance — and a Restart revives the most recently killed
+// replica, so a schedule of alternating -1 kills and -1 restarts cycles
+// leaders without naming them.
+type ServerEvent struct {
+	At     time.Duration
+	Server int
+	Kind   EventKind
+}
+
+// ServerController is what the server schedule driver needs from the
+// cluster; *core.Cluster implements it. CrashServer has kill-9 semantics:
+// the replica's volatile state (write-behind buffers, parked requests)
+// vanishes and its consensus disk drops unsynced writes; RestartServer
+// boots a fresh process that reloads term, log, and snapshot from the
+// surviving consensus state.
+type ServerController interface {
+	CrashServer(i int, now time.Duration)
+	RestartServer(i int)
+	LeaderServer() int
+}
+
+// ServerSchedule adds events to the replica crash/restart schedule
+// executed by DriveServers.
+func (in *Injector) ServerSchedule(events ...ServerEvent) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.srvSchedule = append(in.srvSchedule, events...)
+}
+
+// leaderPoll is how often a Server: -1 event re-checks for a ready
+// leader, and leaderWait bounds the total wait so a cluster that never
+// elects one cannot wedge the driver.
+const (
+	leaderPoll = 10 * time.Millisecond
+	leaderWait = 10 * time.Second
+)
+
+// DriveServers spawns a process that executes the server schedule at its
+// virtual times, then exits. Call after the cluster is up and before
+// Wait. Crash and Kill both power-fail the replica (a server process has
+// no graceful fail-stop distinct from kill-9; its durable state is the
+// consensus disk, which applies the injector's crash model).
+func (in *Injector) DriveServers(rt sim.Runtime, ctl ServerController) {
+	in.mu.Lock()
+	events := append([]ServerEvent(nil), in.srvSchedule...)
+	in.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	rt.Go("server-fault-driver", func(p sim.Proc) {
+		var killed []int // stack of -1-killed replicas awaiting revival
+		for _, ev := range events {
+			if d := ev.At - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			target := ev.Server
+			switch ev.Kind {
+			case Crash, Kill:
+				if target < 0 {
+					target = in.awaitLeader(p, ctl)
+					if target < 0 {
+						in.emitLocked(p.Now(), "fault.server_skip", "no leader to %s", ev.Kind)
+						continue
+					}
+					killed = append(killed, target)
+				}
+				in.m.serverKills.Add(1)
+				in.emitLocked(p.Now(), "fault.server_kill", "server %d", target)
+				ctl.CrashServer(target, p.Now())
+			case Restart:
+				if target < 0 {
+					if len(killed) == 0 {
+						in.emitLocked(p.Now(), "fault.server_skip", "no killed server to restart")
+						continue
+					}
+					target = killed[len(killed)-1]
+					killed = killed[:len(killed)-1]
+				}
+				in.m.serverRestarts.Add(1)
+				in.emitLocked(p.Now(), "fault.server_restart", "server %d", target)
+				ctl.RestartServer(target)
+			}
+		}
+	})
+}
+
+// awaitLeader polls until some replica is ready to serve, bounded by
+// leaderWait.
+func (in *Injector) awaitLeader(p sim.Proc, ctl ServerController) int {
+	deadline := p.Now() + leaderWait
+	for {
+		if i := ctl.LeaderServer(); i >= 0 {
+			return i
+		}
+		if p.Now() >= deadline {
+			return -1
+		}
+		p.Sleep(leaderPoll)
+	}
+}

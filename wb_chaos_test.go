@@ -3,6 +3,7 @@ package bridge
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -278,5 +279,105 @@ func TestWriteCampaignTraceDeterministic(t *testing.T) {
 	}
 	if run() != run() {
 		t.Error("Chrome traces differ between identical write-campaign runs")
+	}
+}
+
+// TestWriteBehindLeaderFailoverDeferred kill-9s the replicated leader
+// while it holds acknowledged-but-unlanded write-behind blocks. The
+// failover contract extends the flush-failure contract: the new leader
+// rolls the file back to its durable prefix, the first operation to touch
+// it surfaces ErrDeferredWrite exactly once, and everything before the
+// explicit Flush durability point survives byte-for-byte.
+func TestWriteBehindLeaderFailoverDeferred(t *testing.T) {
+	const nodes, flushed, buffered = 4, 16, 13
+	cfg := Config{
+		Nodes: nodes, DiskBlocks: 512, Journal: 64, DataDir: t.TempDir(),
+		WriteBehind: 2, Replicas: 3,
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	err = sys.Run(func(s *Session) error {
+		if err := s.Create("f"); err != nil {
+			return err
+		}
+		for i := 0; i < flushed; i++ {
+			if err := s.Append("f", robustPayload(i)); err != nil {
+				return err
+			}
+		}
+		// The durability point: every acknowledged block is on the media.
+		if _, err := s.Flush("f"); err != nil {
+			return err
+		}
+		// Refill the buffer: at window 2 stripes (8 blocks) one group
+		// commit goes in flight and the remainder sits buffered on the
+		// leader — volatile state the kill destroys.
+		for i := 0; i < buffered; i++ {
+			if err := s.Append("f", robustPayload(flushed+i)); err != nil {
+				return err
+			}
+		}
+		lead := s.LeaderServer()
+		if lead < 0 {
+			return errors.New("no leader while appending")
+		}
+		if err := s.CrashServer(lead); err != nil {
+			return err
+		}
+		// The new leader reconciles the orphaned write-behind state during
+		// takeover; the first operation touching f pays the deferred error.
+		_, err := s.Stat("f")
+		if !errors.Is(err, ErrDeferredWrite) {
+			return fmt.Errorf("first op after failover = %v, want ErrDeferredWrite", err)
+		}
+		// Exactly once: the error is consumed, and the rolled-back size is
+		// the durable prefix — nothing before the Flush may be lost.
+		info, err := s.Stat("f")
+		if err != nil {
+			return fmt.Errorf("second stat after failover: %w", err)
+		}
+		if info.Blocks < flushed || info.Blocks > flushed+buffered {
+			return fmt.Errorf("rolled-back size %d, want %d..%d", info.Blocks, flushed, flushed+buffered)
+		}
+		for i := 0; i < flushed; i++ {
+			b, err := s.ReadAt("f", int64(i))
+			if err != nil {
+				return fmt.Errorf("read %d after rollback: %w", i, err)
+			}
+			if !bytes.Equal(b, robustPayload(i)) {
+				return fmt.Errorf("block %d corrupted by rollback", i)
+			}
+		}
+		// The file stays fully usable: appends land at the rolled-back
+		// size and read back.
+		at := info.Blocks
+		if err := s.Append("f", robustPayload(999)); err != nil {
+			return fmt.Errorf("append after rollback: %w", err)
+		}
+		if _, err := s.Flush("f"); err != nil {
+			return fmt.Errorf("flush after rollback: %w", err)
+		}
+		b, err := s.ReadAt("f", at)
+		if err != nil || !bytes.Equal(b, robustPayload(999)) {
+			return fmt.Errorf("append after rollback did not land: %v", err)
+		}
+		// The revived replica rejoins as a follower and catches up.
+		if err := s.RestartServer(lead); err != nil {
+			return err
+		}
+		if err := s.Append("f", robustPayload(1000)); err != nil {
+			return err
+		}
+		s.Proc().Sleep(time.Second)
+		st := s.Inspect().Raft()
+		if st[lead].Commit != st[s.LeaderServer()].Commit {
+			return fmt.Errorf("revived replica behind: %+v", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }
