@@ -194,6 +194,16 @@ var (
 	// attached redirect automatically, so user code only sees this when
 	// no replica can lead (for example, a partitioned majority).
 	ErrNotLeader = core.ErrNotLeader
+	// ErrCrossShard reports a rename whose old and new names hash to
+	// different directory shard groups (Config.Servers > 1); a rename is
+	// atomic within one shard's directory and Bridge has no cross-group
+	// transaction. Use Session.ShardOf to pick a new name on the file's
+	// shard, or copy + delete.
+	ErrCrossShard = core.ErrCrossShard
+	// ErrBadArg reports an invalid argument or configuration: bad
+	// topology combinations, disordered files or parallel-open jobs in
+	// replicated mode, and similar.
+	ErrBadArg = core.ErrBadArg
 )
 
 // NewFaultInjector creates a deterministic fault injector seeded for exact
@@ -206,22 +216,38 @@ type Config struct {
 	// Nodes is the number of storage nodes (processor + disk + LFS).
 	// Default 4.
 	Nodes int
-	// Servers is the number of Bridge Server processes (default 1). With
-	// more than one, the namespace partitions among them by name hash —
-	// the distributed-server variant the paper sketches for heavy server
-	// loads.
+	// Servers is the number of directory shard groups (default 1). The
+	// file namespace partitions among the groups by a stable hash of the
+	// name — the distributed-server variant the paper sketches for heavy
+	// server loads. Servers and Replicas compose into one unified
+	// topology: the cluster runs Servers shard groups of Replicas members
+	// each (Servers × Replicas server processes when Replicas > 1, or
+	// Servers unreplicated processes otherwise). Renames whose old and
+	// new names hash to different groups fail with ErrCrossShard.
 	Servers int
-	// Replicas, when > 1 (3 is the useful minimum), replaces the single
-	// Bridge Server with that many replicated copies behind a Raft-style
-	// log: every directory mutation commits to a quorum before it is
-	// acknowledged, a killed leader is replaced by election, and clients
-	// follow NotLeader redirects transparently. Mutually exclusive with
-	// Servers > 1. With DataDir set, each replica's consensus state
-	// persists in <DataDir>/raft<i>.disk. Kill and revive replicas with
-	// Session.CrashServer/RestartServer or a FaultInjector server
-	// schedule; inspect elections with Inspect().Raft(). Replicated mode
-	// runs the paper's ordered placements only (no disordered files, no
-	// parallel-open jobs) and disables Health and ReadAhead.
+	// Replicas, when > 1 (3 is the useful minimum), makes each shard
+	// group a set of that many replicated Bridge Servers behind its own
+	// independent Raft-style log: every directory mutation commits to a
+	// quorum of its shard's group before it is acknowledged, a killed
+	// leader is replaced by election within its group, and clients follow
+	// NotLeader redirects transparently with a per-shard leader guess —
+	// an election on one shard never stalls traffic to the others. With
+	// DataDir set, each replica's consensus state persists in
+	// <DataDir>/raft<flat>.disk (flat = shard*Replicas + member). Kill
+	// and revive replicas with Session.CrashServer/RestartServer
+	// (addressed by shard and member) or a FaultInjector server schedule;
+	// inspect elections with Inspect().Raft(shard).
+	//
+	// Replicated mode restricts each shard group the same way, because
+	// the inner server becomes a deterministic replicated state machine:
+	// Health is disabled (heartbeat probe state is unreplicated and would
+	// diverge across members), ReadAhead is disabled (its buffers would
+	// serve reads that bypass the leader-lease check), disordered files
+	// are rejected with ErrBadArg (their arbitrary placement cannot be
+	// replayed deterministically from the log), and parallel-open jobs
+	// are rejected with ErrBadArg (job cursors are volatile per-process
+	// state that would vanish on failover). Ordered placement, every
+	// naive read/write, write-behind, and the tool view work per shard.
 	Replicas int
 	// DiskBlocks is each node's capacity in 1 KB blocks. Default 8192.
 	DiskBlocks int
@@ -323,6 +349,15 @@ type System struct {
 func New(cfg Config) (*System, error) {
 	if cfg.Nodes < 0 || cfg.DiskBlocks < 0 || cfg.Journal < 0 {
 		return nil, fmt.Errorf("bridge: negative configuration values")
+	}
+	if cfg.Servers < 0 {
+		return nil, fmt.Errorf("%w: Servers = %d", ErrBadArg, cfg.Servers)
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("%w: Replicas = %d", ErrBadArg, cfg.Replicas)
+	}
+	if cfg.Replicas == 1 {
+		return nil, fmt.Errorf("%w: Replicas = 1 replicates nothing; use 0 (unreplicated) or >= 3 (quorum)", ErrBadArg)
 	}
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 4
@@ -713,46 +748,64 @@ func (s *Session) RestartNode(i int) error {
 // RestartNode and before replica-level repair.
 func (s *Session) RepairNode(i int) (int, error) { return s.c.RepairNode(i) }
 
-// CrashServer kills replica server i (0-based) with kill-9 semantics: its
-// volatile state — write-behind buffers, requests in flight — vanishes,
-// and its consensus disk drops unsynced writes. The surviving majority
-// elects a new leader and the session's client follows the redirects;
-// with write-behind, acknowledged-but-unlanded appends surface
+// Shards returns the number of directory shard groups (Config.Servers;
+// 1 for a single server).
+func (s *Session) Shards() int { return s.cl.NumShards() }
+
+// ShardOf returns the shard group that owns file name — the stable hash
+// the client routes by. Use it to aim chaos at the group serving a
+// particular file, or to pick a rename target on the same shard.
+func (s *Session) ShardOf(name string) int { return core.NameShard(name, s.cl.NumShards()) }
+
+// CrashServer kills replica i (0-based within its group) of shard group
+// shard with kill-9 semantics: its volatile state — write-behind buffers,
+// requests in flight — vanishes, and its consensus disk drops unsynced
+// writes. The shard's surviving majority elects a new leader and the
+// session's client follows the redirects; other shards are untouched.
+// With write-behind, acknowledged-but-unlanded appends surface
 // ErrDeferredWrite exactly once after the failover, the same contract a
 // flush failure has. Requires Config.Replicas.
-func (s *Session) CrashServer(i int) error {
-	if len(s.cl.Replicas) == 0 {
-		return errors.New("bridge: CrashServer requires Config.Replicas")
+func (s *Session) CrashServer(shard, i int) error {
+	if err := s.checkReplica("CrashServer", shard, i); err != nil {
+		return err
 	}
-	if i < 0 || i >= len(s.cl.Replicas) {
-		return fmt.Errorf("bridge: no replica %d", i)
-	}
-	s.cl.CrashServer(i, s.proc.Now())
+	s.cl.CrashServer(shard, i, s.proc.Now())
 	return nil
 }
 
-// RestartServer boots a fresh process for a crashed replica: it reloads
-// its term, log, and snapshot from the surviving consensus state, rebuilds
-// the directory by replay, and rejoins the group as a follower.
-func (s *Session) RestartServer(i int) error {
-	if len(s.cl.Replicas) == 0 {
-		return errors.New("bridge: RestartServer requires Config.Replicas")
+// RestartServer boots a fresh process for crashed replica i of shard
+// group shard: it reloads its term, log, and snapshot from the surviving
+// consensus state, rebuilds the shard's directory by replay, and rejoins
+// its group as a follower.
+func (s *Session) RestartServer(shard, i int) error {
+	if err := s.checkReplica("RestartServer", shard, i); err != nil {
+		return err
 	}
-	if i < 0 || i >= len(s.cl.Replicas) {
-		return fmt.Errorf("bridge: no replica %d", i)
-	}
-	s.cl.RestartServer(i)
+	s.cl.RestartServer(shard, i)
 	return nil
 }
 
-// LeaderServer returns the index of the replica currently leading with an
-// authoritative directory, or -1 when none is (mid-election, or without
-// Config.Replicas).
-func (s *Session) LeaderServer() int {
+func (s *Session) checkReplica(op string, shard, i int) error {
 	if len(s.cl.Replicas) == 0 {
+		return fmt.Errorf("bridge: %s requires Config.Replicas", op)
+	}
+	if shard < 0 || shard >= s.cl.NumShards() {
+		return fmt.Errorf("bridge: no shard %d", shard)
+	}
+	if i < 0 || i >= s.cl.GroupSize() {
+		return fmt.Errorf("bridge: no replica %d in shard %d", i, shard)
+	}
+	return nil
+}
+
+// LeaderServer returns the index within shard group shard of the replica
+// currently leading with an authoritative directory, or -1 when none is
+// (mid-election, or without Config.Replicas).
+func (s *Session) LeaderServer(shard int) int {
+	if len(s.cl.Replicas) == 0 || shard < 0 || shard >= s.cl.NumShards() {
 		return -1
 	}
-	return s.cl.LeaderServer()
+	return s.cl.LeaderServer(shard)
 }
 
 // Sync flushes every live storage node's volume — a journal commit plus a
@@ -1037,16 +1090,19 @@ func (i Inspector) Health() ([]NodeHealth, error) { return i.s.c.Health() }
 // or has no journal (Config.Journal unset).
 func (i Inspector) Recovery(idx int) (RecoveryReport, error) { return i.s.c.Recovery(idx) }
 
-// Raft returns every replica's consensus state — role, term, commit and
-// last log index, known leader — in replica-index order. Nil without
-// Config.Replicas. A crashed replica reports the state it died with.
-func (i Inspector) Raft() []RaftStatus {
-	if len(i.s.cl.Replicas) == 0 {
+// Raft returns the consensus state of every replica in shard group shard
+// — role, term, commit and last log index, known leader — in
+// group-member order. Nil without Config.Replicas or for an out-of-range
+// shard. A crashed replica reports the state it died with.
+func (i Inspector) Raft(shard int) []RaftStatus {
+	cl := i.s.cl
+	if len(cl.Replicas) == 0 || shard < 0 || shard >= cl.NumShards() {
 		return nil
 	}
-	out := make([]RaftStatus, len(i.s.cl.Replicas))
-	for idx, r := range i.s.cl.Replicas {
-		out[idx] = r.RaftStatus()
+	r := cl.GroupSize()
+	out := make([]RaftStatus, r)
+	for j := 0; j < r; j++ {
+		out[j] = cl.Replicas[shard*r+j].RaftStatus()
 	}
 	return out
 }
@@ -1106,8 +1162,9 @@ func (i Inspector) DroppedSpans() int { return i.s.rec.DroppedSpans() }
 // It boots a small throwaway cluster so each layer's registrations run.
 func WriteMetricsDoc(w io.Writer) error {
 	// Journal on, so the journaling and recovery metrics register too;
-	// replicated servers, so the consensus metrics register.
-	sys, err := New(Config{Nodes: 2, DiskBlocks: 128, Journal: 16, Replicas: 3})
+	// two replicated shard groups, so the consensus metrics and the
+	// per-shard counters register.
+	sys, err := New(Config{Nodes: 2, DiskBlocks: 128, Journal: 16, Servers: 2, Replicas: 3})
 	if err != nil {
 		return err
 	}

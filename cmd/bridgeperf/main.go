@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bridgeperf [-out BENCH_pr9.json] [-check BENCH_pr9.json] [-tolerance 0.10] [-trace out.json]
+//	bridgeperf [-out BENCH_pr10.json] [-check BENCH_pr10.json] [-tolerance 0.10] [-trace out.json]
 //
 // -trace additionally writes the observed batched-read run's Chrome
 // trace_event JSON (load in about://tracing or Perfetto).
@@ -25,7 +25,7 @@ import (
 	"bridge/internal/experiments"
 )
 
-// Report is the BENCH_pr9.json schema. All *SimMs fields are simulated
+// Report is the BENCH_pr10.json schema. All *SimMs fields are simulated
 // milliseconds (lower is better); RecPerSec is simulated throughput
 // (higher is better).
 type Report struct {
@@ -80,6 +80,14 @@ type Report struct {
 	// post-election Open (dead-leader timeout + election + takeover).
 	ReplicatedOpenSimMs float64 `json:"replicated_open_sim_ms"`
 	FailoverSimMs       float64 `json:"failover_sim_ms"`
+
+	// Directory sharding: aggregate create/stat/stat/delete throughput
+	// under concurrent clients at 1 versus 4 shard groups (Replicas=3
+	// each, zero-latency disks so only the metadata path is measured),
+	// and the scaling ratio between them.
+	MetaOps1ShardPerSec float64 `json:"meta_ops_1shard_per_sec"`
+	MetaOps4ShardPerSec float64 `json:"meta_ops_4shard_per_sec"`
+	ShardScaling        float64 `json:"shard_scaling"`
 }
 
 func main() {
@@ -93,7 +101,7 @@ func simMs(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 
 func run() error {
 	var (
-		out       = flag.String("out", "BENCH_pr9.json", "where to write the metrics report")
+		out       = flag.String("out", "BENCH_pr10.json", "where to write the metrics report")
 		check     = flag.String("check", "", "baseline report to compare against (empty = no comparison)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional regression per metric")
 		traceOut  = flag.String("trace", "", "write the observed batched-read run's Chrome trace JSON here")
@@ -139,9 +147,13 @@ func run() error {
 		return fmt.Errorf("failover: %w", err)
 	}
 	fo := foPts[0]
+	msRows, err := experiments.MetadataScaling(cfg, p, 8, 24, []int{1, 4})
+	if err != nil {
+		return fmt.Errorf("metadata scaling: %w", err)
+	}
 
 	rep := Report{
-		PR:                  9,
+		PR:                  10,
 		Scale:               "quick",
 		P:                   p,
 		NaiveReadBlkSimMs:   simMs(pt.ReadPerBlock),
@@ -172,9 +184,15 @@ func run() error {
 
 		ReplicatedOpenSimMs: simMs(fo.SteadyOpen),
 		FailoverSimMs:       simMs(fo.FailoverTime),
+
+		MetaOps1ShardPerSec: msRows[0].OpsPerSec,
+		MetaOps4ShardPerSec: msRows[1].OpsPerSec,
 	}
 	if rep.BatchedReadBlkSimMs > 0 {
 		rep.BatchedReadSpeedup = rep.NaiveReadBlkSimMs / rep.BatchedReadBlkSimMs
+	}
+	if rep.MetaOps1ShardPerSec > 0 {
+		rep.ShardScaling = rep.MetaOps4ShardPerSec / rep.MetaOps1ShardPerSec
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -185,7 +203,7 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\nbatched write%7.3f ms/blk\nwith journal%8.3f ms/blk (%+.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwb write    %8.3f ms/blk (%.1fx)\npar. delete %8.0f ms (%.1fx)\nRS(6,2) app %8.3f ms/blk (%.3fx storage; mirror %.3f ms/blk at 2x)\nrepl. open  %8.3f ms\nfailover    %8.0f ms outage\nwrote %s\n",
+	fmt.Printf("naive read  %8.3f ms/blk\nbatched read%8.3f ms/blk (%.1fx)\nwith scrub  %8.3f ms/blk (+%.1f%%)\nwith obs    %8.3f ms/blk (+%.1f%%)\nbatched write%7.3f ms/blk\nwith journal%8.3f ms/blk (%+.1f%%)\ncopy tool   %8.0f ms (%.0f rec/s)\nwb write    %8.3f ms/blk (%.1fx)\npar. delete %8.0f ms (%.1fx)\nRS(6,2) app %8.3f ms/blk (%.3fx storage; mirror %.3f ms/blk at 2x)\nrepl. open  %8.3f ms\nfailover    %8.0f ms outage\nmeta ops/s  %8.0f at 1 shard, %.0f at 4 shards (%.1fx)\nwrote %s\n",
 		rep.NaiveReadBlkSimMs, rep.BatchedReadBlkSimMs, rep.BatchedReadSpeedup,
 		rep.BatchedReadScrubBlkSimMs, 100*rep.ScrubOverheadFrac,
 		rep.BatchedReadObsBlkSimMs, 100*rep.ObsOverheadFrac,
@@ -194,7 +212,8 @@ func run() error {
 		rep.WBWriteBlkSimMs, rep.WBWriteSpeedup,
 		rep.PDeleteTotSimMs, rep.PDeleteSpeedup,
 		rep.RSAppendBlkSimMs, rep.RSStorageOverhead, rep.MirrorAppendBlkSimMs,
-		rep.ReplicatedOpenSimMs, rep.FailoverSimMs, *out)
+		rep.ReplicatedOpenSimMs, rep.FailoverSimMs,
+		rep.MetaOps1ShardPerSec, rep.MetaOps4ShardPerSec, rep.ShardScaling, *out)
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -257,6 +276,14 @@ func run() error {
 	if rep.FailoverSimMs > 3000 {
 		return fmt.Errorf("failover outage %.0f ms exceeds the 3000 ms budget", rep.FailoverSimMs)
 	}
+	// Sharding gate: four shard groups must deliver at least 2x the
+	// aggregate directory-op throughput of one group under the same
+	// concurrent metadata churn — the point of partitioning the
+	// namespace. A blown gate means requests are no longer spreading
+	// across groups, or a shared stage has become the bottleneck.
+	if rep.ShardScaling < 2.0 {
+		return fmt.Errorf("shard scaling %.2fx at 4 groups fell below the required 2x", rep.ShardScaling)
+	}
 	if *check == "" {
 		return nil
 	}
@@ -301,6 +328,21 @@ func run() error {
 	if base.CopyRecPerSec > 0 && rep.CopyRecPerSec < base.CopyRecPerSec*(1-*tolerance) {
 		fmt.Fprintf(os.Stderr, "REGRESSION copy_rec_per_sec: %.1f -> %.1f\n", base.CopyRecPerSec, rep.CopyRecPerSec)
 		failed = true
+	}
+	// higher-is-better metrics: regression = shrank past tolerance.
+	higher := []struct {
+		name      string
+		got, want float64
+	}{
+		{"meta_ops_1shard_per_sec", rep.MetaOps1ShardPerSec, base.MetaOps1ShardPerSec},
+		{"meta_ops_4shard_per_sec", rep.MetaOps4ShardPerSec, base.MetaOps4ShardPerSec},
+	}
+	for _, m := range higher {
+		if m.want > 0 && m.got < m.want*(1-*tolerance) {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.1f -> %.1f (-%.1f%%, tolerance %.0f%%)\n",
+				m.name, m.want, m.got, 100*(1-m.got/m.want), 100**tolerance)
+			failed = true
+		}
 	}
 	if failed {
 		return fmt.Errorf("simulated-time metrics regressed vs %s (regenerate the baseline only with an explanation)", *check)

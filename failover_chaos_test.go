@@ -176,7 +176,7 @@ func TestFailoverMinorityLeaderCannotCommit(t *testing.T) {
 		if err := s.Create("before"); err != nil {
 			return err
 		}
-		lead := s.LeaderServer()
+		lead := s.LeaderServer(0)
 		for lead < 0 {
 			return errors.New("no leader after a successful create")
 		}
@@ -189,15 +189,15 @@ func TestFailoverMinorityLeaderCannotCommit(t *testing.T) {
 				inj.Partition(start, heal, msg.NodeID(base+lead), msg.NodeID(base+i))
 			}
 		}
-		stranded := s.Inspect().Raft()[lead].Commit
+		stranded := s.Inspect().Raft(0)[lead].Commit
 		if err := s.Create("during"); err != nil {
 			return fmt.Errorf("create during partition: %w", err)
 		}
-		maj := s.LeaderServer()
+		maj := s.LeaderServer(0)
 		if maj == lead {
 			return fmt.Errorf("stranded replica %d still serves as leader", lead)
 		}
-		if got := s.Inspect().Raft()[lead].Commit; got > stranded {
+		if got := s.Inspect().Raft(0)[lead].Commit; got > stranded {
 			return fmt.Errorf("stranded leader advanced commit %d -> %d without quorum", stranded, got)
 		}
 		// Heal, then require convergence: one leader's commit index, on
@@ -206,7 +206,7 @@ func TestFailoverMinorityLeaderCannotCommit(t *testing.T) {
 			s.Proc().Sleep(100 * time.Millisecond)
 		}
 		s.Proc().Sleep(time.Second)
-		st := s.Inspect().Raft()
+		st := s.Inspect().Raft(0)
 		for i := 1; i < len(st); i++ {
 			if st[i].Commit != st[0].Commit {
 				return fmt.Errorf("replicas diverged after heal: %+v", st)

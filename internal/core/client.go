@@ -21,22 +21,32 @@ import (
 //
 // A Client may talk to one Bridge Server or to a distributed collection of
 // them (the paper: "the same functionality could be provided by a
-// distributed collection of processes"); with several servers, files
-// partition among them by a hash of the name.
+// distributed collection of processes"). The unified topology is shard
+// groups × members: file names hash-partition across the groups, and
+// within a group the members are Raft replicas of that shard's directory.
+// An unreplicated multi-server deployment is the degenerate case of
+// size-1 groups; a PR 9-style single replicated group is one group of
+// Replicas members.
 type Client struct {
-	mc      *msg.Client
-	servers []msg.Addr
+	mc *msg.Client
+	// groups[g] lists shard g's member addresses; member holds each
+	// address's (group, index-within-group) for reverse lookup.
+	groups  [][]msg.Addr
+	member  map[msg.Addr]memberIx
 	timeout time.Duration
 	retry   *retrier // nil = no retransmission
 	nextOp  uint64
 	retries obs.Counter
 
-	// Replicated mode: servers are Raft replicas of one directory rather
-	// than hash partitions. All traffic routes to the leader guess, which
-	// NotLeader redirects and timeouts update.
+	// Replicated mode: each group's members are Raft replicas of one
+	// shard. Per-shard traffic routes to that group's leader guess, which
+	// NotLeader redirects and timeouts update independently per shard.
 	replicated bool
-	leader     int
+	leaders    []int
 }
+
+// memberIx locates an address within the shard topology.
+type memberIx struct{ shard, index int }
 
 // NewClient creates a Bridge client for proc, homed on node, talking to the
 // server at serverAddr. name must be unique on the node.
@@ -44,42 +54,79 @@ func NewClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, se
 	return NewMultiClient(proc, net, node, name, []msg.Addr{serverAddr})
 }
 
-// NewMultiClient creates a client over a distributed collection of Bridge
-// Servers.
+// NewMultiClient creates a client over a distributed collection of
+// unreplicated Bridge Servers: each server is its own size-1 shard group.
 func NewMultiClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, servers []msg.Addr) *Client {
 	if len(servers) == 0 {
 		panic("core: client needs at least one server")
 	}
-	return &Client{
-		mc:      msg.NewClient(proc, net, node, name),
-		servers: append([]msg.Addr(nil), servers...),
-		timeout: 10 * time.Minute, // covers the longest legitimate operation
-		retries: net.Stats().Registry().Counter("bridge.client_retries", "calls", "Client-level retransmissions of timed-out Bridge calls."),
+	groups := make([][]msg.Addr, len(servers))
+	for i, a := range servers {
+		groups[i] = []msg.Addr{a}
 	}
+	return newShardClient(proc, net, node, name, groups)
 }
 
-// NewReplicatedClient creates a client over a Raft-replicated Bridge
-// Server group: the servers hold replicas of one directory, so every call
-// routes to the current leader, discovered by following NotLeader
-// redirects and rotating on timeout. The default timeout is short — it is
-// what detects a dead leader.
-func NewReplicatedClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, servers []msg.Addr) *Client {
-	c := NewMultiClient(proc, net, node, name, servers)
+// NewReplicatedClient creates a client over sharded, Raft-replicated
+// Bridge Server groups: groups[g] lists the replicas of shard g's
+// directory. Per-shard traffic routes to that group's current leader,
+// discovered by following NotLeader redirects and rotating on timeout.
+// The default timeout is short — it is what detects a dead leader.
+func NewReplicatedClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, groups [][]msg.Addr) *Client {
+	c := newShardClient(proc, net, node, name, groups)
 	c.replicated = true
 	c.timeout = time.Second
 	return c
 }
 
-// serverFor routes a file name to its home server.
-func (c *Client) serverFor(name string) msg.Addr {
-	if c.replicated || len(c.servers) == 1 {
-		return c.servers[c.leader]
+func newShardClient(proc sim.Proc, net *msg.Network, node msg.NodeID, name string, groups [][]msg.Addr) *Client {
+	if len(groups) == 0 {
+		panic("core: client needs at least one server group")
+	}
+	c := &Client{
+		mc:      msg.NewClient(proc, net, node, name),
+		groups:  make([][]msg.Addr, len(groups)),
+		member:  make(map[msg.Addr]memberIx),
+		leaders: make([]int, len(groups)),
+		timeout: 10 * time.Minute, // covers the longest legitimate operation
+		retries: net.Stats().Registry().Counter("bridge.client_retries", "calls", "Client-level retransmissions of timed-out Bridge calls."),
+	}
+	for g, members := range groups {
+		if len(members) == 0 {
+			panic("core: empty server group")
+		}
+		c.groups[g] = append([]msg.Addr(nil), members...)
+		for i, a := range members {
+			c.member[a] = memberIx{shard: g, index: i}
+		}
+	}
+	return c
+}
+
+// NameShard is the name→shard hash: FNV-1a over the file name, reduced
+// modulo the shard-group count. It is a pure function of (name, shards) —
+// stable across runs, processes, and client instances — because both the
+// client's routing and any external tooling must agree on which group
+// owns a name.
+func NameShard(name string, shards int) int {
+	if shards <= 1 {
+		return 0
 	}
 	h := uint32(2166136261)
 	for i := 0; i < len(name); i++ {
 		h = (h ^ uint32(name[i])) * 16777619
 	}
-	return c.servers[h%uint32(len(c.servers))]
+	return int(h % uint32(shards))
+}
+
+// shardFor routes a file name to its home shard group.
+func (c *Client) shardFor(name string) int { return NameShard(name, len(c.groups)) }
+
+// serverFor routes a file name to its home server: the owning shard's
+// current leader guess (replicated) or its single server (unreplicated).
+func (c *Client) serverFor(name string) msg.Addr {
+	g := c.shardFor(name)
+	return c.groups[g][c.leaders[g]]
 }
 
 // nameOf extracts the routing name from a request body; bodies without a
@@ -135,15 +182,21 @@ func (c *Client) opID() uint64 {
 	return c.nextOp
 }
 
-// targets lists the servers a cluster-wide operation must visit: every
-// hash partition, but only one replica of a replicated group — the
-// redirect loop finds the leader, which serves the whole namespace.
+// targets lists the servers a cluster-wide operation must visit: one
+// representative per shard group — every hash partition, but only one
+// replica of a replicated group, since the redirect loop finds that
+// group's leader, which serves the whole shard.
 func (c *Client) targets() []msg.Addr {
-	if c.replicated {
-		return c.servers[:1]
+	out := make([]msg.Addr, len(c.groups))
+	for g := range c.groups {
+		out[g] = c.groups[g][c.leaders[g]]
 	}
-	return c.servers
+	return out
 }
+
+// first returns a representative address for shard 0 — the target for
+// cluster-structure requests (Fsck, Scrub, GetInfo) any server can answer.
+func (c *Client) first() msg.Addr { return c.groups[0][c.leaders[0]] }
 
 // Msg exposes the underlying message client, for tools that mix Bridge
 // calls with direct LFS traffic.
@@ -153,7 +206,7 @@ func (c *Client) Msg() *msg.Client { return c.mc }
 func (c *Client) Close() { c.mc.Close() }
 
 func (c *Client) call(body any) (*msg.Message, error) {
-	to := c.servers[0]
+	to := c.first()
 	if name, ok := nameOf(body); ok {
 		to = c.serverFor(name)
 	}
@@ -163,7 +216,9 @@ func (c *Client) call(body any) (*msg.Message, error) {
 // callAt targets a specific server (used for job requests, which must go
 // to the server that owns the job). With a retry policy installed, calls
 // that time out are retransmitted with the same body — and so the same
-// OpID — under capped exponential backoff.
+// OpID — under capped exponential backoff. In replicated mode the target
+// pins the shard group (and seeds its leader guess); the redirect loop
+// still hunts within the group, since the named replica may not lead.
 //
 // When the network has a recorder, every callAt opens a fresh trace whose
 // root span is the client operation; the server, LFS, and disk layers hang
@@ -180,7 +235,12 @@ func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
 	var m *msg.Message
 	var err error
 	if c.replicated {
-		m, err = c.callRedirect(body, sp)
+		shard := 0
+		if ix, ok := c.member[to]; ok {
+			shard = ix.shard
+			c.leaders[shard] = ix.index
+		}
+		m, err = c.callRedirect(shard, body, sp)
 	} else {
 		m, err = c.callOnce(to, body)
 		if c.retry != nil {
@@ -208,25 +268,28 @@ func (c *Client) callAt(to msg.Addr, body any) (*msg.Message, error) {
 // middle of an election is not hammered with doomed requests.
 const redirectBackoff = 20 * time.Millisecond
 
-// callRedirect drives one call against the replica set: try the current
-// leader guess, follow the "(leader=N)" hint in NotLeader replies, rotate
-// to the next replica on timeout (the guessed leader may be dead), and
-// give up after a few sweeps of the whole set. Mutating requests carry
-// OpIDs, so a retry whose original was executed replays the recorded
-// reply instead of running twice.
-func (c *Client) callRedirect(body any, sp obs.SpanRef) (*msg.Message, error) {
-	attempts := 6 * len(c.servers)
+// callRedirect drives one call against a shard's replica group: try that
+// group's current leader guess, follow the "(leader=N)" hint in NotLeader
+// replies, rotate to the next replica on timeout (the guessed leader may
+// be dead), and give up after a few sweeps of the group. Each shard's
+// leader guess is independent, so an election on one shard never disturbs
+// routing to the others. Mutating requests carry OpIDs, so a retry whose
+// original was executed replays the recorded reply instead of running
+// twice.
+func (c *Client) callRedirect(shard int, body any, sp obs.SpanRef) (*msg.Message, error) {
+	group := c.groups[shard]
+	attempts := 6 * len(group)
 	var m *msg.Message
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.mc.Proc().Sleep(redirectBackoff)
 			c.retries.Add(1)
-			sp.Annotate(fmt.Sprintf("redirect %d to replica %d", attempt, c.leader))
+			sp.Annotate(fmt.Sprintf("redirect %d to shard %d replica %d", attempt, shard, c.leaders[shard]))
 		}
-		m, err = c.callOnce(c.servers[c.leader], body)
+		m, err = c.callOnce(group[c.leaders[shard]], body)
 		if errors.Is(err, msg.ErrTimeout) {
-			c.leader = (c.leader + 1) % len(c.servers)
+			c.leaders[shard] = (c.leaders[shard] + 1) % len(group)
 			continue
 		}
 		if err != nil {
@@ -236,10 +299,10 @@ func (c *Client) callRedirect(body any, sp obs.SpanRef) (*msg.Message, error) {
 		if !strings.Contains(es, ErrNotLeader.Error()) {
 			return m, nil
 		}
-		if hint, ok := parseLeaderHint(es); ok && hint >= 0 && hint < len(c.servers) && hint != c.leader {
-			c.leader = hint
+		if hint, ok := parseLeaderHint(es); ok && hint >= 0 && hint < len(group) && hint != c.leaders[shard] {
+			c.leaders[shard] = hint
 		} else {
-			c.leader = (c.leader + 1) % len(c.servers)
+			c.leaders[shard] = (c.leaders[shard] + 1) % len(group)
 		}
 	}
 	// Out of attempts: surface whatever we last saw — a timeout or a
@@ -282,7 +345,7 @@ func (c *Client) callOnce(to msg.Addr, body any) (*msg.Message, error) {
 var sentinels = []error{
 	ErrNotFound, ErrExists, ErrEOF, ErrBadBlock, ErrNoJob, ErrBadArg,
 	ErrNodeDown, ErrLFSFailed, ErrDeferredWrite, ErrNotLeader,
-	efs.ErrCorrupt, distrib.ErrNeedSize,
+	ErrCrossShard, efs.ErrCorrupt, distrib.ErrNeedSize,
 }
 
 // decodeErr rebuilds a sentinel-wrapped error from its transported string
@@ -406,11 +469,15 @@ func (c *Client) FlushAll() (int, error) {
 }
 
 // Rename atomically moves a file to a new name — a pure directory
-// mutation; no storage node is touched. With a hash-partitioned server
-// collection both names must land on the same partition.
+// mutation; no storage node is touched. With more than one shard group
+// both names must hash to the same shard: a rename is atomic within one
+// group's directory (one Raft entry, or one unreplicated server's map),
+// and Bridge has no cross-group transaction. Violations fail client-side
+// with ErrCrossShard before any server sees the request.
 func (c *Client) Rename(name, newName string) (Meta, error) {
-	if !c.replicated && len(c.servers) > 1 && c.serverFor(name) != c.serverFor(newName) {
-		return Meta{}, fmt.Errorf("%w: rename across server partitions", ErrBadArg)
+	if len(c.groups) > 1 && c.shardFor(name) != c.shardFor(newName) {
+		return Meta{}, fmt.Errorf("%w: %q (shard %d) -> %q (shard %d)",
+			ErrCrossShard, name, c.shardFor(name), newName, c.shardFor(newName))
 	}
 	m, err := c.call(RenameReq{Name: name, NewName: newName, OpID: c.opID()})
 	if err != nil {
@@ -610,7 +677,7 @@ func (c *Client) RepairNode(i int) (int, error) {
 // Fsck runs the LFS-level consistency checker on storage node index i. The
 // request routes to the first server (any server can reach any node).
 func (c *Client) Fsck(i int) (efs.CheckReport, error) {
-	m, err := c.callAt(c.servers[0], FsckReq{Node: i})
+	m, err := c.callAt(c.first(), FsckReq{Node: i})
 	if err != nil {
 		return efs.CheckReport{}, err
 	}
@@ -621,7 +688,7 @@ func (c *Client) Fsck(i int) (efs.CheckReport, error) {
 // FsckRepair runs the checker with bitmap repair on storage node index i,
 // returning the post-repair report and the number of bitmap corrections.
 func (c *Client) FsckRepair(i int) (efs.CheckReport, int, error) {
-	m, err := c.callAt(c.servers[0], FsckReq{Node: i, Repair: true, OpID: c.opID()})
+	m, err := c.callAt(c.first(), FsckReq{Node: i, Repair: true, OpID: c.opID()})
 	if err != nil {
 		return efs.CheckReport{}, 0, err
 	}
@@ -633,7 +700,7 @@ func (c *Client) FsckRepair(i int) (efs.CheckReport, int, error) {
 // replay stats plus the fsck that verified the remounted volume. It fails
 // with ErrNotFound when the node was freshly formatted or is not journaled.
 func (c *Client) Recovery(i int) (lfs.RecoveryReport, error) {
-	m, err := c.callAt(c.servers[0], RecoveryReq{Node: i})
+	m, err := c.callAt(c.first(), RecoveryReq{Node: i})
 	if err != nil {
 		return lfs.RecoveryReport{}, err
 	}
@@ -643,7 +710,7 @@ func (c *Client) Recovery(i int) (lfs.RecoveryReport, error) {
 
 // Scrub runs a full checksum-verification sweep on storage node index i.
 func (c *Client) Scrub(i int) (efs.ScrubReport, error) {
-	m, err := c.callAt(c.servers[0], ScrubReq{Node: i})
+	m, err := c.callAt(c.first(), ScrubReq{Node: i})
 	if err != nil {
 		return efs.ScrubReport{}, err
 	}

@@ -24,20 +24,23 @@ type ClusterConfig struct {
 	Net *msg.Config
 	// Server configures the Bridge Server(s).
 	Server Config
-	// Servers is how many Bridge Server processes to run (default 1).
-	// With several, the file namespace partitions among them by name
-	// hash — the distributed-server variant the paper sketches for when
-	// "requests to the server are frequent enough to cause a
-	// bottleneck".
+	// Servers is how many directory shard groups to run (default 1). The
+	// file namespace partitions among the groups by name hash — the
+	// distributed-server variant the paper sketches for when "requests to
+	// the server are frequent enough to cause a bottleneck". Composes
+	// with Replicas: the topology is Servers shard groups × Replicas
+	// members each.
 	Servers int
 	// Disks, if non-nil, supplies pre-loaded disks (for image
 	// persistence); len must equal P and each is mounted, not formatted.
 	Disks []*disk.Disk
-	// Replicas, when > 1, runs that many replicated Bridge Servers behind
-	// a Raft-style log instead of the single (or hash-partitioned)
-	// server. Mutually exclusive with Servers > 1. Each replica runs on
-	// its own processor node (P+1 .. P+Replicas) so partitions and
-	// crashes hit replicas independently.
+	// Replicas, when > 1, makes each shard group a Raft-replicated set of
+	// that many Bridge Servers instead of a single process. With Servers
+	// shard groups the cluster runs Servers×Replicas replica processes,
+	// each on its own processor node (P+1 onward, group-major order) so
+	// partitions and crashes hit replicas independently. Each group runs
+	// its own independent consensus over its own hash partition of the
+	// namespace.
 	Replicas int
 	// RaftSeed seeds the replicas' jittered election timeouts (derived
 	// per replica). Default 1.
@@ -58,11 +61,14 @@ type Cluster struct {
 	Server  *Server
 	Servers []*Server
 	// Replicas lists the replicated servers when ClusterConfig.Replicas
-	// is set; Server/Servers stay nil in that mode.
+	// is set, flat in group-major order (replica j of shard g at index
+	// g*GroupSize()+j); Server/Servers stay nil in that mode.
 	Replicas []*ReplicaServer
 	Nodes    []*lfs.Node
 
 	rt        sim.Runtime
+	shards    int // shard-group count in replicated mode
+	groupSize int // replicas per shard group
 	specs     []ReplicaSpec
 	raftDisks []*disk.Disk
 	repCfg    Config
@@ -104,10 +110,13 @@ func StartCluster(rt sim.Runtime, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Servers == 0 {
 		cfg.Servers = 1
 	}
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("%w: Servers = %d", ErrBadArg, cfg.Servers)
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("%w: Replicas = %d", ErrBadArg, cfg.Replicas)
+	}
 	if cfg.Replicas > 1 {
-		if cfg.Servers > 1 {
-			return nil, fmt.Errorf("%w: Replicas and Servers > 1 are mutually exclusive", ErrBadArg)
-		}
 		if err := cl.startReplicas(rt, cfg, ids); err != nil {
 			return nil, err
 		}
@@ -127,66 +136,118 @@ func StartCluster(rt sim.Runtime, cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
-// startReplicas boots the replicated-server variant: Replicas copies of
-// the Bridge Server, each on its own processor node past the storage
-// nodes, with consensus state optionally persisted through file-backed
-// disks.
+// startReplicas boots the sharded replicated-server variant: Servers
+// shard groups of Replicas Bridge Servers each, every replica on its own
+// processor node past the storage nodes (group-major: replica j of shard
+// g on node P+1+g*Replicas+j), with consensus state optionally persisted
+// through file-backed disks under RaftDir (raft<flat>.disk). Each group
+// runs an independent Raft instance over disjoint peers, so elections and
+// commits on one shard never couple to another.
 func (cl *Cluster) startReplicas(rt sim.Runtime, cfg ClusterConfig, ids []msg.NodeID) error {
 	if cfg.RaftSeed == 0 {
 		cfg.RaftSeed = 1
 	}
-	n := cfg.Replicas
-	peers := make([]msg.Addr, n)
-	for i := 0; i < n; i++ {
-		peers[i] = msg.Addr{Node: msg.NodeID(cfg.P + 1 + i), Port: cfg.Server.PortName}
-		if cfg.Server.PortName == "" {
-			peers[i].Port = PortName
-		}
+	shards, r := cfg.Servers, cfg.Replicas
+	cl.shards, cl.groupSize = shards, r
+	n := shards * r
+	port := cfg.Server.PortName
+	if port == "" {
+		port = PortName
 	}
 	cl.specs = make([]ReplicaSpec, n)
 	cl.raftDisks = make([]*disk.Disk, n)
-	for i := 0; i < n; i++ {
-		var store raft.Store
-		if cfg.RaftDir != "" {
-			dcfg := disk.Config{
-				BlockSize: 1024,
-				NumBlocks: 1024,
-				Timing:    disk.FixedTiming{Latency: 500 * time.Microsecond},
-				WriteBack: true,
-				SyncTime:  time.Millisecond,
-			}
-			st, err := disk.OpenFileStore(filepath.Join(cfg.RaftDir, fmt.Sprintf("raft%d.disk", i)), 1024, 1024)
-			if err != nil {
-				return fmt.Errorf("core: open raft disk %d: %w", i, err)
-			}
-			d, err := disk.NewWithStore(dcfg, st)
-			if err != nil {
-				return fmt.Errorf("core: raft disk %d: %w", i, err)
-			}
-			cl.raftDisks[i] = d
-			ds, err := raft.NewDiskStore(d)
-			if err != nil {
-				return fmt.Errorf("core: raft store %d: %w", i, err)
-			}
-			store = ds
-		} else {
-			store = &raft.MemStore{}
-		}
-		cl.specs[i] = ReplicaSpec{
-			ID:    i,
-			Peers: peers,
-			Seed:  DeriveSeed(cfg.RaftSeed, fmt.Sprintf("raft.replica.%d", i)),
-			Store: store,
-		}
-	}
 	cl.repCfg = cfg.Server
 	cl.nodeIDs = ids
-	for i := 0; i < n; i++ {
+	for g := 0; g < shards; g++ {
+		peers := make([]msg.Addr, r)
+		for j := 0; j < r; j++ {
+			peers[j] = msg.Addr{Node: msg.NodeID(cfg.P + 1 + g*r + j), Port: port}
+		}
+		for j := 0; j < r; j++ {
+			flat := g*r + j
+			var store raft.Store
+			if cfg.RaftDir != "" {
+				dcfg := disk.Config{
+					BlockSize: 1024,
+					NumBlocks: 1024,
+					Timing:    disk.FixedTiming{Latency: 500 * time.Microsecond},
+					WriteBack: true,
+					SyncTime:  time.Millisecond,
+				}
+				st, err := disk.OpenFileStore(filepath.Join(cfg.RaftDir, fmt.Sprintf("raft%d.disk", flat)), 1024, 1024)
+				if err != nil {
+					return fmt.Errorf("core: open raft disk %d: %w", flat, err)
+				}
+				d, err := disk.NewWithStore(dcfg, st)
+				if err != nil {
+					return fmt.Errorf("core: raft disk %d: %w", flat, err)
+				}
+				cl.raftDisks[flat] = d
+				ds, err := raft.NewDiskStore(d)
+				if err != nil {
+					return fmt.Errorf("core: raft store %d: %w", flat, err)
+				}
+				store = ds
+			} else {
+				store = &raft.MemStore{}
+			}
+			cl.specs[flat] = ReplicaSpec{
+				ID:    j,
+				Shard: g,
+				Peers: peers,
+				Seed:  DeriveSeed(cfg.RaftSeed, fmt.Sprintf("raft.replica.%d", flat)),
+				Store: store,
+			}
+		}
+	}
+	for flat := 0; flat < n; flat++ {
 		scfg := cfg.Server
-		scfg.Node = peers[i].Node
-		cl.Replicas = append(cl.Replicas, StartReplica(rt, cl.Net, scfg, ids, cl.specs[i]))
+		scfg.Node = cl.specs[flat].Peers[cl.specs[flat].ID].Node
+		scfg.IDBase = uint32(cl.specs[flat].Shard)
+		scfg.IDStride = uint32(shards)
+		cl.Replicas = append(cl.Replicas, StartReplica(rt, cl.Net, scfg, ids, cl.specs[flat]))
 	}
 	return nil
+}
+
+// NumShards returns the number of directory shard groups: Servers in
+// replicated mode, the server count otherwise (each unreplicated server
+// is its own hash partition), and 1 for a single server.
+func (cl *Cluster) NumShards() int {
+	if len(cl.Replicas) > 0 {
+		return cl.shards
+	}
+	return len(cl.Servers)
+}
+
+// GroupSize returns the number of replicas per shard group (1 outside
+// replicated mode).
+func (cl *Cluster) GroupSize() int {
+	if len(cl.Replicas) > 0 {
+		return cl.groupSize
+	}
+	return 1
+}
+
+// ShardGroups returns the topology as the client consumes it: one address
+// list per shard group, replicas in member order.
+func (cl *Cluster) ShardGroups() [][]msg.Addr {
+	if len(cl.Replicas) > 0 {
+		out := make([][]msg.Addr, cl.shards)
+		for g := 0; g < cl.shards; g++ {
+			members := make([]msg.Addr, cl.groupSize)
+			for j := 0; j < cl.groupSize; j++ {
+				members[j] = cl.Replicas[g*cl.groupSize+j].Addr()
+			}
+			out[g] = members
+		}
+		return out
+	}
+	out := make([][]msg.Addr, len(cl.Servers))
+	for i, s := range cl.Servers {
+		out[i] = []msg.Addr{s.Addr()}
+	}
+	return out
 }
 
 // ServerAddrs returns every Bridge Server's request address (the replica
@@ -228,7 +289,7 @@ func (cl *Cluster) Runtime() sim.Runtime { return cl.rt }
 // wired to every server in the cluster.
 func (cl *Cluster) NewClient(proc sim.Proc, node msg.NodeID, name string) *Client {
 	if len(cl.Replicas) > 0 {
-		return NewReplicatedClient(proc, cl.Net, node, name, cl.ServerAddrs())
+		return NewReplicatedClient(proc, cl.Net, node, name, cl.ShardGroups())
 	}
 	return NewMultiClient(proc, cl.Net, node, name, cl.ServerAddrs())
 }
@@ -269,37 +330,42 @@ func (cl *Cluster) Stop() {
 	}
 }
 
-// CrashServer kills replica i with kill-9 semantics at virtual time now:
-// its port closes, volatile state (write-behind buffers, parked requests)
-// is gone, and the consensus disk drops unsynced writes. The signature
-// matches fault.ServerController.
-func (cl *Cluster) CrashServer(i int, now time.Duration) {
-	cl.Replicas[i].Crash()
-	if d := cl.raftDisks[i]; d != nil {
+// CrashServer kills replica i of shard group shard with kill-9 semantics
+// at virtual time now: its port closes, volatile state (write-behind
+// buffers, parked requests) is gone, and the consensus disk drops
+// unsynced writes. The signature matches fault.ServerController.
+func (cl *Cluster) CrashServer(shard, i int, now time.Duration) {
+	flat := shard*cl.groupSize + i
+	cl.Replicas[flat].Crash()
+	if d := cl.raftDisks[flat]; d != nil {
 		d.Crash(now)
 	}
 }
 
-// RestartServer boots a fresh process for crashed replica i: the
-// consensus disk comes back with its surviving blocks and the replica
-// reloads its term, log, and snapshot from it, rebuilding the directory
-// by replay.
-func (cl *Cluster) RestartServer(i int) {
-	if d := cl.raftDisks[i]; d != nil {
+// RestartServer boots a fresh process for crashed replica i of shard
+// group shard: the consensus disk comes back with its surviving blocks
+// and the replica reloads its term, log, and snapshot from it, rebuilding
+// the shard's directory by replay.
+func (cl *Cluster) RestartServer(shard, i int) {
+	flat := shard*cl.groupSize + i
+	if d := cl.raftDisks[flat]; d != nil {
 		d.Restore()
 	}
 	scfg := cl.repCfg
-	scfg.Node = cl.specs[i].Peers[i].Node
-	cl.Replicas[i] = StartReplica(cl.rt, cl.Net, scfg, cl.nodeIDs, cl.specs[i])
+	scfg.Node = cl.specs[flat].Peers[cl.specs[flat].ID].Node
+	scfg.IDBase = uint32(cl.specs[flat].Shard)
+	scfg.IDStride = uint32(cl.shards)
+	cl.Replicas[flat] = StartReplica(cl.rt, cl.Net, scfg, cl.nodeIDs, cl.specs[flat])
 }
 
-// LeaderServer returns the index of the replica that currently leads with
-// an authoritative directory (ready to serve), or -1 when there is none.
-// The signature matches fault.ServerController.
-func (cl *Cluster) LeaderServer() int {
-	for i, r := range cl.Replicas {
-		if r.IsLeader() {
-			return i
+// LeaderServer returns the index within shard group shard of the replica
+// that currently leads with an authoritative directory (ready to serve),
+// or -1 when the group has none. The signature matches
+// fault.ServerController.
+func (cl *Cluster) LeaderServer(shard int) int {
+	for j := 0; j < cl.groupSize; j++ {
+		if cl.Replicas[shard*cl.groupSize+j].IsLeader() {
+			return j
 		}
 	}
 	return -1

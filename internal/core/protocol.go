@@ -62,6 +62,12 @@ var (
 	// carries a "(leader=N)" hint when the replica knows who is; the client
 	// redirect loop parses it and retries against that replica.
 	ErrNotLeader = errors.New("bridge: not leader")
+	// ErrCrossShard reports a rename whose old and new names hash to
+	// different directory shards. Rename is a single-shard directory
+	// mutation — there is no cross-group transaction — so the client
+	// rejects the pair before any server sees it. Pick a new name that
+	// hashes to the file's current shard, or copy + delete.
+	ErrCrossShard = errors.New("bridge: rename crosses directory shards")
 )
 
 // ErrCorrupt is efs.ErrCorrupt re-exported: a block failed checksum

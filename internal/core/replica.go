@@ -174,12 +174,35 @@ func newRaftMetrics(r *obs.Registry) raftMetrics {
 	}
 }
 
+// shardMetrics are one shard group's typed metric handles, named by shard
+// index so a sharded directory's load balance and per-group consensus
+// traffic are visible side by side. Registration is idempotent, so the
+// group's replicas share one set of counters.
+type shardMetrics struct {
+	requests  obs.Counter
+	committed obs.Counter
+}
+
+func newShardMetrics(r *obs.Registry, shard int) shardMetrics {
+	return shardMetrics{
+		requests: r.Counter(fmt.Sprintf("bridge.shard%d_requests", shard), "requests",
+			fmt.Sprintf("Client requests received by shard group %d's replicas (including not-leader redirects).", shard)),
+		committed: r.Counter(fmt.Sprintf("bridge.shard%d_entries_committed", shard), "entries",
+			fmt.Sprintf("Replicated log entries committed by shard group %d.", shard)),
+	}
+}
+
 // ReplicaSpec wires one replica into its set.
 type ReplicaSpec struct {
-	// ID is this replica's index; Peers maps every replica id to its
-	// request/consensus address.
+	// ID is this replica's index within its shard group; Peers maps every
+	// group-member id to its request/consensus address.
 	ID    int
 	Peers []msg.Addr
+	// Shard is the directory shard group this replica belongs to. Groups
+	// are independent Raft instances over disjoint peer sets; the shard
+	// index names the group in metrics, introspection, and fault
+	// schedules.
+	Shard int
 	// Seed drives this replica's jittered election timeouts; derive it
 	// per replica so elections never tie.
 	Seed int64
@@ -193,6 +216,7 @@ type ReplicaServer struct {
 	node *raft.Node
 	spec ReplicaSpec
 	rm   raftMetrics
+	sm   shardMetrics
 
 	// Replicated state beyond the inner server's directory: the op table
 	// (exactly-once replies), write-behind watermarks, armed deferred
@@ -234,6 +258,7 @@ func StartReplica(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.Node
 		}),
 		spec:     spec,
 		rm:       newRaftMetrics(net.Stats().Registry()),
+		sm:       newShardMetrics(net.Stats().Registry(), spec.Shard),
 		ops:      make(map[opKey]ropRec),
 		wbLow:    make(map[string]int64),
 		deferred: make(map[string]string),
@@ -245,8 +270,11 @@ func StartReplica(rt sim.Runtime, net *msg.Network, cfg Config, nodes []msg.Node
 // Addr returns the replica's request (and consensus) address.
 func (r *ReplicaServer) Addr() msg.Addr { return r.s.port.Addr() }
 
-// ID returns the replica's index in the set.
+// ID returns the replica's index within its shard group.
 func (r *ReplicaServer) ID() int { return r.spec.ID }
+
+// Shard returns the directory shard group this replica belongs to.
+func (r *ReplicaServer) Shard() int { return r.spec.Shard }
 
 // RaftStatus returns a snapshot of the replica's consensus state.
 func (r *ReplicaServer) RaftStatus() raft.Status { return r.node.Status() }
@@ -402,6 +430,7 @@ func (r *ReplicaServer) syncMetrics() {
 	r.rm.stepDowns.Add(d.StepDowns)
 	r.rm.committed.Add(d.Committed)
 	r.rm.snapInstalls.Add(d.SnapInstalls)
+	r.sm.committed.Add(d.Committed)
 }
 
 // ---- the replicated state machine ----
@@ -781,6 +810,7 @@ func (r *ReplicaServer) serve(p sim.Proc, req *msg.Message) {
 }
 
 func (r *ReplicaServer) dispatch(p sim.Proc, req *msg.Message) any {
+	r.sm.requests.Add(1)
 	if !r.node.ReadyToLead() {
 		r.rm.redirects.Add(1)
 		return respWithErr(req.Body, errString(r.notLeaderError()))

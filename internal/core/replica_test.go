@@ -22,7 +22,7 @@ func awaitLeader(t *testing.T, p sim.Proc, cl *Cluster) int {
 	t.Helper()
 	deadline := p.Now() + 5*time.Second
 	for p.Now() < deadline {
-		if i := cl.LeaderServer(); i >= 0 {
+		if i := cl.LeaderServer(0); i >= 0 {
 			return i
 		}
 		p.Sleep(10 * time.Millisecond)
@@ -118,7 +118,7 @@ func TestReplicatedLeaderFailover(t *testing.T) {
 			}
 		}
 		lead := awaitLeader(t, p, cl)
-		cl.CrashServer(lead, p.Now())
+		cl.CrashServer(0, lead, p.Now())
 		// The workload continues: the client times out against the dead
 		// leader and follows redirects to the new one.
 		for i := half; i < 2*half; i++ {
@@ -142,7 +142,7 @@ func TestReplicatedLeaderFailover(t *testing.T) {
 		}
 		// Restart the crashed replica: it must rejoin and replicate the
 		// entries it missed.
-		cl.RestartServer(lead)
+		cl.RestartServer(0, lead)
 		if _, err := c.Create("post-restart"); err != nil {
 			t.Fatalf("Create(post-restart): %v", err)
 		}

@@ -86,12 +86,12 @@ func failoverAt(p int, cfg Config) (FailoverPoint, error) {
 				return err
 			}
 			pt.SteadyOpen = proc.Now() - start
-			lead := cl.LeaderServer()
+			lead := cl.LeaderServer(0)
 			if lead < 0 {
 				return errors.New("no leader after a served workload")
 			}
 			killAt := proc.Now()
-			cl.CrashServer(lead, killAt)
+			cl.CrashServer(0, lead, killAt)
 			// One call: the replicated client absorbs the dead-leader
 			// timeout, the redirects, and the new leader's takeover.
 			if _, err := c.Open("f"); err != nil {

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"bridge/internal/core"
+	"bridge/internal/disk"
+	"bridge/internal/lfs"
+	"bridge/internal/sim"
+)
+
+// metaScalingReplicas fixes the consensus group size while the shard
+// count varies, so the comparison isolates sharding from replication
+// overhead.
+const metaScalingReplicas = 3
+
+// MetadataScalingRow measures aggregate directory-op throughput — a
+// create / stat / stat / delete cycle per file — for one shard-group
+// count under concurrent clients. Disks run at zero latency so the
+// measurement isolates the metadata path: each shard leader's request
+// CPU plus its group's commit round trips, which is exactly what
+// sharding multiplies.
+type MetadataScalingRow struct {
+	Shards    int
+	Replicas  int
+	Clients   int
+	Ops       int
+	Makespan  time.Duration
+	OpsPerSec float64 // aggregate across all clients
+}
+
+// MetadataScaling runs `clients` concurrent metadata-churn clients —
+// each cycling create/stat/stat/delete over its own slice of the
+// namespace — against the requested shard-group counts at a fixed
+// replication factor. The namespace is shared (names hash across all
+// groups), so the workload spreads over every shard without
+// hand-placing files.
+func MetadataScaling(cfg Config, p, clients, filesPerClient int, shardCounts []int) ([]MetadataScalingRow, error) {
+	cfg.applyDefaults()
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4}
+	}
+	var rows []MetadataScalingRow
+	for _, shards := range shardCounts {
+		shards := shards
+		rt := sim.NewVirtual()
+		cl, err := core.StartCluster(rt, core.ClusterConfig{
+			P: p,
+			Node: lfs.Config{
+				DiskBlocks: 4096,
+				Timing:     disk.FixedTiming{},
+			},
+			Servers:  shards,
+			Replicas: metaScalingReplicas,
+			Server:   core.Config{LFSTimeout: cfg.LFSTimeout},
+		})
+		if err != nil {
+			return nil, err
+		}
+		var makespan time.Duration
+		var firstErr error
+		rt.Go("driver", func(proc sim.Proc) {
+			defer cl.Stop()
+			done := rt.NewQueue("ms-done")
+			start := proc.Now()
+			for i := 0; i < clients; i++ {
+				i := i
+				proc.Go(fmt.Sprintf("churn%d", i), func(cp sim.Proc) {
+					c := cl.NewClient(cp, 0, fmt.Sprintf("ms-cli%d", i))
+					defer c.Close()
+					for f := 0; f < filesPerClient; f++ {
+						name := fmt.Sprintf("m%d-%d", i, f)
+						if _, err := c.Create(name); err != nil {
+							done.Send(fmt.Errorf("create %s: %w", name, err))
+							return
+						}
+						for s := 0; s < 2; s++ {
+							if _, err := c.Stat(name); err != nil {
+								done.Send(fmt.Errorf("stat %s: %w", name, err))
+								return
+							}
+						}
+						if _, err := c.Delete(name); err != nil {
+							done.Send(fmt.Errorf("delete %s: %w", name, err))
+							return
+						}
+					}
+					done.Send(nil)
+				})
+			}
+			for i := 0; i < clients; i++ {
+				v, ok := done.Recv(proc)
+				if !ok {
+					firstErr = fmt.Errorf("done queue closed")
+					return
+				}
+				if err, isErr := v.(error); isErr && err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			makespan = proc.Now() - start
+		})
+		if err := rt.Wait(); err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, fmt.Errorf("metadatascaling shards=%d: %w", shards, firstErr)
+		}
+		ops := clients * filesPerClient * 4 // create + 2 stats + delete
+		rows = append(rows, MetadataScalingRow{
+			Shards:    shards,
+			Replicas:  metaScalingReplicas,
+			Clients:   clients,
+			Ops:       ops,
+			Makespan:  makespan,
+			OpsPerSec: recPerSec(ops, makespan),
+		})
+	}
+	return rows, nil
+}
+
+// RenderMetadataScaling writes the comparison.
+func RenderMetadataScaling(w io.Writer, rows []MetadataScalingRow, p int) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Sharded directory: metadata throughput vs shard groups (%d nodes, %d clients, Replicas=%d)\n",
+		p, rows[0].Clients, rows[0].Replicas)
+	fmt.Fprintln(w, "(create/stat/stat/delete cycles; zero-latency disks isolate the metadata path)")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "shards\tops\tmakespan\tdirectory ops/s")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.0f\n", r.Shards, r.Ops, fmtDur(r.Makespan), r.OpsPerSec)
+	}
+	tw.Flush()
+}

@@ -7,29 +7,34 @@ import (
 	"bridge/internal/sim"
 )
 
-// ServerEvent is one scheduled action on a replicated Bridge Server
-// (0-based replica index). Server -1 resolves at fire time: a Crash/Kill
-// targets whichever replica currently leads — the canonical "kill the
-// leader mid-workload" chaos move, written without knowing election
-// outcomes in advance — and a Restart revives the most recently killed
-// replica, so a schedule of alternating -1 kills and -1 restarts cycles
-// leaders without naming them.
+// ServerEvent is one scheduled action on a replicated Bridge Server,
+// addressed as (shard group, replica index within the group). Server -1
+// resolves at fire time: a Crash/Kill targets whichever replica currently
+// leads the named shard — the canonical "kill the leader mid-workload"
+// chaos move, written without knowing election outcomes in advance — and
+// a Restart revives that shard's most recently killed replica, so a
+// schedule of alternating -1 kills and -1 restarts cycles a shard's
+// leaders without naming them. Shard defaults to 0, which keeps PR 9
+// single-group schedules working unchanged.
 type ServerEvent struct {
 	At     time.Duration
+	Shard  int
 	Server int
 	Kind   EventKind
 }
 
 // ServerController is what the server schedule driver needs from the
-// cluster; *core.Cluster implements it. CrashServer has kill-9 semantics:
-// the replica's volatile state (write-behind buffers, parked requests)
-// vanishes and its consensus disk drops unsynced writes; RestartServer
-// boots a fresh process that reloads term, log, and snapshot from the
-// surviving consensus state.
+// cluster; *core.Cluster implements it. Replicas address as (shard,
+// replica-within-group). CrashServer has kill-9 semantics: the replica's
+// volatile state (write-behind buffers, parked requests) vanishes and its
+// consensus disk drops unsynced writes; RestartServer boots a fresh
+// process that reloads term, log, and snapshot from the surviving
+// consensus state. LeaderServer reports the named shard group's current
+// ready leader, or -1.
 type ServerController interface {
-	CrashServer(i int, now time.Duration)
-	RestartServer(i int)
-	LeaderServer() int
+	CrashServer(shard, i int, now time.Duration)
+	RestartServer(shard, i int)
+	LeaderServer(shard int) int
 }
 
 // ServerSchedule adds events to the replica crash/restart schedule
@@ -41,7 +46,7 @@ func (in *Injector) ServerSchedule(events ...ServerEvent) {
 }
 
 // leaderPoll is how often a Server: -1 event re-checks for a ready
-// leader, and leaderWait bounds the total wait so a cluster that never
+// leader, and leaderWait bounds the total wait so a shard that never
 // elects one cannot wedge the driver.
 const (
 	leaderPoll = 10 * time.Millisecond
@@ -52,14 +57,17 @@ const (
 // virtual times, then exits. Call after the cluster is up and before
 // Wait. Crash and Kill both power-fail the replica (a server process has
 // no graceful fail-stop distinct from kill-9; its durable state is the
-// consensus disk, which applies the injector's crash model).
+// consensus disk, which applies the injector's crash model). Each shard's
+// -1 kill/restart bookkeeping is independent, so interleaved schedules
+// against different shards never revive the wrong group's replica.
 func (in *Injector) DriveServers(rt sim.Runtime, ctl ServerController) {
 	in.mu.Lock()
 	events := append([]ServerEvent(nil), in.srvSchedule...)
 	in.mu.Unlock()
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	rt.Go("server-fault-driver", func(p sim.Proc) {
-		var killed []int // stack of -1-killed replicas awaiting revival
+		// Per-shard stacks of -1-killed replicas awaiting revival.
+		killed := make(map[int][]int)
 		for _, ev := range events {
 			if d := ev.At - p.Now(); d > 0 {
 				p.Sleep(d)
@@ -68,39 +76,40 @@ func (in *Injector) DriveServers(rt sim.Runtime, ctl ServerController) {
 			switch ev.Kind {
 			case Crash, Kill:
 				if target < 0 {
-					target = in.awaitLeader(p, ctl)
+					target = in.awaitLeader(p, ctl, ev.Shard)
 					if target < 0 {
-						in.emitLocked(p.Now(), "fault.server_skip", "no leader to %s", ev.Kind)
+						in.emitLocked(p.Now(), "fault.server_skip", "no leader on shard %d to %s", ev.Shard, ev.Kind)
 						continue
 					}
-					killed = append(killed, target)
+					killed[ev.Shard] = append(killed[ev.Shard], target)
 				}
 				in.m.serverKills.Add(1)
-				in.emitLocked(p.Now(), "fault.server_kill", "server %d", target)
-				ctl.CrashServer(target, p.Now())
+				in.emitLocked(p.Now(), "fault.server_kill", "shard %d server %d", ev.Shard, target)
+				ctl.CrashServer(ev.Shard, target, p.Now())
 			case Restart:
 				if target < 0 {
-					if len(killed) == 0 {
-						in.emitLocked(p.Now(), "fault.server_skip", "no killed server to restart")
+					stack := killed[ev.Shard]
+					if len(stack) == 0 {
+						in.emitLocked(p.Now(), "fault.server_skip", "no killed server on shard %d to restart", ev.Shard)
 						continue
 					}
-					target = killed[len(killed)-1]
-					killed = killed[:len(killed)-1]
+					target = stack[len(stack)-1]
+					killed[ev.Shard] = stack[:len(stack)-1]
 				}
 				in.m.serverRestarts.Add(1)
-				in.emitLocked(p.Now(), "fault.server_restart", "server %d", target)
-				ctl.RestartServer(target)
+				in.emitLocked(p.Now(), "fault.server_restart", "shard %d server %d", ev.Shard, target)
+				ctl.RestartServer(ev.Shard, target)
 			}
 		}
 	})
 }
 
-// awaitLeader polls until some replica is ready to serve, bounded by
-// leaderWait.
-func (in *Injector) awaitLeader(p sim.Proc, ctl ServerController) int {
+// awaitLeader polls until some replica of the shard group is ready to
+// serve, bounded by leaderWait.
+func (in *Injector) awaitLeader(p sim.Proc, ctl ServerController, shard int) int {
 	deadline := p.Now() + leaderWait
 	for {
-		if i := ctl.LeaderServer(); i >= 0 {
+		if i := ctl.LeaderServer(shard); i >= 0 {
 			return i
 		}
 		if p.Now() >= deadline {

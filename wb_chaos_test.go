@@ -319,11 +319,11 @@ func TestWriteBehindLeaderFailoverDeferred(t *testing.T) {
 				return err
 			}
 		}
-		lead := s.LeaderServer()
+		lead := s.LeaderServer(0)
 		if lead < 0 {
 			return errors.New("no leader while appending")
 		}
-		if err := s.CrashServer(lead); err != nil {
+		if err := s.CrashServer(0, lead); err != nil {
 			return err
 		}
 		// The new leader reconciles the orphaned write-behind state during
@@ -364,15 +364,15 @@ func TestWriteBehindLeaderFailoverDeferred(t *testing.T) {
 			return fmt.Errorf("append after rollback did not land: %v", err)
 		}
 		// The revived replica rejoins as a follower and catches up.
-		if err := s.RestartServer(lead); err != nil {
+		if err := s.RestartServer(0, lead); err != nil {
 			return err
 		}
 		if err := s.Append("f", robustPayload(1000)); err != nil {
 			return err
 		}
 		s.Proc().Sleep(time.Second)
-		st := s.Inspect().Raft()
-		if st[lead].Commit != st[s.LeaderServer()].Commit {
+		st := s.Inspect().Raft(0)
+		if st[lead].Commit != st[s.LeaderServer(0)].Commit {
 			return fmt.Errorf("revived replica behind: %+v", st)
 		}
 		return nil
